@@ -1,0 +1,16 @@
+"""Bench: SAC ablations (CRD, LSU, reconfiguration cost) + oracle bound."""
+
+from repro.experiments import ablations
+
+
+def test_ablations(experiment_bencher):
+    result = experiment_bencher(ablations, benchmarks=(
+        "RN", "CFD", "BFS", "SRAD", "NN", "GEMM"))
+    aggregate = result["aggregate"]
+    # Full SAC must approach the oracle (within profiling/reconfig cost).
+    assert aggregate["sac"] > 0.85 * aggregate["oracle"]
+    # Removing the CRD can only hurt (or tie): without the SM-side hit
+    # estimate, the model mispredicts replication-heavy benchmarks.
+    assert aggregate["sac-no-crd"] <= aggregate["sac"] * 1.02
+    # Free reconfiguration can only help (or tie).
+    assert aggregate["sac-free-reconfig"] >= aggregate["sac"] * 0.98

@@ -1,0 +1,9 @@
+"""Bench: speedup-vs-effective-bandwidth correlation (Section 5.2)."""
+
+from repro.experiments import correlation
+
+
+def test_correlation(experiment_bencher):
+    result = experiment_bencher(correlation)
+    # Paper Section 5.2: the correlation is strong.
+    assert result["correlation"] > 0.75

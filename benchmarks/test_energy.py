@@ -1,0 +1,25 @@
+"""Bench: data-movement energy comparison (extension)."""
+
+from repro.experiments import energy_comparison
+
+
+def test_energy_comparison(experiment_bencher):
+    result = experiment_bencher(energy_comparison)
+    rows = result["rows"]
+    for bench, orgs in rows.items():
+        # Energy accounting sanity: every ratio is positive and the
+        # share terms are fractions.
+        for org, row in orgs.items():
+            assert row["energy_ratio"] > 0, (bench, org)
+            assert 0.0 <= row["inter_chip_share"] <= 1.0
+            assert 0.0 <= row["dram_share"] <= 1.0
+        # SM-side always cuts the inter-chip energy share on SP
+        # benchmarks (it stops shipping shared data over the ring).
+    for bench in ("RN", "CFD"):
+        mem = rows[bench]["memory-side"]
+        sm = rows[bench]["sm-side"]
+        assert sm["inter_chip_share"] < mem["inter_chip_share"]
+    # SAC's energy never exceeds the worst fixed organization by much.
+    for bench, orgs in rows.items():
+        worst = max(row["energy_ratio"] for row in orgs.values())
+        assert orgs["sac"]["energy_ratio"] <= worst * 1.05, bench

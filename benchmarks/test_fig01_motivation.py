@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 1 (motivation: perf, miss rate, bandwidth)."""
+
+from repro.experiments import fig01_motivation
+
+
+def test_fig01_motivation(experiment_bencher):
+    result = experiment_bencher(fig01_motivation)
+    perf = result["performance"]
+    # Shape: SP group prefers SM-side, MP group prefers memory-side, and
+    # SAC tracks (or beats) the winner in both groups.
+    assert perf["SP"]["sm-side"] > 1.2
+    assert perf["MP"]["sm-side"] < 1.0
+    assert perf["SP"]["sac"] > 0.9 * perf["SP"]["sm-side"]
+    assert perf["MP"]["sac"] > 0.95 * perf["MP"]["memory-side"]
+    # Shape: the SM-side LLC has a higher miss rate in both groups.
+    miss = result["miss_rate"]
+    assert miss["SP"]["sm-side"] > miss["SP"]["memory-side"]
+    assert miss["MP"]["sm-side"] > miss["MP"]["memory-side"]
+    # Shape: effective LLC bandwidth explains the preference.
+    bandwidth = result["bandwidth"]
+    assert bandwidth["SP"]["sm-side"] > 1.0
+    assert bandwidth["SP"]["sac"] > 1.0

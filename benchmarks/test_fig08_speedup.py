@@ -1,0 +1,38 @@
+"""Bench: regenerate Figure 8 (speedups) + the Section 5.1 headlines."""
+
+from repro.experiments import fig08_speedup
+from repro.workloads import MP_BENCHMARKS, SP_BENCHMARKS
+
+
+def test_fig08_speedup(experiment_bencher):
+    result = experiment_bencher(fig08_speedup)
+    speedups = result["speedups"]
+    # Shape: every SP benchmark prefers SM-side, every MP benchmark
+    # prefers memory-side.
+    for bench in (b.name for b in SP_BENCHMARKS):
+        assert speedups[(bench, "sm-side")] > 1.0, bench
+    for bench in (b.name for b in MP_BENCHMARKS):
+        assert speedups[(bench, "sm-side")] < 1.0, bench
+    # Shape: SAC beats every alternative on the overall harmonic mean
+    # (paper: +76% / +12% / +31% / +18%).
+    headline = result["headline"]
+    assert headline["sac_vs_memory_side"] > 0.15
+    assert headline["sac_vs_sm_side"] > 0.0
+    assert headline["sac_vs_static"] > 0.0
+    assert headline["sac_vs_dynamic"] > 0.0
+    # Shape: on the SP group, the partial-remote organizations land
+    # between the two extremes: mem-side < static < dynamic < sm-side,
+    # with SAC at (or near) the top.
+    sp = result["aggregates"]["SP"]
+    assert sp["memory-side"] < sp["static"] < sp["dynamic"] < sp["sm-side"]
+    assert sp["sac"] > 0.9 * sp["sm-side"]
+    # Shape: on the MP group, memory-side (and SAC, which follows it
+    # within profiling overhead) stays on top; static over-allocates
+    # remote data and loses most.
+    mp = result["aggregates"]["MP"]
+    assert mp["sac"] >= 0.98 * max(mp.values())
+    assert mp["sac"] > mp["sm-side"]
+    assert mp["static"] == min(mp.values())
+    # Overall, SAC is the best organization.
+    overall = result["aggregates"]["all"]
+    assert overall["sac"] == max(overall.values())

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 9 (LLC local vs remote data allocation)."""
+
+from repro.experiments import fig09_llc_allocation
+from repro.workloads import MP_BENCHMARKS, SP_BENCHMARKS
+
+
+def test_fig09_llc_allocation(experiment_bencher):
+    result = experiment_bencher(fig09_llc_allocation)
+    fractions = result["remote_fraction"]
+    for bench, orgs in fractions.items():
+        # A memory-side LLC by definition caches only local data.
+        assert orgs["memory-side"] < 0.01, bench
+        # The Static LLC reserves half its ways for remote data; remote
+        # occupancy stays at or below that bound.
+        assert orgs["static"] <= 0.6, bench
+    # Shape: SAC allocates a large remote fraction for SP benchmarks...
+    sp_sac = [fractions[b.name]["sac"] for b in SP_BENCHMARKS]
+    assert sum(sp_sac) / len(sp_sac) > 0.3
+    # ...and (almost) only local data for MP benchmarks.
+    mp_sac = [fractions[b.name]["sac"] for b in MP_BENCHMARKS]
+    assert sum(mp_sac) / len(mp_sac) < 0.1

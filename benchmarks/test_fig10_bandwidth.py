@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 10 (effective LLC bandwidth breakdown)."""
+
+from repro.experiments import fig10_bandwidth_breakdown
+from repro.workloads import MP_BENCHMARKS, SP_BENCHMARKS
+
+
+def test_fig10_bandwidth(experiment_bencher):
+    result = experiment_bencher(fig10_bandwidth_breakdown)
+    breakdown = result["breakdown"]
+    # Shape: for SP benchmarks SAC trades remote-LLC responses for
+    # local-LLC responses and raises the total effective bandwidth.
+    sp_gain = 0
+    for bench in (b.name for b in SP_BENCHMARKS):
+        mem = breakdown[bench]["memory-side"]
+        sac = breakdown[bench]["sac"]
+        if sum(sac.values()) > sum(mem.values()):
+            sp_gain += 1
+        assert sac["local_llc"] >= mem["local_llc"] * 0.9, bench
+    assert sp_gain >= len(SP_BENCHMARKS) - 1
+    # Shape: for MP benchmarks SAC keeps the memory-side profile.
+    for bench in (b.name for b in MP_BENCHMARKS):
+        sac = breakdown[bench]["sac"]
+        local = sac["local_llc"] + sac["local_mem"]
+        remote = sac["remote_llc"] + sac["remote_mem"]
+        assert local > remote, bench

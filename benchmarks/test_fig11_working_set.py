@@ -1,0 +1,49 @@
+"""Bench: regenerate Figure 11 (windowed working-set sharing profile).
+
+Deviation note: our synthetic traces carry heavier cold-streaming tails
+than the paper's real workloads, so the raw touched-byte counts are
+inflated for the symmetric SP benchmarks.  The capacity-relevant shape
+is carried by the *active* (re-referenced) per-chip demand: it must fit
+one chip's LLC for an SM-side organization to win, and it exceeds that
+capacity for the core MP benchmarks.
+"""
+
+from repro.experiments import fig11_working_set
+from repro.workloads import MP_BENCHMARKS
+
+ATYPICAL = ("BP", "DWT")
+
+
+def test_fig11_working_set(experiment_bencher):
+    result = experiment_bencher(fig11_working_set)
+    profiles = result["profiles"]
+    per_chip = result["llc_per_chip_mb"]
+
+    def largest_window(bench):
+        return max(profiles[bench], key=lambda p: p["window_cycles"])
+
+    # Shape: every benchmark with published true sharing shows a truly
+    # shared working set, growing (weakly) with the window size.
+    for bench, points in profiles.items():
+        ordered = sorted(points, key=lambda p: p["window_cycles"])
+        assert ordered[-1]["true_mb"] >= ordered[0]["true_mb"] - 1e-6, bench
+    # Shape: the core MP benchmarks' active per-chip demand exceeds the
+    # per-chip LLC (replication cannot fit).
+    mp_core = [b.name for b in MP_BENCHMARKS if b.name not in ATYPICAL]
+    mp = [largest_window(b)["active_demand_mb"] for b in mp_core]
+    for bench, demand in zip(mp_core, mp):
+        assert demand > per_chip, bench
+    # Shape: the atypical benchmarks (BP, DWT) have the smallest active
+    # demands of the MP group (their near-tie comes from being barely
+    # memory-bound, not from capacity pressure).
+    for bench in ATYPICAL:
+        assert largest_window(bench)["active_demand_mb"] < min(mp), bench
+    # Shape: every core MP benchmark's truly shared working set exceeds a
+    # quarter of the system LLC — replicating it four ways cannot fit.
+    for bench in mp_core:
+        assert largest_window(bench)["true_mb"] > \
+            result["llc_capacity_mb"] / 4, bench
+    # (Note: a raw SP-vs-MP comparison of whole-trace working sets is not
+    # meaningful for our synthetic traces — symmetric SP sharing counts
+    # 4x over full-trace windows; the group discrimination lives in the
+    # simulator's capacity behaviour, asserted by Figures 1/8.)

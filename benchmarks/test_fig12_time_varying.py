@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 12 (BFS time-varying kernel behaviour)."""
+
+from repro.experiments import fig12_time_varying
+
+
+def test_fig12_time_varying(experiment_bencher):
+    result = experiment_bencher(fig12_time_varying)
+    launches = result["launches"]
+    k1 = [l for l in launches if "K1" in l["kernel"]]
+    k2 = [l for l in launches if "K2" in l["kernel"]]
+    assert k1 and k2
+    # Shape: SM-side loses on K1 (memory-side preferred) and wins on K2.
+    assert all(l["sm_side_speedup"] < 1.05 for l in k1)
+    assert all(l["sm_side_speedup"] > 1.2 for l in k2)
+    # Shape: SAC picks memory-side for K1 and SM-side for K2...
+    assert all(l["sac_mode"] == "memory-side" for l in k1)
+    assert sum(l["sac_mode"] == "sm-side" for l in k2) >= len(k2) - 1
+    # ...and therefore beats the static SM-side configuration overall.
+    assert result["overall"]["sac"] > result["overall"]["sm_side"]

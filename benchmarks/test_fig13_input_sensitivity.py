@@ -1,0 +1,33 @@
+"""Bench: regenerate Figure 13 (input-set sensitivity)."""
+
+from repro.experiments import fig13_input_sensitivity
+
+
+def test_fig13_input_sensitivity(experiment_bencher):
+    result = experiment_bencher(fig13_input_sensitivity)
+    series = result["series"]
+    # Shape: SAC is never (meaningfully) worse than the memory-side
+    # baseline at any input size — its conservative choice is safe.
+    for bench, points in series.items():
+        for p in points:
+            assert p["sac_speedup"] > 0.92, (bench, p)
+    # Shape: for SP benchmarks SAC tracks (or beats) the better of the
+    # two fixed organizations at every input size, and the SM-side
+    # advantage shrinks as the input grows (replication starts
+    # thrashing at x8).
+    for bench in result["sp"]:
+        points = sorted(series[bench], key=lambda p: p["factor"])
+        for p in points:
+            best = max(1.0, p["sm_side_speedup"])
+            assert p["sac_speedup"] > 0.85 * best, (bench, p)
+        assert points[0]["sm_side_speedup"] > points[-1]["sm_side_speedup"]
+    # Shape: for MP benchmarks SM-side becomes viable at the smallest
+    # inputs (the shared set becomes replicable).  SAC captures the
+    # default-input preference exactly; at the most extreme reductions
+    # our home-affine MP traces keep the EAB inputs local-dominated, so
+    # SAC stays (safely) memory-side — see EXPERIMENTS.md.
+    for bench in result["mp"]:
+        points = sorted(series[bench], key=lambda p: p["factor"])
+        assert points[0]["sm_side_speedup"] > points[-1]["sm_side_speedup"]
+        default = next(p for p in points if p["factor"] == 1.0)
+        assert default["sac_speedup"] >= 0.98

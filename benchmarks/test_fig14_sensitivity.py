@@ -1,0 +1,29 @@
+"""Bench: regenerate Figure 14 (design-space sensitivity)."""
+
+from repro.experiments import fig14_sensitivity
+
+
+def test_fig14_sensitivity(experiment_bencher):
+    result = experiment_bencher(fig14_sensitivity)
+    sweeps = result["sweeps"]
+    # Shape: SAC never loses meaningfully anywhere in the design space;
+    # at the extreme inter-chip bandwidths the organizations converge, so
+    # SAC's profiling overhead can leave it marginally below 1.0.
+    for sweep, points in sweeps.items():
+        for point in points:
+            assert point["sac"] > 0.97, (sweep, point)
+    # Shape: SAC clearly wins at the baseline design point.
+    for sweep, points in sweeps.items():
+        starred = [p for p in points if p["label"].endswith("*")]
+        for point in starred:
+            assert point["sac"] > 1.05, (sweep, point)
+    # Shape: SAC's margin over memory-side shrinks as inter-chip
+    # bandwidth grows (less need to cache remote data locally).
+    inter = sweeps["inter_chip_bandwidth"]
+    assert inter[0]["sac"] > inter[-1]["sac"]
+    # Shape: more LLC capacity -> more room to replicate -> bigger margin.
+    llc = sweeps["llc_capacity"]
+    assert llc[-1]["sac"] > llc[0]["sac"]
+    # Shape: SAC still helps with sectored caches and larger pages.
+    assert sweeps["sectored_cache"][1]["sac"] > 1.0
+    assert sweeps["page_size"][1]["sac"] > 1.0

@@ -1,0 +1,48 @@
+"""Bench: Section 3.6 hardware-overhead budget and NoC power/area model."""
+
+from repro.arch import baseline, with_sectored_llc
+from repro.core.overhead import overhead_report
+from repro.noc import power
+
+
+def test_overhead_budget(benchmark, capsys):
+    def compute():
+        config = baseline()
+        return {
+            "conventional": overhead_report(config, sectored=False),
+            "sectored": overhead_report(with_sectored_llc(config),
+                                        sectored=True),
+            "noc": power.report(config.chip.noc),
+        }
+
+    result = benchmark.pedantic(compute, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    conventional = result["conventional"]
+    sectored = result["sectored"]
+    noc = result["noc"]
+    with capsys.disabled():
+        print()
+        print("Section 3.6 overhead (per chip):")
+        print(f"  conventional: CRD={conventional.crd_bytes}B "
+              f"LSU={conventional.lsu_counter_bytes}B "
+              f"scalars={conventional.scalar_counter_bytes}B "
+              f"total={conventional.total_bytes}B")
+        print(f"  sectored:     CRD={sectored.crd_bytes}B "
+              f"total={sectored.total_bytes}B")
+        sm = noc["sm_side_vs_memory_side"]
+        sac = noc["sac_vs_memory_side"]
+        print(f"  SM-side NoC vs memory-side: power {sm.power:+.1%}, "
+              f"area {sm.area:+.1%}")
+        print(f"  SAC bypass vs memory-side:  power {sac.power:+.1%}, "
+              f"area {sac.area:+.1%}")
+    # Paper Section 3.6: 544/736 B CRD; 620/812 B total per chip.
+    assert conventional.crd_bytes == 544
+    assert conventional.total_bytes == 620
+    assert sectored.crd_bytes == 736
+    assert sectored.total_bytes == 812
+    # Paper Section 2.1: two-NoC SM-side costs ~21% power / ~18% area.
+    assert 0.15 < noc["sm_side_vs_memory_side"].power < 0.27
+    assert 0.12 < noc["sm_side_vs_memory_side"].area < 0.24
+    # Paper Section 3.6: bypass logic ~1.6% power / ~1.9% area.
+    assert 0.005 < noc["sac_vs_memory_side"].power < 0.03
+    assert 0.005 < noc["sac_vs_memory_side"].area < 0.03

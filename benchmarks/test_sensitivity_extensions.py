@@ -1,0 +1,19 @@
+"""Bench: theta / profiling-window sensitivity (paper-omitted analyses)."""
+
+from repro.experiments import sensitivity_extensions
+
+
+def test_sensitivity_extensions(experiment_bencher):
+    result = experiment_bencher(sensitivity_extensions)
+    theta = {p["theta"]: p["sac"] for p in result["theta"]}
+    # A balanced theta beats an "always memory-side" policy (theta=1.0,
+    # which makes SAC never reconfigure).
+    assert theta[0.05] > theta[1.0]
+    assert theta[0.08] > theta[1.0]
+    # Across the sweep SAC never collapses below the baseline by much.
+    assert min(theta.values()) > 0.9
+    window = {p["window_cycles"]: p["sac"] for p in result["window"]}
+    # A starved window (125 cycles) underperforms an adequate one.
+    best = max(window.values())
+    assert window[125] <= best
+    assert window[500] > 0.95 * best

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 4 (workload sharing characteristics)."""
+
+from repro.experiments import table04_workloads
+
+
+def test_table04_workloads(experiment_bencher):
+    result = experiment_bencher(table04_workloads)
+    for row in result["rows"]:
+        # The generator must produce truly shared data when the paper
+        # reports some, and roughly no more than the published amount
+        # (the trace only touches the hot portions of huge footprints).
+        if row["true_mb_paper"] > 0:
+            assert row["true_mb_measured"] > 0, row["benchmark"]
+        assert row["true_mb_measured"] <= row["true_mb_paper"] * 1.3 + 1, row
+        if row["false_mb_paper"] > 0:
+            assert row["false_mb_measured"] > 0, row["benchmark"]
+        assert row["touched_mb_measured"] <= row["footprint_mb"] * 1.3 + 1, row

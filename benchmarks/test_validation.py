@@ -1,0 +1,37 @@
+"""Bench: cross-model validation of the epoch timing model.
+
+Runs the epoch-based engine and the independent event-driven
+queueing-network replay on the same traces and checks that they agree
+on which LLC organization wins (the quantity every figure depends on).
+"""
+
+from repro.sim.eventsim import validate_against_epoch_model
+from repro.workloads import get
+
+BENCHMARKS = ("RN", "CFD", "SRAD", "NN")
+
+
+def test_validation(benchmark, capsys):
+    def compute():
+        return {name: validate_against_epoch_model(get(name))
+                for name in BENCHMARKS}
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    with capsys.disabled():
+        print()
+        print("Cross-model validation (cycles; lower wins):")
+        print(f"  {'bench':6} {'model':18} {'memory-side':>12} "
+              f"{'sm-side':>9}  winner")
+        for name, result in results.items():
+            for row, model in ((0, "epoch (primary)"),
+                               (1, "event-driven")):
+                mem = result["memory-side"][row]
+                sm = result["sm-side"][row]
+                winner = "sm-side" if sm < mem else "memory-side"
+                print(f"  {name:6} {model:18} {mem:12.0f} {sm:9.0f}  "
+                      f"{winner}")
+    for name, result in results.items():
+        epoch_winner = min(result, key=lambda o: result[o][0])
+        event_winner = min(result, key=lambda o: result[o][1])
+        assert epoch_winner == event_winner, name

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Using the EAB analytical model standalone.
+
+The EAB (Effective Available Bandwidth) model is the brain of SAC: it
+predicts whether a memory-side or SM-side LLC provides more bandwidth
+for a given sharing profile.  This example drives the model directly —
+no simulation — sweeping the SM-side hit rate (the quantity the CRD
+estimates in hardware) and the remote-request fraction to map out the
+decision boundary.
+
+Usage:
+    python examples/eab_model_demo.py
+"""
+
+from repro.arch import baseline
+from repro.core import (
+    EABInputs,
+    architecture_bandwidths,
+    decide,
+    eab_memory_side,
+    eab_sm_side,
+)
+
+
+def main() -> None:
+    config = baseline()
+    bandwidths = architecture_bandwidths(config)
+    print("Architecture-derived EAB terms (bytes/cycle):")
+    for name, value in bandwidths.items():
+        print(f"  {name:8} = {value:10.1f}")
+    print()
+
+    # A sharing profile measured during a profiling window: the
+    # memory-side hit rate and both LSUs are fixed; we sweep the CRD's
+    # SM-side hit-rate estimate and the remote fraction.
+    print("Decision map: rows = SM-side hit rate (CRD estimate), "
+          "columns = remote-request fraction")
+    r_remote_values = [0.15, 0.3, 0.45, 0.6, 0.75]
+    header = "  hit_sm \\ r_remote " + "".join(
+        f"{r:>8.2f}" for r in r_remote_values)
+    print(header)
+    for hit_sm in (0.9, 0.7, 0.5, 0.3, 0.1):
+        cells = []
+        for r_remote in r_remote_values:
+            inputs = EABInputs(
+                r_local=1.0 - r_remote,
+                lsu_memory_side=0.7,
+                lsu_sm_side=0.85,
+                llc_hit_memory_side=0.85,
+                llc_hit_sm_side=hit_sm,
+                **bandwidths)
+            choice = decide(inputs, theta=config.sac.theta)
+            cells.append("SM" if choice == "sm-side" else "MEM")
+        print(f"  {hit_sm:18.2f} " + "".join(f"{c:>8}" for c in cells))
+    print()
+
+    # One fully worked example with the EAB split local/remote.
+    inputs = EABInputs(
+        r_local=0.4, lsu_memory_side=0.6, lsu_sm_side=0.8,
+        llc_hit_memory_side=0.85, llc_hit_sm_side=0.8, **bandwidths)
+    mem = eab_memory_side(inputs)
+    sm = eab_sm_side(inputs)
+    print("Worked example (r_local=0.4, hit_mem=0.85, hit_sm=0.80):")
+    print(f"  memory-side EAB: local={mem.local:8.1f} "
+          f"remote={mem.remote:8.1f} total={mem.total:8.1f}")
+    print(f"  SM-side EAB:     local={sm.local:8.1f} "
+          f"remote={sm.remote:8.1f} total={sm.total:8.1f}")
+    print(f"  decision (theta={config.sac.theta:.0%}): "
+          f"{decide(inputs, theta=config.sac.theta)}")
+
+
+if __name__ == "__main__":
+    main()

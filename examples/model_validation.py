@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Cross-validating the two timing models.
+
+The library carries two independent timing models over the same
+functional caches:
+
+* the **epoch model** (``repro.sim.SimulationEngine``) — per-epoch
+  bottleneck-resource service time; fast, used by every experiment;
+* the **event-driven model** (``repro.sim.EventDrivenEngine``) — an
+  open-loop FCFS queueing-network replay where every access traverses
+  its resource path through single-server queues.
+
+Absolute cycle counts differ (the event model is open-loop and does not
+overlap latencies), but both must agree on the question every figure in
+the SAC paper depends on: *which LLC organization wins, and roughly by
+how much*.  This example runs both models on one SM-side-preferred and
+one memory-side-preferred benchmark and compares.
+
+Usage:
+    python examples/model_validation.py
+"""
+
+from repro.sim import validate_against_epoch_model
+from repro.workloads import get
+
+
+def main() -> None:
+    print("Cross-model validation: epoch model vs event-driven replay")
+    print()
+    for name in ("CFD", "NN"):
+        spec = get(name)
+        results = validate_against_epoch_model(spec)
+        print(f"{spec.name} ({spec.preference} preferred):")
+        print(f"  {'model':14} {'memory-side':>12} {'sm-side':>10} "
+              f"{'sm/mem':>7}")
+        for row, model in ((0, "epoch"), (1, "event-driven")):
+            mem = results["memory-side"][row]
+            sm = results["sm-side"][row]
+            print(f"  {model:14} {mem:12.0f} {sm:10.0f} {mem / sm:7.2f}")
+        epoch_winner = min(results, key=lambda o: results[o][0])
+        event_winner = min(results, key=lambda o: results[o][1])
+        agreement = "AGREE" if epoch_winner == event_winner else "DISAGREE"
+        print(f"  -> winners {agreement}: epoch={epoch_winner}, "
+              f"event={event_winner}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

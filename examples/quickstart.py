@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one benchmark under every LLC organization.
+
+Runs the CFD benchmark (SM-side preferred) on the Table 3 baseline
+multi-chip GPU under the five evaluated LLC organizations and prints the
+speedup over the memory-side baseline, the LLC hit rate and the
+effective LLC bandwidth — the three quantities at the heart of the SAC
+paper.
+
+Usage:
+    python examples/quickstart.py [benchmark-name]
+"""
+
+import sys
+
+from repro.sim import ORGANIZATIONS, simulate
+from repro.workloads import get
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "CFD"
+    spec = get(name)
+    print(f"Benchmark {spec.name} ({spec.suite}): "
+          f"{spec.footprint_mb:.0f} MB footprint, "
+          f"{spec.true_shared_mb:.0f} MB truly shared, "
+          f"{spec.false_shared_mb:.0f} MB falsely shared "
+          f"-> paper preference: {spec.preference}")
+    print()
+
+    results = {}
+    for organization in ORGANIZATIONS:
+        print(f"simulating {organization} ...", flush=True)
+        results[organization] = simulate(spec, organization)
+    baseline_cycles = results["memory-side"].cycles
+
+    print()
+    print(f"{'organization':14} {'speedup':>8} {'LLC hit':>8} "
+          f"{'eff. LLC BW':>12} {'inter-chip MB':>14}")
+    for organization, stats in results.items():
+        print(f"{organization:14} {baseline_cycles / stats.cycles:8.2f} "
+              f"{stats.llc_hit_rate:8.3f} "
+              f"{stats.effective_llc_bandwidth:12.3f} "
+              f"{stats.inter_chip_bytes / 1e6:14.1f}")
+
+    sac = results["sac"]
+    modes = [k.organization for k in sac.kernels]
+    print()
+    print(f"SAC per-kernel decisions: {modes}")
+    best = min(results, key=lambda org: results[org].cycles)
+    print(f"Best fixed organization: {best}; "
+          f"SAC within {results['sac'].cycles / results[best].cycles - 1:.1%} "
+          f"of it (profiling + reconfiguration overhead).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Command-line entry point: regenerate a paper table/figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig8
+    python -m repro fig14 --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import REGISTRY
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate a table/figure of the SAC paper "
+                    "(ISCA 2023).")
+    parser.add_argument("experiment",
+                        help="experiment name, or 'list' to enumerate")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced trace density (quicker, noisier)")
+    parser.add_argument("--csv", metavar="PATH",
+                        help="also export the result to a CSV file")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, module in REGISTRY.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:12} {doc}")
+        return 0
+
+    module = REGISTRY.get(args.experiment)
+    if module is None:
+        known = ", ".join(REGISTRY)
+        print(f"unknown experiment {args.experiment!r}; known: {known}, list",
+              file=sys.stderr)
+        return 2
+
+    started = time.time()
+    result = module.run_experiment(fast=args.fast)
+    print(module.format_report(result))
+    if args.csv:
+        from .analysis.export import export_experiment
+        try:
+            rows = export_experiment(result, args.csv)
+            print(f"[wrote {rows} rows to {args.csv}]")
+        except ValueError as error:
+            print(f"[csv export not supported for this experiment: {error}]",
+                  file=sys.stderr)
+    print(f"\n[{args.experiment} completed in {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

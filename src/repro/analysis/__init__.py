@@ -1,0 +1,47 @@
+"""Analysis: working-set profiling, cached experiment running, tables,
+terminal charts and CSV export."""
+
+from .charts import bar_chart, grouped_bar_chart, series_chart, \
+    stacked_bar_chart
+from .export import export_experiment, write_csv
+from .runner import (
+    cache_size,
+    clear_cache,
+    hmean_speedup,
+    run,
+    run_matrix,
+    speedups_vs_baseline,
+)
+from .tables import format_series, format_table, normalize
+from .working_set import (
+    SHARING_FALSE,
+    SHARING_NONE,
+    SHARING_TRUE,
+    WorkingSetPoint,
+    classify_lines,
+    working_set_profile,
+)
+
+__all__ = [
+    "bar_chart",
+    "grouped_bar_chart",
+    "series_chart",
+    "stacked_bar_chart",
+    "export_experiment",
+    "write_csv",
+    "cache_size",
+    "clear_cache",
+    "hmean_speedup",
+    "run",
+    "run_matrix",
+    "speedups_vs_baseline",
+    "format_series",
+    "format_table",
+    "normalize",
+    "SHARING_FALSE",
+    "SHARING_NONE",
+    "SHARING_TRUE",
+    "WorkingSetPoint",
+    "classify_lines",
+    "working_set_profile",
+]

@@ -1,0 +1,93 @@
+"""First-order interconnect/memory energy estimation.
+
+The paper's energy claims are limited to NoC power/area
+(:mod:`repro.noc.power`); this module adds a complementary *dynamic
+energy* estimate per run, useful for comparing LLC organizations: data
+movement dominates, and the organizations differ mainly in how many
+bytes cross which fabric.
+
+The per-byte costs are first-order, technology-style constants (pJ/B)
+with the usual ordering
+
+    on-chip NoC  <  LLC array  <  DRAM  <  inter-chip SerDes
+
+Only *ratios between runs* are meaningful, like the NoC power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..sim.stats import RunStats
+
+#: Per-byte dynamic energy (picojoules/byte), first-order 22nm-class
+#: figures: on-chip wires are cheap, DRAM and off-chip SerDes expensive.
+PJ_PER_BYTE = {
+    "noc": 0.8,
+    "llc": 1.2,
+    "dram": 15.0,
+    "inter_chip": 10.0,
+}
+
+#: Static (leakage + clocking) power in pJ/cycle charged per run cycle.
+PJ_PER_CYCLE_STATIC = 50.0
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy breakdown for one run (picojoules)."""
+
+    noc: float
+    llc: float
+    dram: float
+    inter_chip: float
+    static: float
+
+    @property
+    def dynamic(self) -> float:
+        return self.noc + self.llc + self.dram + self.inter_chip
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.static
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "noc": self.noc,
+            "llc": self.llc,
+            "dram": self.dram,
+            "inter_chip": self.inter_chip,
+            "static": self.static,
+        }
+
+
+def estimate_energy(stats: RunStats, line_size: int = 128) -> EnergyEstimate:
+    """Estimate a run's data-movement energy from its traffic counters.
+
+    NoC bytes are approximated as one response line per access (every
+    request's data crosses the intra-chip fabric once on its way to the
+    SM) and LLC bytes as one line per lookup — both organization-
+    independent; the organization-dependent terms (DRAM, inter-chip) come
+    straight from the run's counters.
+    """
+    if stats.accesses == 0:
+        raise ValueError("cannot estimate energy for an empty run")
+    noc_bytes = stats.accesses * line_size
+    llc_bytes = stats.llc_lookups * line_size
+    return EnergyEstimate(
+        noc=noc_bytes * PJ_PER_BYTE["noc"],
+        llc=llc_bytes * PJ_PER_BYTE["llc"],
+        dram=stats.dram_bytes * PJ_PER_BYTE["dram"],
+        inter_chip=stats.inter_chip_bytes * PJ_PER_BYTE["inter_chip"],
+        static=stats.cycles * PJ_PER_CYCLE_STATIC)
+
+
+def energy_ratio(candidate: RunStats, baseline: RunStats,
+                 line_size: int = 128) -> float:
+    """Total-energy ratio of ``candidate`` over ``baseline``."""
+    candidate_energy = estimate_energy(candidate, line_size).total
+    baseline_energy = estimate_energy(baseline, line_size).total
+    if baseline_energy <= 0:
+        raise ValueError("baseline has no energy")
+    return candidate_energy / baseline_energy

@@ -1,0 +1,87 @@
+"""CSV export of experiment results.
+
+Every ``repro.experiments`` module returns plain dicts; these helpers
+flatten the common result shapes into CSV files so the tables/series can
+be plotted or diffed outside Python.  ``export_experiment`` dispatches
+on the result's structure; ``write_csv`` is the low-level primitive.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def write_csv(path: str, headers: Sequence[str],
+              rows: Iterable[Sequence[object]]) -> int:
+    """Write rows to ``path``; returns the number of data rows."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+            count += 1
+    return count
+
+
+def flatten_speedups(speedups: Mapping[tuple, float]
+                     ) -> List[Sequence[object]]:
+    """Flatten a ``(benchmark, organization) -> value`` mapping."""
+    return [[bench, org, value]
+            for (bench, org), value in sorted(speedups.items())]
+
+
+def flatten_grouped(series: Mapping[str, Mapping[str, float]]
+                    ) -> List[Sequence[object]]:
+    """Flatten a ``group -> {key -> value}`` mapping."""
+    rows: List[Sequence[object]] = []
+    for group, values in series.items():
+        for key, value in values.items():
+            rows.append([group, key, value])
+    return rows
+
+
+def export_experiment(result: Dict[str, object], path: str) -> int:
+    """Export an experiment result to CSV, dispatching on its shape.
+
+    Supported shapes (in priority order): ``speedups`` ((bench, org) ->
+    value), ``rows`` (list of dicts), ``series`` / ``sweeps`` /
+    ``profiles`` (named series of point dicts), and grouped mappings
+    (``performance``, ``remote_fraction``, ...).  Returns the number of
+    rows written; raises ``ValueError`` for unrecognized shapes.
+    """
+    if "speedups" in result:
+        return write_csv(path, ["benchmark", "organization", "speedup"],
+                         flatten_speedups(result["speedups"]))
+    if "rows" in result and isinstance(result["rows"], list):
+        rows = result["rows"]
+        if rows and isinstance(rows[0], dict):
+            headers = list(rows[0].keys())
+            return write_csv(path, headers,
+                             ([row.get(h) for h in headers] for row in rows))
+        if rows and isinstance(rows[0], Mapping):
+            raise ValueError("unsupported row mapping type")
+    for key in ("series", "sweeps", "profiles"):
+        if key in result:
+            named = result[key]
+            flat: List[Sequence[object]] = []
+            headers: List[str] = []
+            for name, points in named.items():
+                for point in points:
+                    if not headers:
+                        headers = ["name"] + list(point.keys())
+                    flat.append([name] + [point.get(h)
+                                          for h in headers[1:]])
+            return write_csv(path, headers, flat)
+    for key in ("performance", "remote_fraction", "aggregate"):
+        if key in result and isinstance(result[key], Mapping):
+            value = result[key]
+            first = next(iter(value.values()), None)
+            if isinstance(first, Mapping):
+                return write_csv(path, ["group", "key", "value"],
+                                 flatten_grouped(value))
+            return write_csv(path, ["key", "value"],
+                             sorted(value.items()))
+    raise ValueError("unrecognized experiment result shape; "
+                     f"keys: {sorted(result)}")

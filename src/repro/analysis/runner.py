@@ -1,0 +1,85 @@
+"""Experiment runner with in-process result caching.
+
+Several paper figures share the same underlying runs (e.g. Figures 1, 8,
+9 and 10 all need the 16 benchmarks under the five organizations), so
+the runner memoizes :func:`repro.sim.run.simulate` results by a
+structural key (benchmark spec, organization, config, scale, density).
+The cache is per-process; benches that run in one pytest session reuse
+each other's runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..arch.config import SystemConfig
+from ..sim.run import (
+    DEFAULT_ACCESSES_PER_EPOCH,
+    DEFAULT_SCALE,
+    simulate,
+)
+from ..sim.stats import RunStats, harmonic_mean
+from ..workloads.spec import BenchmarkSpec
+
+_CACHE: Dict[object, RunStats] = {}
+
+
+def clear_cache() -> None:
+    """Drop every memoized run (for tests)."""
+    _CACHE.clear()
+
+
+def cache_size() -> int:
+    return len(_CACHE)
+
+
+def run(spec: BenchmarkSpec, organization: str,
+        config: Optional[SystemConfig] = None,
+        scale: float = DEFAULT_SCALE,
+        accesses_per_epoch: int = DEFAULT_ACCESSES_PER_EPOCH,
+        use_cache: bool = True) -> RunStats:
+    """Simulate (or recall) one benchmark under one organization."""
+    key = (spec, organization, config, scale, accesses_per_epoch)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    stats = simulate(spec, organization, config=config, scale=scale,
+                     accesses_per_epoch=accesses_per_epoch)
+    if use_cache:
+        _CACHE[key] = stats
+    return stats
+
+
+def run_matrix(specs: Iterable[BenchmarkSpec], organizations: Iterable[str],
+               config: Optional[SystemConfig] = None,
+               scale: float = DEFAULT_SCALE,
+               accesses_per_epoch: int = DEFAULT_ACCESSES_PER_EPOCH
+               ) -> Dict[Tuple[str, str], RunStats]:
+    """Run every (benchmark, organization) pair; returns a keyed dict."""
+    results: Dict[Tuple[str, str], RunStats] = {}
+    for spec in specs:
+        for organization in organizations:
+            results[(spec.name, organization)] = run(
+                spec, organization, config=config, scale=scale,
+                accesses_per_epoch=accesses_per_epoch)
+    return results
+
+
+def speedups_vs_baseline(results: Dict[Tuple[str, str], RunStats],
+                         benchmarks: Iterable[str],
+                         organizations: Iterable[str],
+                         baseline: str = "memory-side"
+                         ) -> Dict[Tuple[str, str], float]:
+    """Per-benchmark speedup of each organization over ``baseline``."""
+    speedups: Dict[Tuple[str, str], float] = {}
+    for bench in benchmarks:
+        base = results[(bench, baseline)].cycles
+        for org in organizations:
+            speedups[(bench, org)] = base / results[(bench, org)].cycles
+    return speedups
+
+
+def hmean_speedup(speedups: Dict[Tuple[str, str], float],
+                  benchmarks: Iterable[str], organization: str) -> float:
+    """Harmonic-mean speedup of one organization over a benchmark group."""
+    values = [speedups[(bench, organization)] for bench in benchmarks]
+    return harmonic_mean(values)

@@ -1,0 +1,54 @@
+"""Plain-text table/series formatting for experiment reports.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 float_format: str = "{:.2f}") -> str:
+    """Render rows as an aligned ASCII table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                         for i, cell in enumerate(cells))
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(cells) for cells in rendered)
+    return "\n".join(out)
+
+
+def format_series(title: str, series: Mapping[str, Mapping[str, float]],
+                  float_format: str = "{:.3f}") -> str:
+    """Render a figure's named series as ``name: key=value ...`` lines."""
+    lines = [title]
+    for name, points in series.items():
+        parts = " ".join(
+            f"{key}={float_format.format(value)}"
+            for key, value in points.items())
+        lines.append(f"  {name}: {parts}")
+    return "\n".join(lines)
+
+
+def normalize(values: Mapping[str, float],
+              reference_key: str) -> Dict[str, float]:
+    """Normalize a mapping by one of its entries."""
+    reference = values[reference_key]
+    if reference == 0:
+        raise ValueError(f"reference {reference_key!r} is zero")
+    return {key: value / reference for key, value in values.items()}

@@ -1,0 +1,198 @@
+"""Windowed working-set and sharing analysis (paper Figure 11).
+
+Figure 11 reports, for each benchmark, the working-set size within time
+windows of 1K to 100K cycles under the SM-side organization, split into
+truly shared, falsely shared and non-shared data (Section 2.2
+definitions, applied at whole-trace granularity):
+
+* a line is **truly shared** if more than one chip accesses it anywhere
+  in the trace;
+* **falsely shared** if only one chip accesses it but another chip
+  accesses a different line of the same page;
+* **non-shared** otherwise.
+
+Within a window, a truly shared line counts once per accessing chip
+(that is what gets *replicated* under an SM-side LLC), which is exactly
+the quantity that must fit in the system LLC for SM-side to win.
+
+Trace positions are converted to cycles using each epoch's compute
+floor, so a "window" is a contiguous slice of the access stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..workloads.generator import KernelTrace, TraceGenerator
+from ..workloads.spec import BenchmarkSpec
+
+MB = 1024 * 1024
+
+SHARING_TRUE = "true"
+SHARING_FALSE = "false"
+SHARING_NONE = "none"
+
+
+@dataclass(frozen=True)
+class WorkingSetPoint:
+    """Mean working set (bytes) within windows of one size.
+
+    ``true/false/non_shared_bytes`` count every touched line, with truly
+    shared lines counted once per accessing chip (the replication an
+    SM-side LLC performs) — the paper's Figure 11 metric.
+
+    ``active_demand_bytes`` is the *re-referenced* per-chip demand: the
+    mean over windows of the worst chip's distinct lines that it accessed
+    at least twice within the window.  This is the quantity that must fit
+    one chip's LLC for an SM-side organization to win; unlike the raw
+    touched-byte count it is not inflated by cold streaming data.
+    """
+
+    window_cycles: float
+    true_shared_bytes: float
+    false_shared_bytes: float
+    non_shared_bytes: float
+    active_demand_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return (self.true_shared_bytes + self.false_shared_bytes
+                + self.non_shared_bytes)
+
+    def as_mb(self) -> Dict[str, float]:
+        return {
+            "window_cycles": self.window_cycles,
+            "true_mb": self.true_shared_bytes / MB,
+            "false_mb": self.false_shared_bytes / MB,
+            "none_mb": self.non_shared_bytes / MB,
+            "total_mb": self.total_bytes / MB,
+            "active_demand_mb": self.active_demand_bytes / MB,
+        }
+
+
+def _flatten_trace(kernels: Iterable[KernelTrace]
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate a trace into (chips, addrs, cycle_timestamps)."""
+    chips: List[np.ndarray] = []
+    addrs: List[np.ndarray] = []
+    times: List[np.ndarray] = []
+    now = 0.0
+    for kernel in kernels:
+        for epoch in kernel.epochs:
+            n = len(epoch)
+            chips.append(epoch.chips)
+            addrs.append(epoch.addrs)
+            times.append(now + np.arange(n) * (epoch.compute_cycles / n))
+            now += epoch.compute_cycles
+    if not addrs:
+        raise ValueError("empty trace")
+    return (np.concatenate(chips), np.concatenate(addrs),
+            np.concatenate(times))
+
+
+def classify_lines(chips: np.ndarray, addrs: np.ndarray, line_size: int,
+                   page_size: int) -> Dict[int, str]:
+    """Whole-trace sharing class of every line (Section 2.2)."""
+    lines = addrs // line_size
+    pages = addrs // page_size
+    line_chips: Dict[int, int] = {}
+    page_chips: Dict[int, int] = {}
+    for line, page, chip in zip(lines.tolist(), pages.tolist(),
+                                chips.tolist()):
+        bit = 1 << chip
+        line_chips[line] = line_chips.get(line, 0) | bit
+        page_chips[page] = page_chips.get(page, 0) | bit
+    lines_per_page = page_size // line_size
+    classes: Dict[int, str] = {}
+    for line, mask in line_chips.items():
+        if mask & (mask - 1):  # more than one bit set
+            classes[line] = SHARING_TRUE
+        elif page_chips[line // lines_per_page] != mask:
+            classes[line] = SHARING_FALSE
+        else:
+            classes[line] = SHARING_NONE
+    return classes
+
+
+def working_set_profile(spec: BenchmarkSpec, num_chips: int = 4,
+                        window_cycles: Sequence[float] = (
+                            1_000, 10_000, 100_000),
+                        line_size: int = 128, page_size: int = 4096,
+                        accesses_per_epoch: int = 8192,
+                        scale: float = 1.0,
+                        clusters_per_chip: int = 32
+                        ) -> List[WorkingSetPoint]:
+    """Compute the Figure 11 series for one benchmark.
+
+    Returns one :class:`WorkingSetPoint` per window size: the mean
+    distinct-byte footprint per window, with truly shared lines counted
+    once per accessing chip (SM-side replication).  ``scale`` shrinks the
+    workload like the simulator does; callers that want paper-scale MB
+    values should divide by ``scale`` (or run with ``scale=1.0``).
+    """
+    generator = TraceGenerator(
+        spec, num_chips=num_chips, clusters_per_chip=clusters_per_chip,
+        line_size=line_size, page_size=page_size,
+        accesses_per_epoch_per_chip=accesses_per_epoch, scale=scale)
+    chips, addrs, times = _flatten_trace(generator.kernels())
+    classes = classify_lines(chips, addrs, line_size, page_size)
+    lines = (addrs // line_size).tolist()
+    chip_list = chips.tolist()
+    points = []
+    for window in window_cycles:
+        points.append(_windowed_point(window, times, lines, chip_list,
+                                      classes, line_size))
+    return points
+
+
+def _windowed_point(window: float, times: np.ndarray, lines: List[int],
+                    chips: List[int], classes: Dict[int, str],
+                    line_size: int) -> WorkingSetPoint:
+    end = float(times[-1]) if len(times) else 0.0
+    num_windows = max(1, int(end // window) + 1)
+    boundaries = np.searchsorted(times, np.arange(1, num_windows + 1) * window)
+    totals = {SHARING_TRUE: 0, SHARING_FALSE: 0, SHARING_NONE: 0}
+    active_total = 0
+    start = 0
+    windows_counted = 0
+    for boundary in boundaries.tolist():
+        if boundary <= start:
+            start = boundary
+            continue
+        seen_true = set()
+        seen_other = set()
+        # (line, chip) -> times that chip touched the line this window.
+        per_chip_counts: Dict[Tuple[int, int], int] = {}
+        for i in range(start, boundary):
+            line = lines[i]
+            chip = chips[i]
+            cls = classes[line]
+            if cls == SHARING_TRUE:
+                # Replicated: count one copy per accessing chip.
+                seen_true.add((line, chip))
+            else:
+                seen_other.add(line)
+            key = (line, chip)
+            per_chip_counts[key] = per_chip_counts.get(key, 0) + 1
+        totals[SHARING_TRUE] += len(seen_true)
+        for line in seen_other:
+            totals[classes[line]] += 1
+        # Active demand: the worst chip's re-referenced line count.
+        active_by_chip: Dict[int, int] = {}
+        for (line, chip), count in per_chip_counts.items():
+            if count >= 2:
+                active_by_chip[chip] = active_by_chip.get(chip, 0) + 1
+        active_total += max(active_by_chip.values(), default=0)
+        windows_counted += 1
+        start = boundary
+    if windows_counted == 0:
+        windows_counted = 1
+    return WorkingSetPoint(
+        window_cycles=window,
+        true_shared_bytes=totals[SHARING_TRUE] * line_size / windows_counted,
+        false_shared_bytes=totals[SHARING_FALSE] * line_size / windows_counted,
+        non_shared_bytes=totals[SHARING_NONE] * line_size / windows_counted,
+        active_demand_bytes=active_total * line_size / windows_counted)

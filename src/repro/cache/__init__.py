@@ -1,0 +1,36 @@
+"""Cache substrate: functional set-associative, sectored and partitioned caches."""
+
+from .cache import (
+    UNPARTITIONED,
+    AccessResult,
+    CacheLine,
+    CacheStats,
+    PartitionFullError,
+    SetAssociativeCache,
+)
+from .replacement import (
+    POLICIES,
+    LRUPolicy,
+    ReplacementPolicy,
+    SRRIPPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+from .waycache import WayOrganizedCache, make_cache
+
+__all__ = [
+    "UNPARTITIONED",
+    "AccessResult",
+    "CacheLine",
+    "CacheStats",
+    "PartitionFullError",
+    "SetAssociativeCache",
+    "POLICIES",
+    "LRUPolicy",
+    "ReplacementPolicy",
+    "SRRIPPolicy",
+    "TreePLRUPolicy",
+    "make_policy",
+    "WayOrganizedCache",
+    "make_cache",
+]

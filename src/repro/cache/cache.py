@@ -1,0 +1,357 @@
+"""Functional set-associative cache model.
+
+The cache is *functional*: it maintains real tag state so that hit/miss
+behaviour (and hence LLC hit rate, the key EAB-model input) is exact for a
+given access stream.  Timing is handled by the simulator engine, not here.
+
+Three variants are provided:
+
+* :class:`SetAssociativeCache` — conventional cache with true LRU.
+* Sectored operation (``CacheConfig.sectored``) — sectors share one tag;
+  a sector miss on a present line fetches only the missing sector.
+* Way partitioning (:meth:`SetAssociativeCache.set_partition`) — lines are
+  tagged with a partition id and each partition owns a subset of ways, as
+  required by the Static (L1.5) and Dynamic LLC baselines.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..arch.config import CacheConfig
+
+#: Partition id used when the cache is not partitioned.
+UNPARTITIONED = 0
+
+
+@dataclass
+class CacheLine:
+    """State of one resident cache line."""
+
+    tag: int
+    dirty: bool = False
+    partition: int = UNPARTITIONED
+    sector_valid: int = 0  # bitmask of valid sectors (sectored caches)
+
+    def sector_present(self, sector: int) -> bool:
+        return bool(self.sector_valid >> sector & 1)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    evicted_dirty: bool = False
+    evicted_addr: Optional[int] = None
+    sector_miss: bool = False  # tag hit but sector absent (sectored caches)
+
+    @property
+    def miss(self) -> bool:
+        return not self.hit
+
+
+@dataclass
+class CacheStats:
+    """Running hit/miss/eviction counters."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    fills: int = 0
+    sector_misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.fills = 0
+        self.sector_misses = 0
+
+
+class SetAssociativeCache:
+    """A set-associative cache with true LRU replacement.
+
+    Addresses are byte addresses; the cache derives line, set and tag
+    internally.  ``access`` performs lookup + fill + LRU update in one
+    step, which is what the epoch-based engine needs.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        # One OrderedDict per set, ordered LRU -> MRU, keyed by tag.
+        self._sets: List["OrderedDict[int, CacheLine]"] = [
+            OrderedDict() for _ in range(config.num_sets)]
+        # ways allocated per partition id; None means unpartitioned.
+        self._partition_ways: Optional[Dict[int, int]] = None
+        self._line_shift = config.line_size.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+        self._sets_pow2 = (config.num_sets & (config.num_sets - 1)) == 0
+        if config.sectored:
+            self._sector_shift = config.sector_size.bit_length() - 1
+
+    # -- Address helpers -------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        """The line-aligned address containing byte ``addr``."""
+        return addr >> self._line_shift << self._line_shift
+
+    def _index_tag(self, addr: int) -> Tuple[int, int]:
+        line = addr >> self._line_shift
+        if self._sets_pow2:
+            return line & self._set_mask, line >> self.config.num_sets.bit_length() - 1
+        return line % self.config.num_sets, line // self.config.num_sets
+
+    def _sector_of(self, addr: int) -> int:
+        offset = addr & (self.config.line_size - 1)
+        return offset >> self._sector_shift
+
+    # -- Partitioning ----------------------------------------------------
+
+    def set_partition(self, ways_by_partition: Optional[Dict[int, int]]) -> None:
+        """Partition the ways of every set between partition ids.
+
+        ``ways_by_partition`` maps a partition id to the number of ways it
+        may occupy; the values must sum to the associativity.  Pass ``None``
+        to remove partitioning.  Already-resident lines are left in place
+        and evicted lazily as their partition overflows.
+        """
+        if ways_by_partition is None:
+            self._partition_ways = None
+            return
+        total = sum(ways_by_partition.values())
+        if total != self.config.associativity:
+            raise ValueError(
+                f"partition ways sum to {total}, "
+                f"expected associativity {self.config.associativity}")
+        if any(w < 0 for w in ways_by_partition.values()):
+            raise ValueError("partition way counts cannot be negative")
+        self._partition_ways = dict(ways_by_partition)
+
+    @property
+    def partition_ways(self) -> Optional[Dict[int, int]]:
+        if self._partition_ways is None:
+            return None
+        return dict(self._partition_ways)
+
+    # -- Core operations ---------------------------------------------------
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without updating LRU or stats."""
+        index, tag = self._index_tag(addr)
+        line = self._sets[index].get(tag)
+        if line is None:
+            return False
+        if self.config.sectored:
+            return line.sector_present(self._sector_of(addr))
+        return True
+
+    def access(self, addr: int, is_write: bool = False,
+               partition: int = UNPARTITIONED,
+               allocate_on_miss: bool = True) -> AccessResult:
+        """Access byte ``addr``; fill on miss unless ``allocate_on_miss`` is False."""
+        self.stats.accesses += 1
+        index, tag = self._index_tag(addr)
+        cache_set = self._sets[index]
+        line = cache_set.get(tag)
+
+        if line is not None:
+            sector_miss = False
+            if self.config.sectored:
+                sector = self._sector_of(addr)
+                if not line.sector_present(sector):
+                    sector_miss = True
+                    line.sector_valid |= 1 << sector
+            cache_set.move_to_end(tag)
+            if is_write and self.config.write_back:
+                line.dirty = True
+            if sector_miss:
+                # A sector miss costs a memory fetch but not a tag fill.
+                self.stats.misses += 1
+                self.stats.sector_misses += 1
+                return AccessResult(hit=False, sector_miss=True)
+            self.stats.hits += 1
+            return AccessResult(hit=True)
+
+        self.stats.misses += 1
+        if not allocate_on_miss or (is_write and not self.config.write_allocate):
+            return AccessResult(hit=False)
+        evicted_dirty, evicted_addr = self._fill(index, tag, is_write, partition,
+                                                 addr)
+        return AccessResult(hit=False, evicted_dirty=evicted_dirty,
+                            evicted_addr=evicted_addr)
+
+    def fill(self, addr: int, is_write: bool = False,
+             partition: int = UNPARTITIONED) -> AccessResult:
+        """Insert a line without counting a lookup (e.g. response-path fill)."""
+        index, tag = self._index_tag(addr)
+        if tag in self._sets[index]:
+            line = self._sets[index][tag]
+            if self.config.sectored:
+                line.sector_valid |= 1 << self._sector_of(addr)
+            if is_write and self.config.write_back:
+                line.dirty = True
+            self._sets[index].move_to_end(tag)
+            return AccessResult(hit=True)
+        evicted_dirty, evicted_addr = self._fill(index, tag, is_write, partition,
+                                                 addr)
+        return AccessResult(hit=False, evicted_dirty=evicted_dirty,
+                            evicted_addr=evicted_addr)
+
+    def _fill(self, index: int, tag: int, is_write: bool,
+              partition: int, addr: int) -> Tuple[bool, Optional[int]]:
+        cache_set = self._sets[index]
+        victim_info = self._select_victim(cache_set, partition)
+        evicted_dirty = False
+        evicted_addr: Optional[int] = None
+        if victim_info is not None:
+            victim_tag, victim = victim_info
+            del cache_set[victim_tag]
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+                evicted_dirty = True
+            evicted_addr = self._rebuild_addr(index, victim_tag)
+        sector_valid = 0
+        if self.config.sectored:
+            sector_valid = 1 << self._sector_of(addr)
+        cache_set[tag] = CacheLine(
+            tag=tag,
+            dirty=is_write and self.config.write_back,
+            partition=partition,
+            sector_valid=sector_valid)
+        self.stats.fills += 1
+        return evicted_dirty, evicted_addr
+
+    def _select_victim(self, cache_set: "OrderedDict[int, CacheLine]",
+                       partition: int) -> Optional[Tuple[int, CacheLine]]:
+        """Pick an LRU victim respecting partition way limits, or None."""
+        if self._partition_ways is None:
+            if len(cache_set) < self.config.associativity:
+                return None
+            tag, line = next(iter(cache_set.items()))
+            return tag, line
+        limit = self._partition_ways.get(partition, 0)
+        if limit == 0:
+            # A partition with zero ways may not allocate; evict nothing and
+            # let the caller treat the fill as a bypass.
+            raise PartitionFullError(partition)
+        occupancy = sum(1 for l in cache_set.values() if l.partition == partition)
+        if occupancy < limit and len(cache_set) < self.config.associativity:
+            return None
+        # Prefer evicting the LRU line of the same partition; if the
+        # partition is under its limit but the set is full, evict the LRU
+        # line of any over-provisioned partition.
+        if occupancy >= limit:
+            for tag, line in cache_set.items():
+                if line.partition == partition:
+                    return tag, line
+        for tag, line in cache_set.items():
+            other = line.partition
+            other_limit = self._partition_ways.get(other, 0)
+            other_occ = sum(1 for l in cache_set.values() if l.partition == other)
+            if other_occ > other_limit:
+                return tag, line
+        tag, line = next(iter(cache_set.items()))
+        return tag, line
+
+    def _rebuild_addr(self, index: int, tag: int) -> int:
+        if self._sets_pow2:
+            line = tag << self.config.num_sets.bit_length() - 1 | index
+        else:
+            line = tag * self.config.num_sets + index
+        return line << self._line_shift
+
+    # -- Flush / invalidate ----------------------------------------------
+
+    def flush(self) -> Tuple[int, int]:
+        """Write back and invalidate everything.
+
+        Returns ``(lines_invalidated, dirty_lines_written_back)`` so the
+        caller can charge coherence traffic.
+        """
+        invalidated = 0
+        dirty = 0
+        for cache_set in self._sets:
+            invalidated += len(cache_set)
+            dirty += sum(1 for line in cache_set.values() if line.dirty)
+            cache_set.clear()
+        return invalidated, dirty
+
+    def invalidate(self, addr: int) -> bool:
+        """Invalidate one line; returns True if it was present."""
+        index, tag = self._index_tag(addr)
+        return self._sets[index].pop(tag, None) is not None
+
+    def invalidate_partition(self, partition: int) -> Tuple[int, int]:
+        """Invalidate every line belonging to ``partition``."""
+        invalidated = 0
+        dirty = 0
+        for cache_set in self._sets:
+            victims = [tag for tag, line in cache_set.items()
+                       if line.partition == partition]
+            for tag in victims:
+                line = cache_set.pop(tag)
+                invalidated += 1
+                if line.dirty:
+                    dirty += 1
+        return invalidated, dirty
+
+    # -- Introspection ----------------------------------------------------
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(s) for s in self._sets)
+
+    def occupancy_by_partition(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for cache_set in self._sets:
+            for line in cache_set.values():
+                counts[line.partition] = counts.get(line.partition, 0) + 1
+        return counts
+
+    def resident_lines(self) -> Iterator[Tuple[int, CacheLine]]:
+        """Yield ``(line_address, line)`` for every resident line."""
+        for index, cache_set in enumerate(self._sets):
+            for tag, line in cache_set.items():
+                yield self._rebuild_addr(index, tag), line
+
+    def reset(self) -> None:
+        """Clear contents and statistics."""
+        for cache_set in self._sets:
+            cache_set.clear()
+        self.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SetAssociativeCache(name={self.name!r}, "
+                f"size={self.config.size_bytes}, "
+                f"ways={self.config.associativity}, "
+                f"occupancy={self.occupancy()})")
+
+
+class PartitionFullError(RuntimeError):
+    """Raised when filling into a partition that owns zero ways."""
+
+    def __init__(self, partition: int) -> None:
+        super().__init__(f"partition {partition} owns zero ways")
+        self.partition = partition

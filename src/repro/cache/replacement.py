@@ -1,0 +1,188 @@
+"""Replacement policies for the set-associative cache.
+
+The baseline uses true LRU (matching the paper's conventional caches);
+real GPU LLCs often approximate it.  Three policies are provided:
+
+* :class:`LRUPolicy` — true least-recently-used (the default).
+* :class:`TreePLRUPolicy` — tree-based pseudo-LRU, the common hardware
+  approximation (one bit per internal node of a binary tree over ways).
+* :class:`SRRIPPolicy` — static re-reference interval prediction
+  (Jaleel et al.), which resists scanning: new lines enter with a long
+  re-reference prediction and must be re-referenced to be retained.
+
+A policy manages way metadata for one cache set.  The cache asks it for
+a victim way and notifies it on hits and fills.  Policies are stateless
+across sets: the cache instantiates one per set.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+
+class ReplacementPolicy(abc.ABC):
+    """Per-set replacement state for ``num_ways`` ways."""
+
+    def __init__(self, num_ways: int) -> None:
+        if num_ways < 1:
+            raise ValueError("need at least one way")
+        self.num_ways = num_ways
+
+    @abc.abstractmethod
+    def on_hit(self, way: int) -> None:
+        """A resident line in ``way`` was re-referenced."""
+
+    @abc.abstractmethod
+    def on_fill(self, way: int) -> None:
+        """A new line was installed into ``way``."""
+
+    @abc.abstractmethod
+    def victim(self, candidates: List[int]) -> int:
+        """Choose a victim among ``candidates`` (non-empty way indices)."""
+
+    def _check(self, way: int) -> None:
+        if not 0 <= way < self.num_ways:
+            raise IndexError(f"way {way} out of range")
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True LRU via an explicit recency stack."""
+
+    name = "lru"
+
+    def __init__(self, num_ways: int) -> None:
+        super().__init__(num_ways)
+        # Most recent last.
+        self._stack: List[int] = []
+
+    def on_hit(self, way: int) -> None:
+        self._check(way)
+        if way in self._stack:
+            self._stack.remove(way)
+        self._stack.append(way)
+
+    def on_fill(self, way: int) -> None:
+        self.on_hit(way)
+
+    def victim(self, candidates: List[int]) -> int:
+        if not candidates:
+            raise ValueError("no victim candidates")
+        # Ways never touched are the coldest of all.
+        touched = set(self._stack)
+        for way in candidates:
+            if way not in touched:
+                return way
+        candidate_set = set(candidates)
+        for way in self._stack:
+            if way in candidate_set:
+                return way
+        return candidates[0]
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU: one direction bit per internal node.
+
+    Ways must be a power of two.  On an access, the bits along the path
+    to the way are pointed *away* from it; the victim is found by
+    following the bits from the root.
+    """
+
+    name = "tree-plru"
+
+    def __init__(self, num_ways: int) -> None:
+        super().__init__(num_ways)
+        if num_ways & (num_ways - 1):
+            raise ValueError("tree PLRU needs a power-of-two way count")
+        self._bits = [False] * max(1, num_ways - 1)
+
+    def _touch(self, way: int) -> None:
+        node = 0
+        span = self.num_ways
+        while span > 1:
+            half = span // 2
+            go_right = way % span >= half
+            # Point away from the accessed half.
+            self._bits[node] = not go_right
+            node = 2 * node + (2 if go_right else 1)
+            span = half
+
+    def on_hit(self, way: int) -> None:
+        self._check(way)
+        self._touch(way)
+
+    def on_fill(self, way: int) -> None:
+        self.on_hit(way)
+
+    def victim(self, candidates: List[int]) -> int:
+        if not candidates:
+            raise ValueError("no victim candidates")
+        candidate_set = set(candidates)
+        node = 0
+        way = 0
+        span = self.num_ways
+        while span > 1:
+            half = span // 2
+            go_right = self._bits[node]
+            node = 2 * node + (2 if go_right else 1)
+            if go_right:
+                way += half
+            span = half
+        if way in candidate_set:
+            return way
+        # The tree points at a way that is not evictable (e.g. a
+        # different partition); fall back to the first candidate.
+        return candidates[0]
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """Static RRIP with 2-bit re-reference prediction values.
+
+    Fills enter with RRPV = 2 (long interval); hits promote to 0; the
+    victim is a way with RRPV = 3, aging every way until one appears.
+    """
+
+    name = "srrip"
+
+    MAX_RRPV = 3
+    INSERT_RRPV = 2
+
+    def __init__(self, num_ways: int) -> None:
+        super().__init__(num_ways)
+        self._rrpv = [self.MAX_RRPV] * num_ways
+
+    def on_hit(self, way: int) -> None:
+        self._check(way)
+        self._rrpv[way] = 0
+
+    def on_fill(self, way: int) -> None:
+        self._check(way)
+        self._rrpv[way] = self.INSERT_RRPV
+
+    def victim(self, candidates: List[int]) -> int:
+        if not candidates:
+            raise ValueError("no victim candidates")
+        while True:
+            for way in candidates:
+                if self._rrpv[way] >= self.MAX_RRPV:
+                    return way
+            for way in candidates:
+                self._rrpv[way] += 1
+
+
+POLICIES = {
+    "lru": LRUPolicy,
+    "tree-plru": TreePLRUPolicy,
+    "srrip": SRRIPPolicy,
+}
+
+
+def make_policy(name: str, num_ways: int) -> ReplacementPolicy:
+    """Build a replacement policy by name."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ValueError(f"unknown replacement policy {name!r}; "
+                         f"known: {known}") from None
+    return cls(num_ways)

@@ -1,0 +1,295 @@
+"""Way-organized cache with pluggable replacement policies.
+
+:class:`WayOrganizedCache` exposes the same interface as
+:class:`~repro.cache.cache.SetAssociativeCache` but stores lines in
+explicit way slots and delegates victim selection to a
+:class:`~repro.cache.replacement.ReplacementPolicy` (tree pseudo-LRU,
+SRRIP, ...).  The default LRU cache keeps its faster OrderedDict
+implementation; use :func:`repro.cache.make_cache` to pick the right
+variant from a :class:`~repro.arch.config.CacheConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..arch.config import CacheConfig
+from .cache import (
+    UNPARTITIONED,
+    AccessResult,
+    CacheLine,
+    CacheStats,
+    PartitionFullError,
+)
+from .replacement import ReplacementPolicy, make_policy
+
+
+class WayOrganizedCache:
+    """Set-associative cache with explicit ways and a pluggable policy."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        sets = config.num_sets
+        ways = config.associativity
+        self._ways: List[List[Optional[CacheLine]]] = [
+            [None] * ways for _ in range(sets)]
+        self._tag_to_way: List[Dict[int, int]] = [{} for _ in range(sets)]
+        self._policies: List[ReplacementPolicy] = [
+            make_policy(config.replacement, ways) for _ in range(sets)]
+        self._partition_ways: Optional[Dict[int, int]] = None
+        self._line_shift = config.line_size.bit_length() - 1
+        self._sets_pow2 = (sets & (sets - 1)) == 0
+        self._set_mask = sets - 1
+        if config.sectored:
+            self._sector_shift = config.sector_size.bit_length() - 1
+
+    # -- Address helpers ---------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        return addr >> self._line_shift << self._line_shift
+
+    def _index_tag(self, addr: int) -> Tuple[int, int]:
+        line = addr >> self._line_shift
+        if self._sets_pow2:
+            return (line & self._set_mask,
+                    line >> self.config.num_sets.bit_length() - 1)
+        return line % self.config.num_sets, line // self.config.num_sets
+
+    def _sector_of(self, addr: int) -> int:
+        offset = addr & (self.config.line_size - 1)
+        return offset >> self._sector_shift
+
+    # -- Partitioning --------------------------------------------------------
+
+    def set_partition(self, ways_by_partition: Optional[Dict[int, int]]
+                      ) -> None:
+        if ways_by_partition is None:
+            self._partition_ways = None
+            return
+        total = sum(ways_by_partition.values())
+        if total != self.config.associativity:
+            raise ValueError(
+                f"partition ways sum to {total}, "
+                f"expected associativity {self.config.associativity}")
+        if any(w < 0 for w in ways_by_partition.values()):
+            raise ValueError("partition way counts cannot be negative")
+        self._partition_ways = dict(ways_by_partition)
+
+    @property
+    def partition_ways(self) -> Optional[Dict[int, int]]:
+        if self._partition_ways is None:
+            return None
+        return dict(self._partition_ways)
+
+    # -- Core operations -------------------------------------------------------
+
+    def probe(self, addr: int) -> bool:
+        index, tag = self._index_tag(addr)
+        way = self._tag_to_way[index].get(tag)
+        if way is None:
+            return False
+        line = self._ways[index][way]
+        if self.config.sectored:
+            return line.sector_present(self._sector_of(addr))
+        return True
+
+    def access(self, addr: int, is_write: bool = False,
+               partition: int = UNPARTITIONED,
+               allocate_on_miss: bool = True) -> AccessResult:
+        self.stats.accesses += 1
+        index, tag = self._index_tag(addr)
+        way = self._tag_to_way[index].get(tag)
+        if way is not None:
+            line = self._ways[index][way]
+            self._policies[index].on_hit(way)
+            sector_miss = False
+            if self.config.sectored:
+                sector = self._sector_of(addr)
+                if not line.sector_present(sector):
+                    sector_miss = True
+                    line.sector_valid |= 1 << sector
+            if is_write and self.config.write_back:
+                line.dirty = True
+            if sector_miss:
+                self.stats.misses += 1
+                self.stats.sector_misses += 1
+                return AccessResult(hit=False, sector_miss=True)
+            self.stats.hits += 1
+            return AccessResult(hit=True)
+        self.stats.misses += 1
+        if not allocate_on_miss or (is_write and not self.config.write_allocate):
+            return AccessResult(hit=False)
+        evicted_dirty, evicted_addr = self._install(index, tag, is_write,
+                                                    partition, addr)
+        return AccessResult(hit=False, evicted_dirty=evicted_dirty,
+                            evicted_addr=evicted_addr)
+
+    def fill(self, addr: int, is_write: bool = False,
+             partition: int = UNPARTITIONED) -> AccessResult:
+        index, tag = self._index_tag(addr)
+        way = self._tag_to_way[index].get(tag)
+        if way is not None:
+            line = self._ways[index][way]
+            if self.config.sectored:
+                line.sector_valid |= 1 << self._sector_of(addr)
+            if is_write and self.config.write_back:
+                line.dirty = True
+            self._policies[index].on_hit(way)
+            return AccessResult(hit=True)
+        evicted_dirty, evicted_addr = self._install(index, tag, is_write,
+                                                    partition, addr)
+        return AccessResult(hit=False, evicted_dirty=evicted_dirty,
+                            evicted_addr=evicted_addr)
+
+    # -- Fill / eviction internals ------------------------------------------------
+
+    def _partition_occupancy(self, index: int, partition: int) -> int:
+        return sum(1 for line in self._ways[index]
+                   if line is not None and line.partition == partition)
+
+    def _install(self, index: int, tag: int, is_write: bool,
+                 partition: int, addr: int) -> Tuple[bool, Optional[int]]:
+        way, evicted = self._choose_slot(index, partition)
+        evicted_dirty = False
+        evicted_addr: Optional[int] = None
+        if evicted is not None:
+            del self._tag_to_way[index][evicted.tag]
+            self.stats.evictions += 1
+            if evicted.dirty:
+                self.stats.dirty_evictions += 1
+                evicted_dirty = True
+            evicted_addr = self._rebuild_addr(index, evicted.tag)
+        sector_valid = 0
+        if self.config.sectored:
+            sector_valid = 1 << self._sector_of(addr)
+        line = CacheLine(tag=tag,
+                         dirty=is_write and self.config.write_back,
+                         partition=partition, sector_valid=sector_valid)
+        self._ways[index][way] = line
+        self._tag_to_way[index][tag] = way
+        self._policies[index].on_fill(way)
+        self.stats.fills += 1
+        return evicted_dirty, evicted_addr
+
+    def _choose_slot(self, index: int, partition: int
+                     ) -> Tuple[int, Optional[CacheLine]]:
+        ways = self._ways[index]
+        if self._partition_ways is None:
+            for way, line in enumerate(ways):
+                if line is None:
+                    return way, None
+            victim_way = self._policies[index].victim(
+                list(range(len(ways))))
+            return victim_way, ways[victim_way]
+        limit = self._partition_ways.get(partition, 0)
+        if limit == 0:
+            raise PartitionFullError(partition)
+        occupancy = self._partition_occupancy(index, partition)
+        if occupancy < limit:
+            for way, line in enumerate(ways):
+                if line is None:
+                    return way, None
+            # Set full but this partition is under its limit: evict from
+            # an over-provisioned partition.
+            for way, line in enumerate(ways):
+                other = line.partition
+                other_limit = self._partition_ways.get(other, 0)
+                if self._partition_occupancy(index, other) > other_limit:
+                    return way, line
+        # Evict within the same partition, policy-guided.
+        candidates = [way for way, line in enumerate(ways)
+                      if line is not None and line.partition == partition]
+        if not candidates:
+            candidates = [way for way, line in enumerate(ways)
+                          if line is not None]
+        victim_way = self._policies[index].victim(candidates)
+        return victim_way, ways[victim_way]
+
+    def _rebuild_addr(self, index: int, tag: int) -> int:
+        if self._sets_pow2:
+            line = tag << self.config.num_sets.bit_length() - 1 | index
+        else:
+            line = tag * self.config.num_sets + index
+        return line << self._line_shift
+
+    # -- Flush / invalidate -----------------------------------------------------
+
+    def flush(self) -> Tuple[int, int]:
+        invalidated = 0
+        dirty = 0
+        for index in range(self.config.num_sets):
+            for way, line in enumerate(self._ways[index]):
+                if line is None:
+                    continue
+                invalidated += 1
+                if line.dirty:
+                    dirty += 1
+                self._ways[index][way] = None
+            self._tag_to_way[index].clear()
+        return invalidated, dirty
+
+    def invalidate(self, addr: int) -> bool:
+        index, tag = self._index_tag(addr)
+        way = self._tag_to_way[index].pop(tag, None)
+        if way is None:
+            return False
+        self._ways[index][way] = None
+        return True
+
+    def invalidate_partition(self, partition: int) -> Tuple[int, int]:
+        invalidated = 0
+        dirty = 0
+        for index in range(self.config.num_sets):
+            for way, line in enumerate(self._ways[index]):
+                if line is None or line.partition != partition:
+                    continue
+                invalidated += 1
+                if line.dirty:
+                    dirty += 1
+                del self._tag_to_way[index][line.tag]
+                self._ways[index][way] = None
+        return invalidated, dirty
+
+    # -- Introspection -------------------------------------------------------------
+
+    def occupancy(self) -> int:
+        return sum(1 for ways in self._ways for line in ways
+                   if line is not None)
+
+    def occupancy_by_partition(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for ways in self._ways:
+            for line in ways:
+                if line is not None:
+                    counts[line.partition] = counts.get(line.partition, 0) + 1
+        return counts
+
+    def resident_lines(self) -> Iterator[Tuple[int, CacheLine]]:
+        for index, ways in enumerate(self._ways):
+            for line in ways:
+                if line is not None:
+                    yield self._rebuild_addr(index, line.tag), line
+
+    def reset(self) -> None:
+        for index in range(self.config.num_sets):
+            for way in range(self.config.associativity):
+                self._ways[index][way] = None
+            self._tag_to_way[index].clear()
+            self._policies[index] = make_policy(
+                self.config.replacement, self.config.associativity)
+        self.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WayOrganizedCache(name={self.name!r}, "
+                f"policy={self.config.replacement!r}, "
+                f"occupancy={self.occupancy()})")
+
+
+def make_cache(config: CacheConfig, name: str = "cache"):
+    """Build the right cache variant for ``config.replacement``."""
+    if config.replacement == "lru":
+        from .cache import SetAssociativeCache
+        return SetAssociativeCache(config, name=name)
+    return WayOrganizedCache(config, name=name)

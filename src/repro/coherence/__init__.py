@@ -1,0 +1,18 @@
+"""Coherence substrate: software flush-based and hardware directory protocols."""
+
+from .hardware import DirectoryEntry, DirectoryStats, HardwareCoherence
+from .mesi import ActionKind, CoherenceAction, MESIDirectory, MESIStats, State
+from .software import FlushCost, SoftwareCoherence
+
+__all__ = [
+    "DirectoryEntry",
+    "DirectoryStats",
+    "FlushCost",
+    "HardwareCoherence",
+    "SoftwareCoherence",
+    "ActionKind",
+    "CoherenceAction",
+    "MESIDirectory",
+    "MESIStats",
+    "State",
+]

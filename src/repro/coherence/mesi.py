@@ -1,0 +1,194 @@
+"""MESI directory coherence.
+
+The paper's hardware-coherence evaluation uses a write-invalidate
+scheme (local copy updated, remote copies invalidated).  This module
+provides the fuller four-state MESI protocol as an extension, tracked at
+the granularity the SM-side LLC needs — one copy per chip:
+
+* **M** (modified)  — one chip holds the only, dirty copy;
+* **E** (exclusive) — one chip holds the only, clean copy;
+* **S** (shared)    — several chips hold clean copies;
+* **I** (invalid)   — untracked.
+
+The directory processes reads, writes and evictions and returns the
+coherence *actions* the interconnect must carry, so the engine can
+charge their traffic:
+
+* ``invalidate(chip)``   — drop a remote copy (write to a shared line);
+* ``downgrade(chip)``    — M -> S on a remote read, with a write-back;
+* ``transfer(chip)``     — cache-to-cache supply from the owner.
+
+State-transition summary (requests from chip ``c``):
+
+====== ======================= ==========================================
+state  read by c               write by c
+====== ======================= ==========================================
+I      -> E (c exclusive)      -> M (c modified)
+E(o)   -> S {o, c}, transfer   -> M (c), invalidate o      [o != c]
+M(o)   -> S {o, c}, downgrade  -> M (c), invalidate o + wb [o != c]
+S      add c                   -> M (c), invalidate others
+====== ======================= ==========================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class State(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+class ActionKind(enum.Enum):
+    INVALIDATE = "invalidate"
+    DOWNGRADE = "downgrade"   # M -> S, implies a write-back
+    TRANSFER = "transfer"     # cache-to-cache data supply
+
+
+@dataclass(frozen=True)
+class CoherenceAction:
+    """One message the interconnect must carry for a transition."""
+
+    kind: ActionKind
+    chip: int            # the remote chip acted upon
+    writeback: bool = False
+
+
+@dataclass
+class MESIEntry:
+    state: State = State.INVALID
+    sharers: int = 0     # bitmask
+    owner: Optional[int] = None  # meaningful in M/E
+
+    def sharer_list(self, num_chips: int) -> List[int]:
+        return [c for c in range(num_chips) if self.sharers >> c & 1]
+
+
+@dataclass
+class MESIStats:
+    reads: int = 0
+    writes: int = 0
+    invalidations: int = 0
+    downgrades: int = 0
+    transfers: int = 0
+    writebacks: int = 0
+
+
+class MESIDirectory:
+    """Directory-side MESI over per-chip LLC copies."""
+
+    def __init__(self, num_chips: int) -> None:
+        if num_chips < 1:
+            raise ValueError("need at least one chip")
+        self.num_chips = num_chips
+        self.stats = MESIStats()
+        self._entries: Dict[int, MESIEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def state_of(self, line: int) -> State:
+        entry = self._entries.get(line)
+        return entry.state if entry is not None else State.INVALID
+
+    def sharers_of(self, line: int) -> List[int]:
+        entry = self._entries.get(line)
+        if entry is None:
+            return []
+        return entry.sharer_list(self.num_chips)
+
+    def _entry(self, line: int) -> MESIEntry:
+        entry = self._entries.get(line)
+        if entry is None:
+            entry = MESIEntry()
+            self._entries[line] = entry
+        return entry
+
+    # -- Transitions -------------------------------------------------------
+
+    def read(self, line: int, chip: int) -> List[CoherenceAction]:
+        """Chip ``chip`` installs a read copy of ``line``."""
+        self.stats.reads += 1
+        entry = self._entry(line)
+        bit = 1 << chip
+        actions: List[CoherenceAction] = []
+        if entry.state is State.INVALID:
+            entry.state = State.EXCLUSIVE
+            entry.owner = chip
+            entry.sharers = bit
+        elif entry.state in (State.EXCLUSIVE, State.MODIFIED):
+            if entry.owner == chip:
+                return actions  # silent re-read
+            if entry.state is State.MODIFIED:
+                actions.append(CoherenceAction(ActionKind.DOWNGRADE,
+                                               entry.owner, writeback=True))
+                self.stats.downgrades += 1
+                self.stats.writebacks += 1
+            else:
+                actions.append(CoherenceAction(ActionKind.TRANSFER,
+                                               entry.owner))
+                self.stats.transfers += 1
+            entry.state = State.SHARED
+            entry.sharers |= bit
+            entry.owner = None
+        else:  # SHARED
+            entry.sharers |= bit
+        return actions
+
+    def write(self, line: int, chip: int) -> List[CoherenceAction]:
+        """Chip ``chip`` writes ``line``; it ends M with the only copy."""
+        self.stats.writes += 1
+        entry = self._entry(line)
+        bit = 1 << chip
+        actions: List[CoherenceAction] = []
+        if entry.state in (State.MODIFIED, State.EXCLUSIVE) and \
+                entry.owner == chip:
+            entry.state = State.MODIFIED
+            return actions
+        for victim in entry.sharer_list(self.num_chips):
+            if victim == chip:
+                continue
+            writeback = (entry.state is State.MODIFIED
+                         and entry.owner == victim)
+            actions.append(CoherenceAction(ActionKind.INVALIDATE, victim,
+                                           writeback=writeback))
+            self.stats.invalidations += 1
+            if writeback:
+                self.stats.writebacks += 1
+        entry.state = State.MODIFIED
+        entry.owner = chip
+        entry.sharers = bit
+        return actions
+
+    def evict(self, line: int, chip: int) -> bool:
+        """Chip ``chip`` drops its copy; returns True if a write-back
+        (the chip held the line in M) is required."""
+        entry = self._entries.get(line)
+        if entry is None:
+            return False
+        bit = 1 << chip
+        if not entry.sharers & bit:
+            return False
+        writeback = (entry.state is State.MODIFIED and entry.owner == chip)
+        if writeback:
+            self.stats.writebacks += 1
+        entry.sharers &= ~bit
+        if entry.sharers == 0:
+            del self._entries[line]
+        else:
+            if entry.owner == chip:
+                entry.owner = None
+            if entry.state in (State.MODIFIED, State.EXCLUSIVE):
+                entry.state = State.SHARED
+            # A single remaining clean sharer silently stays SHARED
+            # (upgrading to E would need an extra notification).
+        return writeback
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self.stats = MESIStats()

@@ -1,0 +1,35 @@
+"""SAC core: the EAB model, profiling counters, CRD and the SAC controller."""
+
+from .counters import ChipCounters, ProfilingCounters
+from .crd import ChipRequestDirectory, CRDBlock
+from .eab import (
+    EABInputs,
+    EABResult,
+    architecture_bandwidths,
+    decide,
+    eab_memory_side,
+    eab_sm_side,
+    llc_slice_uniformity,
+)
+from .overhead import OverheadReport, crd_bytes, overhead_report
+from .sac import SACDecision, SACStats, SharingAwareCaching
+
+__all__ = [
+    "ChipCounters",
+    "ProfilingCounters",
+    "ChipRequestDirectory",
+    "CRDBlock",
+    "EABInputs",
+    "EABResult",
+    "architecture_bandwidths",
+    "decide",
+    "eab_memory_side",
+    "eab_sm_side",
+    "llc_slice_uniformity",
+    "OverheadReport",
+    "crd_bytes",
+    "overhead_report",
+    "SACDecision",
+    "SACStats",
+    "SharingAwareCaching",
+]

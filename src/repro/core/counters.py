@@ -1,0 +1,169 @@
+"""The SAC hardware performance-counter architecture (paper Section 3.4).
+
+Each chip carries:
+
+* a **total requests** counter (all L1 misses issued by this chip);
+* a **local requests** counter (L1 misses homed at this chip);
+* ``N/4`` **memory-side slice request** counters (requests arriving at
+  this chip's LLC slices under the profiled memory-side configuration);
+* ``N/4`` **SM-side slice request** counters (the local slice each of
+  this chip's own requests *would* use under an SM-side configuration);
+* the CRD (see :mod:`repro.core.crd`) plus its hit/request counters.
+
+Together these provide every workload-dependent EAB input: R_local, the
+LSU of both configurations, and both hit rates (the memory-side hit rate
+comes from the existing LLC counters; the SM-side one from the CRD).
+
+``storage_bytes`` reproduces the paper's overhead accounting: 16-bit LSU
+counters (64 B/chip for both configurations in the 4-chip baseline) plus
+four 24-bit counters (12 B), plus the CRD (544 B conventional / 736 B
+sectored), totalling 620 / 812 bytes per chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..arch.config import SACConfig
+from .crd import ChipRequestDirectory
+from .eab import llc_slice_uniformity
+
+LSU_COUNTER_BITS = 16
+SCALAR_COUNTER_BITS = 24
+#: total, local, CRD-hits and CRD-requests counters per chip.
+SCALAR_COUNTERS = 4
+
+
+@dataclass
+class ChipCounters:
+    """The per-chip profiling counter file."""
+
+    chip: int
+    slices_per_chip: int
+    total_requests: int = 0
+    local_requests: int = 0
+    memory_side_slice_requests: List[int] = field(default_factory=list)
+    sm_side_slice_requests: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.memory_side_slice_requests:
+            self.memory_side_slice_requests = [0] * self.slices_per_chip
+        if not self.sm_side_slice_requests:
+            self.sm_side_slice_requests = [0] * self.slices_per_chip
+
+    def record_issue(self, home_chip: int, slice_index: int) -> None:
+        """Record one L1 miss issued by this chip.
+
+        ``slice_index`` is where the request would land within the
+        requesting chip under an SM-side LLC (PAE slice hash).
+        """
+        self.total_requests += 1
+        if home_chip == self.chip:
+            self.local_requests += 1
+        self.sm_side_slice_requests[slice_index] += 1
+
+    def record_arrival(self, slice_index: int) -> None:
+        """Record a request arriving at this chip's memory-side slice."""
+        self.memory_side_slice_requests[slice_index] += 1
+
+    def reset(self) -> None:
+        self.total_requests = 0
+        self.local_requests = 0
+        for i in range(self.slices_per_chip):
+            self.memory_side_slice_requests[i] = 0
+            self.sm_side_slice_requests[i] = 0
+
+
+class ProfilingCounters:
+    """All chips' counters plus the CRDs, with EAB-input extraction."""
+
+    def __init__(self, sac: SACConfig, num_chips: int, slices_per_chip: int,
+                 llc_num_sets: int, line_size: int, sectored: bool = False,
+                 sectors_per_line: int = 4,
+                 set_index_fn=None) -> None:
+        self.num_chips = num_chips
+        self.slices_per_chip = slices_per_chip
+        self.chips = [ChipCounters(chip=c, slices_per_chip=slices_per_chip)
+                      for c in range(num_chips)]
+        self.crds = [ChipRequestDirectory(
+            sac, num_chips, llc_num_sets, line_size,
+            sectored=sectored, sectors_per_line=sectors_per_line,
+            set_index_fn=set_index_fn)
+            for _ in range(num_chips)]
+        # Memory-side LLC hit/lookup counts observed during profiling
+        # (from the existing LLC performance counters).
+        self.memory_side_hits = 0
+        self.memory_side_lookups = 0
+
+    # -- Recording ----------------------------------------------------------
+
+    def record_issue(self, chip: int, home_chip: int,
+                     sm_slice_index: int) -> None:
+        self.chips[chip].record_issue(home_chip, sm_slice_index)
+
+    def record_arrival(self, home_chip: int, slice_index: int,
+                       requester_chip: int, addr: int) -> None:
+        """Record a request reaching its home chip's memory-side slice."""
+        self.chips[home_chip].record_arrival(slice_index)
+        self.crds[home_chip].observe(requester_chip, addr)
+
+    def record_llc_outcome(self, hit: bool) -> None:
+        self.memory_side_lookups += 1
+        if hit:
+            self.memory_side_hits += 1
+
+    # -- EAB input extraction -------------------------------------------------
+
+    @property
+    def total_requests(self) -> int:
+        return sum(c.total_requests for c in self.chips)
+
+    @property
+    def r_local(self) -> float:
+        total = self.total_requests
+        if total == 0:
+            return 1.0
+        return sum(c.local_requests for c in self.chips) / total
+
+    @property
+    def llc_hit_memory_side(self) -> float:
+        if self.memory_side_lookups == 0:
+            return 0.0
+        return self.memory_side_hits / self.memory_side_lookups
+
+    @property
+    def llc_hit_sm_side(self) -> float:
+        """Pooled CRD estimate across chips."""
+        requests = sum(crd.requests for crd in self.crds)
+        if requests == 0:
+            return 0.0
+        return sum(crd.hits for crd in self.crds) / requests
+
+    @property
+    def lsu_memory_side(self) -> float:
+        requests = [count for chip in self.chips
+                    for count in chip.memory_side_slice_requests]
+        return llc_slice_uniformity(requests)
+
+    @property
+    def lsu_sm_side(self) -> float:
+        requests = [count for chip in self.chips
+                    for count in chip.sm_side_slice_requests]
+        return llc_slice_uniformity(requests)
+
+    # -- Overhead accounting ---------------------------------------------------
+
+    def storage_bytes_per_chip(self) -> int:
+        """Counter + CRD SRAM per chip (620 B conventional, 812 B sectored)."""
+        lsu_bytes = 2 * self.slices_per_chip * LSU_COUNTER_BITS // 8
+        scalar_bytes = SCALAR_COUNTERS * SCALAR_COUNTER_BITS // 8
+        return lsu_bytes + scalar_bytes + self.crds[0].storage_bytes()
+
+    def reset(self) -> None:
+        for chip in self.chips:
+            chip.reset()
+        for crd in self.crds:
+            crd.reset()
+        self.memory_side_hits = 0
+        self.memory_side_lookups = 0

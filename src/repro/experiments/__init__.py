@@ -1,0 +1,59 @@
+"""Experiments: one module per paper table/figure.
+
+Each module exposes ``run_experiment(...) -> dict`` and
+``format_report(result) -> str``; the benchmark harness under
+``benchmarks/`` drives them and prints the paper-shaped rows/series.
+"""
+
+from . import (
+    ablations,
+    correlation,
+    energy_comparison,
+    related_work,
+    fig01_motivation,
+    fig08_speedup,
+    fig09_llc_allocation,
+    fig10_bandwidth_breakdown,
+    fig11_working_set,
+    fig12_time_varying,
+    fig13_input_sensitivity,
+    fig14_sensitivity,
+    sensitivity_extensions,
+    table04_workloads,
+)
+
+#: Experiments by short name (used by ``python -m repro``).
+REGISTRY = {
+    "fig1": fig01_motivation,
+    "fig8": fig08_speedup,
+    "fig9": fig09_llc_allocation,
+    "fig10": fig10_bandwidth_breakdown,
+    "fig11": fig11_working_set,
+    "fig12": fig12_time_varying,
+    "fig13": fig13_input_sensitivity,
+    "fig14": fig14_sensitivity,
+    "table4": table04_workloads,
+    "ablations": ablations,
+    "related-work": related_work,
+    "correlation": correlation,
+    "energy": energy_comparison,
+    "extensions": sensitivity_extensions,
+}
+
+__all__ = [
+    "ablations",
+    "related_work",
+    "correlation",
+    "energy_comparison",
+    "fig01_motivation",
+    "fig08_speedup",
+    "fig09_llc_allocation",
+    "fig10_bandwidth_breakdown",
+    "fig11_working_set",
+    "fig12_time_varying",
+    "fig13_input_sensitivity",
+    "fig14_sensitivity",
+    "sensitivity_extensions",
+    "table04_workloads",
+    "REGISTRY",
+]

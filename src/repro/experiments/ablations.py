@@ -1,0 +1,87 @@
+"""Ablations of SAC's design choices (beyond the paper's figures).
+
+Three ablations quantify what each SAC component contributes:
+
+* **no-CRD** — the EAB model receives the *measured memory-side* hit
+  rate in place of the CRD's SM-side estimate; without the CRD, the
+  model cannot see the replication-induced miss-rate increase and
+  mispredicts the MP benchmarks.
+* **no-LSU** — both LSU terms are pinned to 1, removing the slice-
+  uniformity signal.
+* **free-reconfig** — reconfiguration (drain + flush) is free; the gap
+  to real SAC is the reconfiguration overhead the paper models.
+
+An **oracle** selector (per-benchmark best of memory-side/SM-side)
+bounds what any profiling-based policy could achieve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..analysis.runner import run
+from ..arch.config import SystemConfig
+from ..arch.presets import baseline
+from ..core.sac import SharingAwareCaching
+from ..sim.run import DEFAULT_SCALE, scaled_config, simulate
+from ..sim.stats import harmonic_mean
+from ..workloads.suite import SUITE, get
+from .common import trace_density
+
+DEFAULT_BENCHMARKS = tuple(b.name for b in SUITE)
+
+VARIANTS = ("sac", "sac-no-crd", "sac-no-lsu", "sac-free-reconfig")
+
+
+def _variant_kwargs(variant: str) -> Dict[str, object]:
+    if variant == "sac":
+        return {}
+    if variant == "sac-no-crd":
+        return {"use_crd": False}
+    if variant == "sac-no-lsu":
+        return {"use_lsu": False}
+    if variant == "sac-free-reconfig":
+        return {"zero_reconfig_cost": True}
+    raise ValueError(f"unknown SAC variant {variant!r}")
+
+
+def run_experiment(config: Optional[SystemConfig] = None,
+                   benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+                   fast: bool = False) -> Dict[str, object]:
+    base = config or baseline()
+    density = trace_density(fast)
+    run_config = scaled_config(base, DEFAULT_SCALE)
+    per_bench: Dict[str, Dict[str, float]] = {}
+    for name in benchmarks:
+        spec = get(name)
+        mem = run(spec, "memory-side", config=base,
+                  accesses_per_epoch=density)
+        sm = run(spec, "sm-side", config=base, accesses_per_epoch=density)
+        row = {"oracle": max(mem.cycles / mem.cycles,
+                             mem.cycles / sm.cycles)}
+        for variant in VARIANTS:
+            org = SharingAwareCaching(run_config,
+                                      **_variant_kwargs(variant))
+            stats = simulate(spec, org, config=base,
+                             accesses_per_epoch=density)
+            row[variant] = mem.cycles / stats.cycles
+        per_bench[name] = row
+    columns = VARIANTS + ("oracle",)
+    aggregate = {column: harmonic_mean([per_bench[b][column]
+                                        for b in benchmarks])
+                 for column in columns}
+    return {"per_benchmark": per_bench, "aggregate": aggregate}
+
+
+def format_report(result: Dict[str, object]) -> str:
+    lines = ["SAC ablations (speedup vs memory-side)"]
+    columns = VARIANTS + ("oracle",)
+    header = "  {:8}".format("bench") + "".join(
+        f"{c:>18}" for c in columns)
+    lines.append(header)
+    for bench, row in result["per_benchmark"].items():
+        lines.append("  {:8}".format(bench) + "".join(
+            f"{row[c]:18.2f}" for c in columns))
+    lines.append("  {:8}".format("hmean") + "".join(
+        f"{result['aggregate'][c]:18.2f}" for c in columns))
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Shared experiment plumbing.
+
+Every experiment module exposes ``run_experiment(...) -> dict`` plus a
+``format_report(result) -> str`` used by the benchmark harness to print
+the paper's rows/series.
+
+Experiments run at the reduced scale described in
+:mod:`repro.sim.run`; the *shape* of each figure (who wins, by roughly
+what factor, where crossovers fall) is the reproduction target, not the
+absolute numbers.  ``fast=True`` additionally reduces the trace density
+(used by the test suite; benches use the default density).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..arch.config import SystemConfig
+from ..analysis.runner import run
+from ..sim.run import DEFAULT_ACCESSES_PER_EPOCH, DEFAULT_SCALE
+from ..sim.stats import RunStats
+from ..workloads.spec import BenchmarkSpec
+from ..workloads.suite import MP_BENCHMARKS, SP_BENCHMARKS, SUITE
+
+#: The five organizations of the evaluation, in the paper's order.
+ALL_ORGANIZATIONS: Tuple[str, ...] = (
+    "memory-side", "sm-side", "static", "dynamic", "sac")
+
+#: Representative subsets used by the wide sweeps (Figures 13/14):
+#: one strongly and one moderately SM-side-preferred benchmark plus
+#: their memory-side counterparts.  Wider subsets change the absolute
+#: aggregates slightly but not the sweep shapes, at several times the
+#: runtime (19 design points x benchmarks x 3 organizations).
+SWEEP_SP: Tuple[str, ...] = ("RN", "CFD")
+SWEEP_MP: Tuple[str, ...] = ("SRAD", "NN")
+
+FAST_ACCESSES_PER_EPOCH = 2048
+
+
+def trace_density(fast: bool) -> int:
+    return FAST_ACCESSES_PER_EPOCH if fast else DEFAULT_ACCESSES_PER_EPOCH
+
+
+def run_suite(organizations: Iterable[str] = ALL_ORGANIZATIONS,
+              specs: Iterable[BenchmarkSpec] = SUITE,
+              config: Optional[SystemConfig] = None,
+              scale: float = DEFAULT_SCALE,
+              fast: bool = False) -> Dict[Tuple[str, str], RunStats]:
+    """Run (benchmark, organization) pairs through the cached runner."""
+    density = trace_density(fast)
+    results: Dict[Tuple[str, str], RunStats] = {}
+    for spec in specs:
+        for organization in organizations:
+            results[(spec.name, organization)] = run(
+                spec, organization, config=config, scale=scale,
+                accesses_per_epoch=density)
+    return results
+
+
+def group_names() -> Dict[str, List[str]]:
+    """Benchmark names by preference group, plus 'all'."""
+    sp = [b.name for b in SP_BENCHMARKS]
+    mp = [b.name for b in MP_BENCHMARKS]
+    return {"SP": sp, "MP": mp, "all": sp + mp}

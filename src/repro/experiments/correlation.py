@@ -1,0 +1,73 @@
+"""Section 5.2: speedup correlates with effective LLC bandwidth.
+
+The paper's Figure 10 discussion claims that "the performance speedup
+obtained through SAC correlates strongly with the effective LLC
+bandwidth" (footnote 2 adds that the latency correlation is weaker,
+because latency is only exposed when bandwidth is insufficient).
+
+This experiment quantifies that claim over the 16x5 benchmark matrix:
+for every (benchmark, organization) pair it collects the speedup over
+memory-side and the *LLC-hit* bandwidth ratio (hits per cycle) over
+memory-side, and reports the Pearson correlation.
+
+(The total response rate would be tautological here: every access yields
+exactly one response in the engine, so total responses/cycle is the
+inverse of the runtime by construction.  Hit bandwidth is the component
+that genuinely differs across organizations — it is what the EAB model's
+``B_LLC_hit`` term captures.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.config import SystemConfig
+from ..workloads.suite import SUITE
+from .common import ALL_ORGANIZATIONS, run_suite
+
+
+def pearson(xs: List[float], ys: List[float]) -> float:
+    """Pearson correlation coefficient."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two equal-length samples of size >= 2")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        raise ValueError("a sample has zero variance")
+    return cov / math.sqrt(var_x * var_y)
+
+
+def run_experiment(config: Optional[SystemConfig] = None,
+                   fast: bool = False) -> Dict[str, object]:
+    results = run_suite(ALL_ORGANIZATIONS, config=config, fast=fast)
+    points: List[Tuple[str, str, float, float]] = []
+    for spec in SUITE:
+        mem = results[(spec.name, "memory-side")]
+        for org in ALL_ORGANIZATIONS:
+            if org == "memory-side":
+                continue
+            stats = results[(spec.name, org)]
+            speedup = mem.cycles / stats.cycles
+            hit_bw = stats.llc_hits / stats.cycles
+            mem_hit_bw = mem.llc_hits / mem.cycles
+            bandwidth_ratio = hit_bw / mem_hit_bw if mem_hit_bw else 0.0
+            points.append((spec.name, org, speedup, bandwidth_ratio))
+    correlation = pearson([p[2] for p in points], [p[3] for p in points])
+    return {"points": points, "correlation": correlation}
+
+
+def format_report(result: Dict[str, object]) -> str:
+    lines = ["Section 5.2: speedup vs effective LLC bandwidth "
+             f"(Pearson r = {result['correlation']:.3f} over "
+             f"{len(result['points'])} points)"]
+    worst = sorted(result["points"],
+                   key=lambda p: abs(p[2] - p[3]), reverse=True)[:5]
+    lines.append("  largest divergences (bench, org, speedup, bw-ratio):")
+    for bench, org, speedup, ratio in worst:
+        lines.append(f"    {bench:6} {org:12} {speedup:5.2f} {ratio:5.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Extension: data-movement energy of the LLC organizations.
+
+The paper evaluates performance; this extension estimates the
+data-movement energy of each organization using the first-order model
+in :mod:`repro.analysis.energy`.  The interesting shape: performance
+and energy winners need not coincide — an SM-side LLC halves the
+(expensive) inter-chip traffic but raises the miss rate and therefore
+DRAM energy, while finishing earlier cuts the static term.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..analysis.energy import estimate_energy
+from ..analysis.runner import run
+from ..arch.config import SystemConfig
+from ..workloads.suite import get
+from .common import ALL_ORGANIZATIONS, trace_density
+
+DEFAULT_BENCHMARKS = ("RN", "CFD", "SRAD", "NN")
+
+
+def run_experiment(config: Optional[SystemConfig] = None,
+                   benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+                   fast: bool = False) -> Dict[str, object]:
+    density = trace_density(fast)
+    rows: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in benchmarks:
+        spec = get(name)
+        baseline_stats = run(spec, "memory-side", config=config,
+                             accesses_per_epoch=density)
+        baseline_energy = estimate_energy(baseline_stats).total
+        rows[name] = {}
+        for org in ALL_ORGANIZATIONS:
+            stats = run(spec, org, config=config,
+                        accesses_per_epoch=density)
+            estimate = estimate_energy(stats)
+            rows[name][org] = {
+                "energy_ratio": estimate.total / baseline_energy,
+                "speedup": baseline_stats.cycles / stats.cycles,
+                "inter_chip_share": estimate.inter_chip / estimate.total,
+                "dram_share": estimate.dram / estimate.total,
+            }
+    return {"rows": rows, "benchmarks": list(benchmarks)}
+
+
+def format_report(result: Dict[str, object]) -> str:
+    lines = ["Extension: data-movement energy vs performance "
+             "(ratios over memory-side)"]
+    lines.append(f"  {'bench':6} {'org':12} {'energy':>7} {'speedup':>8} "
+                 f"{'ring%':>6} {'dram%':>6}")
+    for bench, orgs in result["rows"].items():
+        for org, row in orgs.items():
+            lines.append(
+                f"  {bench:6} {org:12} {row['energy_ratio']:7.2f} "
+                f"{row['speedup']:8.2f} {row['inter_chip_share']:6.1%} "
+                f"{row['dram_share']:6.1%}")
+    return "\n".join(lines)

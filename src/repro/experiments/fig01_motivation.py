@@ -1,0 +1,66 @@
+"""Figure 1: motivation — performance, LLC miss rate and effective LLC
+bandwidth per benchmark group.
+
+The paper groups benchmarks into SM-side preferred (SP) and memory-side
+preferred (MP) and reports, for each of the five organizations:
+
+* (a) harmonic-mean speedup over the memory-side LLC,
+* (b) mean LLC miss rate,
+* (c) mean effective LLC bandwidth (normalized to memory-side).
+
+Shape targets: SP prefers SM-side by a large margin, MP prefers
+memory-side; the SM-side miss rate is uniformly higher; SAC tracks the
+per-group winner in both performance and effective bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.runner import speedups_vs_baseline
+from ..analysis.tables import format_series
+from ..arch.config import SystemConfig
+from ..sim.stats import harmonic_mean
+from .common import ALL_ORGANIZATIONS, group_names, run_suite
+
+
+def run_experiment(config: Optional[SystemConfig] = None,
+                   fast: bool = False) -> Dict[str, object]:
+    results = run_suite(ALL_ORGANIZATIONS, config=config, fast=fast)
+    groups = group_names()
+    speedups = speedups_vs_baseline(results, groups["all"],
+                                    ALL_ORGANIZATIONS)
+    performance: Dict[str, Dict[str, float]] = {}
+    miss_rate: Dict[str, Dict[str, float]] = {}
+    bandwidth: Dict[str, Dict[str, float]] = {}
+    for group in ("SP", "MP", "all"):
+        members = groups[group]
+        performance[group] = {
+            org: harmonic_mean([speedups[(b, org)] for b in members])
+            for org in ALL_ORGANIZATIONS}
+        miss_rate[group] = {
+            org: sum(results[(b, org)].llc_miss_rate for b in members)
+            / len(members)
+            for org in ALL_ORGANIZATIONS}
+        bandwidth[group] = {}
+        for org in ALL_ORGANIZATIONS:
+            normalized = [
+                results[(b, org)].effective_llc_bandwidth
+                / results[(b, "memory-side")].effective_llc_bandwidth
+                for b in members]
+            bandwidth[group][org] = sum(normalized) / len(normalized)
+    return {"performance": performance, "miss_rate": miss_rate,
+            "bandwidth": bandwidth}
+
+
+def format_report(result: Dict[str, object]) -> str:
+    parts = [
+        format_series("Figure 1a: hmean speedup vs memory-side (by group)",
+                      result["performance"]),
+        format_series("Figure 1b: mean LLC miss rate (by group)",
+                      result["miss_rate"]),
+        format_series("Figure 1c: mean effective LLC bandwidth, "
+                      "normalized to memory-side (by group)",
+                      result["bandwidth"]),
+    ]
+    return "\n".join(parts)

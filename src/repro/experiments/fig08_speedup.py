@@ -1,0 +1,78 @@
+"""Figure 8: speedup of every LLC organization relative to memory-side.
+
+Also produces the paper's headline aggregates (Section 5.1): SAC's
+harmonic-mean speedup over memory-side, SM-side, Static and Dynamic,
+for the SP group, the MP group and overall.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.charts import bar_chart
+from ..analysis.runner import speedups_vs_baseline
+from ..analysis.tables import format_table
+from ..arch.config import SystemConfig
+from ..sim.stats import harmonic_mean
+from ..workloads.suite import SUITE
+from .common import ALL_ORGANIZATIONS, group_names, run_suite
+
+
+def run_experiment(config: Optional[SystemConfig] = None,
+                   scale: Optional[float] = None,
+                   fast: bool = False) -> Dict[str, object]:
+    """Run the 16x5 matrix and compute speedups + aggregates."""
+    kwargs = {} if scale is None else {"scale": scale}
+    results = run_suite(ALL_ORGANIZATIONS, config=config, fast=fast, **kwargs)
+    names = [b.name for b in SUITE]
+    speedups = speedups_vs_baseline(results, names, ALL_ORGANIZATIONS)
+    groups = group_names()
+    aggregates: Dict[str, Dict[str, float]] = {}
+    for group, members in groups.items():
+        aggregates[group] = {
+            org: harmonic_mean([speedups[(b, org)] for b in members])
+            for org in ALL_ORGANIZATIONS}
+    sac = aggregates["all"]["sac"]
+    headline = {
+        "sac_vs_memory_side": sac / aggregates["all"]["memory-side"] - 1.0,
+        "sac_vs_sm_side": sac / aggregates["all"]["sm-side"] - 1.0,
+        "sac_vs_static": sac / aggregates["all"]["static"] - 1.0,
+        "sac_vs_dynamic": sac / aggregates["all"]["dynamic"] - 1.0,
+        "sac_vs_memory_side_max": max(
+            speedups[(b, "sac")] / speedups[(b, "memory-side")] - 1.0
+            for b in names),
+        "sac_vs_sm_side_max": max(
+            speedups[(b, "sac")] / speedups[(b, "sm-side")] - 1.0
+            for b in names),
+    }
+    return {"speedups": speedups, "aggregates": aggregates,
+            "headline": headline, "benchmarks": names}
+
+
+def format_report(result: Dict[str, object]) -> str:
+    speedups = result["speedups"]
+    rows = []
+    for bench in result["benchmarks"]:
+        rows.append([bench] + [speedups[(bench, org)]
+                               for org in ALL_ORGANIZATIONS])
+    for group, values in result["aggregates"].items():
+        rows.append([f"hmean({group})"] + [values[org]
+                                           for org in ALL_ORGANIZATIONS])
+    table = format_table(["benchmark"] + list(ALL_ORGANIZATIONS), rows)
+    headline = result["headline"]
+    summary = (
+        "SAC vs memory-side: {:+.0%} (max {:+.0%}); vs SM-side: {:+.0%} "
+        "(max {:+.0%}); vs static: {:+.0%}; vs dynamic: {:+.0%}"
+        .format(headline["sac_vs_memory_side"],
+                headline["sac_vs_memory_side_max"],
+                headline["sac_vs_sm_side"],
+                headline["sac_vs_sm_side_max"],
+                headline["sac_vs_static"],
+                headline["sac_vs_dynamic"]))
+    chart = bar_chart(
+        {bench: speedups[(bench, "sac")] for bench in result["benchmarks"]},
+        reference=1.0)
+    return ("Figure 8: speedup over the memory-side LLC\n"
+            + table + "\n" + summary
+            + "\n\nSAC speedup per benchmark (| = memory-side baseline):\n"
+            + chart)

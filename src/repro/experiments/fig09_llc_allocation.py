@@ -1,0 +1,34 @@
+"""Figure 9: fraction of the LLC caching local versus remote data.
+
+Shape targets: memory-side caches only local data; Static sits near
+50/50; SAC allocates a large remote fraction for the SP benchmarks while
+allocating (almost) only local data for the MP benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.tables import format_table
+from ..arch.config import SystemConfig
+from ..workloads.suite import SUITE
+from .common import ALL_ORGANIZATIONS, run_suite
+
+
+def run_experiment(config: Optional[SystemConfig] = None,
+                   fast: bool = False) -> Dict[str, object]:
+    results = run_suite(ALL_ORGANIZATIONS, config=config, fast=fast)
+    fractions: Dict[str, Dict[str, float]] = {}
+    for bench in (b.name for b in SUITE):
+        fractions[bench] = {
+            org: results[(bench, org)].llc_remote_fraction
+            for org in ALL_ORGANIZATIONS}
+    return {"remote_fraction": fractions}
+
+
+def format_report(result: Dict[str, object]) -> str:
+    fractions = result["remote_fraction"]
+    rows = [[bench] + [fractions[bench][org] for org in ALL_ORGANIZATIONS]
+            for bench in fractions]
+    return ("Figure 9: fraction of LLC lines caching remote data\n"
+            + format_table(["benchmark"] + list(ALL_ORGANIZATIONS), rows))

@@ -1,0 +1,48 @@
+"""Figure 10: effective LLC bandwidth breakdown by response origin.
+
+For each benchmark and organization, the LLC responses per cycle are
+split by where the data came from — the local LLC, a remote LLC, the
+local memory partition or a remote memory partition — and normalized to
+the memory-side total.
+
+Shape targets: for SP benchmarks, SAC trades remote-LLC responses for
+local-LLC responses and raises the total; for MP benchmarks, SAC keeps
+the memory-side profile (local LLC / local memory dominated).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..arch.config import SystemConfig
+from ..sim.stats import ORIGINS
+from ..workloads.suite import SUITE
+from .common import ALL_ORGANIZATIONS, run_suite
+
+
+def run_experiment(config: Optional[SystemConfig] = None,
+                   fast: bool = False) -> Dict[str, object]:
+    results = run_suite(ALL_ORGANIZATIONS, config=config, fast=fast)
+    breakdown: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for bench in (b.name for b in SUITE):
+        reference = results[(bench, "memory-side")].effective_llc_bandwidth
+        breakdown[bench] = {}
+        for org in ALL_ORGANIZATIONS:
+            series = results[(bench, org)].bandwidth_breakdown()
+            breakdown[bench][org] = {
+                origin: (series[origin] / reference if reference else 0.0)
+                for origin in ORIGINS}
+    return {"breakdown": breakdown}
+
+
+def format_report(result: Dict[str, object]) -> str:
+    lines = ["Figure 10: normalized effective LLC bandwidth breakdown "
+             "(responses/cycle vs memory-side total)"]
+    for bench, orgs in result["breakdown"].items():
+        lines.append(f"{bench}:")
+        for org, series in orgs.items():
+            total = sum(series.values())
+            parts = " ".join(f"{origin}={value:.2f}"
+                             for origin, value in series.items())
+            lines.append(f"  {org:12} total={total:.2f}  {parts}")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Figure 11: working-set size across time windows under the SM-side LLC.
+
+For every benchmark, the mean per-window working set (true-shared,
+false-shared, non-shared) is computed for windows of 1K, 10K and 100K
+cycles, with truly shared lines counted once per accessing chip (that is
+what an SM-side LLC replicates).  The reference line is the system's
+total LLC capacity.
+
+Shape targets: the (replicated) truly shared working set stays below the
+LLC capacity for the SP benchmarks and exceeds it over large windows for
+the MP benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..analysis.working_set import working_set_profile
+from ..arch.config import SystemConfig
+from ..arch.presets import baseline
+from ..sim.run import DEFAULT_SCALE, scaled_config
+from ..workloads.suite import SUITE
+from .common import trace_density
+
+MB = 1024 * 1024
+
+
+def run_experiment(config: Optional[SystemConfig] = None,
+                   window_cycles: Sequence[float] = (1_000, 10_000, 100_000),
+                   fast: bool = False) -> Dict[str, object]:
+    base = config or baseline()
+    run_config = scaled_config(base, DEFAULT_SCALE)
+    density = trace_density(fast)
+    profiles: Dict[str, list] = {}
+    for spec in SUITE:
+        points = working_set_profile(
+            spec, num_chips=run_config.num_chips,
+            window_cycles=window_cycles,
+            line_size=run_config.line_size,
+            page_size=run_config.page_size,
+            accesses_per_epoch=density,
+            scale=DEFAULT_SCALE,
+            clusters_per_chip=run_config.chip.num_clusters)
+        # Rescale the measured bytes back to paper-scale MB.
+        profiles[spec.name] = [
+            {"window_cycles": p.window_cycles,
+             "true_mb": p.true_shared_bytes / DEFAULT_SCALE / MB,
+             "false_mb": p.false_shared_bytes / DEFAULT_SCALE / MB,
+             "none_mb": p.non_shared_bytes / DEFAULT_SCALE / MB,
+             "active_demand_mb": p.active_demand_bytes / DEFAULT_SCALE / MB}
+            for p in points]
+    return {"profiles": profiles,
+            "llc_capacity_mb": base.total_llc_bytes / MB,
+            "llc_per_chip_mb": base.chip.llc_capacity_bytes / MB}
+
+
+def format_report(result: Dict[str, object]) -> str:
+    lines = [f"Figure 11: working-set size by window "
+             f"(system LLC = {result['llc_capacity_mb']:.0f} MB, "
+             f"{result['llc_per_chip_mb']:.0f} MB/chip)"]
+    for bench, points in result["profiles"].items():
+        lines.append(f"{bench}:")
+        for p in points:
+            total = p["true_mb"] + p["false_mb"] + p["none_mb"]
+            lines.append(
+                "  window={:>7.0f}cyc  true={:6.1f}MB  false={:6.1f}MB  "
+                "none={:6.1f}MB  total={:6.1f}MB  active/chip={:6.1f}MB"
+                .format(p["window_cycles"], p["true_mb"], p["false_mb"],
+                        p["none_mb"], total, p["active_demand_mb"]))
+    return "\n".join(lines)

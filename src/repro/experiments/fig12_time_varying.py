@@ -1,0 +1,57 @@
+"""Figure 12: BFS time-varying behaviour.
+
+BFS alternates a memory-side-preferred kernel (K1) with an SM-side-
+preferred kernel (K2).  The figure reports, per kernel launch, the
+performance of SM-side and SAC relative to memory-side.
+
+Shape targets: SM-side loses on K1 launches and wins on K2 launches; SAC
+picks memory-side for K1 and SM-side for K2 and therefore tracks the
+per-kernel winner — which is how SAC ends up *beating* the static
+SM-side configuration on BFS overall (the one SP benchmark where it
+does).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.runner import run
+from ..arch.config import SystemConfig
+from ..workloads.suite import get
+from .common import trace_density
+
+
+def run_experiment(config: Optional[SystemConfig] = None,
+                   fast: bool = False) -> Dict[str, object]:
+    spec = get("BFS")
+    density = trace_density(fast)
+    results = {org: run(spec, org, config=config, accesses_per_epoch=density)
+               for org in ("memory-side", "sm-side", "sac")}
+    launches: List[Dict[str, object]] = []
+    mem_kernels = results["memory-side"].kernels
+    for index, kernel in enumerate(mem_kernels):
+        sm = results["sm-side"].kernels[index]
+        sac = results["sac"].kernels[index]
+        launches.append({
+            "kernel": kernel.name,
+            "sm_side_speedup": kernel.cycles / sm.cycles,
+            "sac_speedup": kernel.cycles / sac.cycles,
+            "sac_mode": sac.organization,
+        })
+    overall = {
+        "sm_side": results["memory-side"].cycles / results["sm-side"].cycles,
+        "sac": results["memory-side"].cycles / results["sac"].cycles,
+    }
+    return {"launches": launches, "overall": overall}
+
+
+def format_report(result: Dict[str, object]) -> str:
+    lines = ["Figure 12: BFS per-kernel speedup vs memory-side"]
+    for launch in result["launches"]:
+        lines.append(
+            "  {kernel:12} sm-side={sm_side_speedup:5.2f}  "
+            "sac={sac_speedup:5.2f}  sac-mode={sac_mode}".format(**launch))
+    overall = result["overall"]
+    lines.append("  overall: sm-side={sm_side:.2f}  sac={sac:.2f}"
+                 .format(**overall))
+    return "\n".join(lines)

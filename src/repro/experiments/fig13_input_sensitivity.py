@@ -1,0 +1,81 @@
+"""Figure 13: input-set sensitivity.
+
+The paper scales input sets from x8 to /4 for the SM-side preferred
+benchmarks and from x4 to /32 for the memory-side preferred ones, then
+reports SM-side and SAC speedups over the memory-side LLC.  For
+benchmarks whose input cannot be changed (RN, AN, SN, BT) it scales the
+LLC capacity instead (a larger LLC is equivalent to a smaller input).
+
+Shape targets: SAC tracks the winner at every input size — it reverts to
+memory-side for the largest SP inputs (the replicated shared set starts
+thrashing) and switches to SM-side for the smallest MP inputs (the
+shared set becomes small enough to replicate).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.runner import run
+from ..arch.config import SystemConfig
+from ..arch.presets import baseline, with_llc_capacity_scale
+from ..workloads.suite import get
+from .common import trace_density
+
+#: Input scale factors (paper: SP from x8 down to /4, MP from x4 to /32).
+SP_FACTORS: Tuple[float, ...] = (8.0, 2.0, 1.0, 0.25)
+MP_FACTORS: Tuple[float, ...] = (4.0, 1.0, 0.125, 1.0 / 32.0)
+
+#: Benchmarks whose input cannot change; the LLC is scaled by 1/factor
+#: instead, which moves the same decision boundary.
+LLC_SCALED: Tuple[str, ...] = ("RN", "AN", "SN", "BT")
+
+DEFAULT_SP: Tuple[str, ...] = ("RN", "CFD")
+DEFAULT_MP: Tuple[str, ...] = ("SRAD", "NN")
+
+
+def run_experiment(config: Optional[SystemConfig] = None,
+                   sp_benchmarks: Sequence[str] = DEFAULT_SP,
+                   mp_benchmarks: Sequence[str] = DEFAULT_MP,
+                   fast: bool = False) -> Dict[str, object]:
+    base = config or baseline()
+    density = trace_density(fast)
+    series: Dict[str, List[Dict[str, object]]] = {}
+    plan = ([(name, SP_FACTORS) for name in sp_benchmarks]
+            + [(name, MP_FACTORS) for name in mp_benchmarks])
+    for name, factors in plan:
+        spec = get(name)
+        points = []
+        for factor in factors:
+            if name in LLC_SCALED:
+                run_spec = spec
+                run_config = with_llc_capacity_scale(base, 1.0 / factor)
+            else:
+                run_spec = spec.scaled_input(factor) if factor != 1.0 else spec
+                run_config = base
+            results = {org: run(run_spec, org, config=run_config,
+                                accesses_per_epoch=density)
+                       for org in ("memory-side", "sm-side", "sac")}
+            mem = results["memory-side"].cycles
+            points.append({
+                "factor": factor,
+                "sm_side_speedup": mem / results["sm-side"].cycles,
+                "sac_speedup": mem / results["sac"].cycles,
+            })
+        series[name] = points
+    return {"series": series, "sp": list(sp_benchmarks),
+            "mp": list(mp_benchmarks)}
+
+
+def format_report(result: Dict[str, object]) -> str:
+    lines = ["Figure 13: input-set sensitivity (speedup vs memory-side)"]
+    for bench, points in result["series"].items():
+        group = "SP" if bench in result["sp"] else "MP"
+        lines.append(f"{bench} ({group}):")
+        for p in points:
+            factor = p["factor"]
+            label = f"x{factor:g}" if factor >= 1 else f"/{1 / factor:g}"
+            lines.append(
+                f"  input {label:>5}: sm-side={p['sm_side_speedup']:5.2f}  "
+                f"sac={p['sac_speedup']:5.2f}")
+    return "\n".join(lines)

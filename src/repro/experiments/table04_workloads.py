@@ -1,0 +1,80 @@
+"""Table 4: simulated workloads and their sharing characteristics.
+
+Reports, per benchmark, the spec's published values (CTAs, footprint,
+truly and falsely shared MB) next to the values *measured* from the
+generated trace (whole-trace sharing classification, scaled back to
+paper-scale MB) — validating that the synthetic generator reproduces
+the published sharing profile.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.working_set import (
+    SHARING_FALSE,
+    SHARING_TRUE,
+    classify_lines,
+    _flatten_trace,
+)
+from ..arch.config import SystemConfig
+from ..arch.presets import baseline
+from ..analysis.tables import format_table
+from ..sim.run import DEFAULT_SCALE, scaled_config
+from ..workloads.generator import TraceGenerator
+from ..workloads.suite import SUITE
+from .common import trace_density
+
+MB = 1024 * 1024
+
+
+def run_experiment(config: Optional[SystemConfig] = None,
+                   fast: bool = False) -> Dict[str, object]:
+    base = config or baseline()
+    run_config = scaled_config(base, DEFAULT_SCALE)
+    density = trace_density(fast)
+    rows = []
+    for spec in SUITE:
+        generator = TraceGenerator(
+            spec, num_chips=run_config.num_chips,
+            clusters_per_chip=run_config.chip.num_clusters,
+            line_size=run_config.line_size,
+            page_size=run_config.page_size,
+            accesses_per_epoch_per_chip=density,
+            scale=DEFAULT_SCALE)
+        chips, addrs, _times = _flatten_trace(generator.kernels())
+        classes = classify_lines(chips, addrs, run_config.line_size,
+                                 run_config.page_size)
+        line_mb = run_config.line_size / DEFAULT_SCALE / MB
+        measured_true = sum(
+            1 for c in classes.values() if c == SHARING_TRUE) * line_mb
+        measured_false = sum(
+            1 for c in classes.values() if c == SHARING_FALSE) * line_mb
+        measured_total = len(classes) * line_mb
+        rows.append({
+            "benchmark": spec.name,
+            "suite": spec.suite,
+            "ctas": spec.num_ctas,
+            "footprint_mb": spec.footprint_mb,
+            "true_mb_paper": spec.true_shared_mb,
+            "false_mb_paper": spec.false_shared_mb,
+            "touched_mb_measured": measured_total,
+            "true_mb_measured": measured_true,
+            "false_mb_measured": measured_false,
+            "preference": spec.preference,
+        })
+    return {"rows": rows}
+
+
+def format_report(result: Dict[str, object]) -> str:
+    headers = ["benchmark", "suite", "CTAs", "footprint",
+               "true(paper)", "true(meas)", "false(paper)", "false(meas)",
+               "preference"]
+    rows = [[r["benchmark"], r["suite"], r["ctas"],
+             f"{r['footprint_mb']:.0f}",
+             f"{r['true_mb_paper']:.0f}", f"{r['true_mb_measured']:.1f}",
+             f"{r['false_mb_paper']:.0f}", f"{r['false_mb_measured']:.1f}",
+             r["preference"]]
+            for r in result["rows"]]
+    return ("Table 4: workloads (paper vs measured sharing, MB)\n"
+            + format_table(headers, rows))

@@ -1,0 +1,17 @@
+"""Memory substrate: page table, PAE address mapping and DRAM partitions."""
+
+from .dram import DramPartition, DramStats, DramSystem
+from .mapping import AddressMapping
+from .migration import DominantAccessorMigration, MigrationStats
+from .pages import PageTable, PageTableStats
+
+__all__ = [
+    "AddressMapping",
+    "DominantAccessorMigration",
+    "DramPartition",
+    "DramStats",
+    "DramSystem",
+    "MigrationStats",
+    "PageTable",
+    "PageTableStats",
+]

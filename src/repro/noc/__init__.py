@@ -1,0 +1,25 @@
+"""NoC substrate: intra-chip crossbar, inter-chip ring and power/area model."""
+
+from .crossbar import Crossbar, CrossbarStats
+from .power import (
+    NoCCost,
+    crossbar_cost,
+    memory_side_noc_cost,
+    report,
+    sac_noc_cost,
+    sm_side_noc_cost,
+)
+from .ring import InterChipRing, RingStats
+
+__all__ = [
+    "Crossbar",
+    "CrossbarStats",
+    "InterChipRing",
+    "RingStats",
+    "NoCCost",
+    "crossbar_cost",
+    "memory_side_noc_cost",
+    "report",
+    "sac_noc_cost",
+    "sm_side_noc_cost",
+]

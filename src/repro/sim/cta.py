@@ -1,0 +1,73 @@
+"""CTA scheduling across chips.
+
+The paper uses distributed CTA scheduling (Arunkumar et al.): the CTA
+grid is split into contiguous blocks, one per chip, maximizing inter-CTA
+locality within a chip.  The synthetic trace generator encodes the
+*effect* of this policy (per-chip private regions, page-granular false
+sharing); this module provides the policy itself for applications that
+build their own traces from CTA-level descriptions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class DistributedCTAScheduler:
+    """Contiguous block partitioning: CTAs [0..n) split into num_chips runs."""
+
+    name = "distributed"
+
+    def __init__(self, num_ctas: int, num_chips: int) -> None:
+        if num_ctas < 1:
+            raise ValueError("need at least one CTA")
+        if num_chips < 1:
+            raise ValueError("need at least one chip")
+        self.num_ctas = num_ctas
+        self.num_chips = num_chips
+        self._block = -(-num_ctas // num_chips)
+
+    def chip_of(self, cta: int) -> int:
+        if not 0 <= cta < self.num_ctas:
+            raise IndexError(f"CTA {cta} out of range")
+        return min(cta // self._block, self.num_chips - 1)
+
+    def ctas_of(self, chip: int) -> range:
+        if not 0 <= chip < self.num_chips:
+            raise IndexError(f"chip {chip} out of range")
+        start = chip * self._block
+        stop = min(start + self._block, self.num_ctas)
+        return range(start, max(start, stop))
+
+    def counts(self) -> List[int]:
+        return [len(self.ctas_of(chip)) for chip in range(self.num_chips)]
+
+
+class RoundRobinCTAScheduler:
+    """Fine-grained interleaving: CTA i runs on chip i mod num_chips.
+
+    Destroys inter-CTA locality; provided as the contrast policy.
+    """
+
+    name = "round-robin"
+
+    def __init__(self, num_ctas: int, num_chips: int) -> None:
+        if num_ctas < 1:
+            raise ValueError("need at least one CTA")
+        if num_chips < 1:
+            raise ValueError("need at least one chip")
+        self.num_ctas = num_ctas
+        self.num_chips = num_chips
+
+    def chip_of(self, cta: int) -> int:
+        if not 0 <= cta < self.num_ctas:
+            raise IndexError(f"CTA {cta} out of range")
+        return cta % self.num_chips
+
+    def ctas_of(self, chip: int) -> range:
+        if not 0 <= chip < self.num_chips:
+            raise IndexError(f"chip {chip} out of range")
+        return range(chip, self.num_ctas, self.num_chips)
+
+    def counts(self) -> List[int]:
+        return [len(self.ctas_of(chip)) for chip in range(self.num_chips)]

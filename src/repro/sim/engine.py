@@ -1,0 +1,736 @@
+"""The trace-driven, epoch-based multi-chip GPU simulation engine.
+
+The engine consumes :class:`~repro.workloads.generator.KernelTrace`
+epochs and models the full request path of Figure 6 under a pluggable
+:class:`~repro.llc.base.LLCOrganization`:
+
+1. (optionally) the requesting cluster's private L1;
+2. the organization's :class:`~repro.llc.base.RoutePlan` — one or two
+   LLC slice probes across chips;
+3. on a full miss, the home chip's DRAM partition.
+
+Caches are functional (exact hit/miss for the access stream).  Timing is
+epoch-based: every traversed resource (crossbar ports, ring segments,
+LLC slices, DRAM channels) is charged bytes, and the epoch's duration is
+the bottleneck resource's service time, floored by the workload's
+compute time and by an MLP-limited latency bound.  This models the
+paper's central quantity — *effective bandwidth ahead of the LLC* —
+without cycle-level simulation.
+
+Software coherence flushes the L1s (and, for organizations that cache
+remote data, the LLC) at kernel boundaries; hardware coherence tracks
+sharers in a directory and invalidates replicas on writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..arch.config import SystemConfig
+from ..cache.cache import PartitionFullError, SetAssociativeCache
+from ..cache.waycache import make_cache
+from ..coherence.hardware import HardwareCoherence
+from ..coherence.software import SoftwareCoherence
+from ..llc.base import LLCOrganization
+from ..memory.dram import DramSystem
+from ..memory.mapping import AddressMapping
+from ..memory.pages import PageTable
+from ..noc.crossbar import Crossbar
+from ..noc.ring import InterChipRing
+from ..workloads.generator import EpochTrace, KernelTrace
+from .stats import (
+    ORIGIN_LOCAL_LLC,
+    ORIGIN_LOCAL_MEM,
+    ORIGIN_REMOTE_LLC,
+    ORIGIN_REMOTE_MEM,
+    KernelStats,
+    RunStats,
+)
+
+
+@dataclass(frozen=True)
+class EngineParams:
+    """Engine tuning knobs (message sizes, latencies, optional L1s)."""
+
+    request_bytes: int = 32
+    response_header_bytes: int = 16
+    write_data_bytes: int = 32
+    # MLP limit: maximum outstanding L1 misses per chip; bounds how much
+    # latency can overlap (the latency term only binds when bandwidth is
+    # plentiful, matching the paper's footnote 2).
+    max_outstanding_per_chip: int = 4096
+    latency_noc: float = 40.0
+    latency_llc: float = 40.0
+    latency_ring_hop: float = 120.0
+    latency_dram: float = 200.0
+    model_l1: bool = False
+    # Add M/D/1 queue waits at the DRAM controllers and inter-chip links
+    # to the latency bound (paper Section 3.1 queueing delays).
+    model_queueing: bool = False
+    # Enable dominant-accessor page migration (related-work baseline:
+    # a beyond-LLC optimization the paper argues is insufficient).
+    page_migration: bool = False
+
+    def __post_init__(self) -> None:
+        if self.request_bytes <= 0 or self.response_header_bytes < 0:
+            raise ValueError("message sizes must be positive")
+        if self.max_outstanding_per_chip < 1:
+            raise ValueError("need at least one outstanding miss")
+
+
+class SimulationEngine:
+    """Runs one benchmark trace under one LLC organization."""
+
+    def __init__(self, config: SystemConfig, organization: LLCOrganization,
+                 params: Optional[EngineParams] = None) -> None:
+        self.config = config
+        self.organization = organization
+        self.params = params or EngineParams()
+        self.stats = RunStats(organization=organization.name)
+        chip_cfg = config.chip
+        self.line_size = chip_cfg.llc_slice.line_size
+        self.page_table = PageTable(chip_cfg.memory.page_size,
+                                    config.num_chips,
+                                    policy=config.page_allocation)
+        self.mapping = AddressMapping(
+            line_size=self.line_size,
+            slices_per_chip=chip_cfg.llc_slices,
+            channels_per_chip=chip_cfg.memory.channels_per_chip)
+        self.llc: List[List[SetAssociativeCache]] = [
+            [make_cache(chip_cfg.llc_slice, name=f"llc{c}.{s}")
+             for s in range(chip_cfg.llc_slices)]
+            for c in range(config.num_chips)]
+        self.crossbars = [Crossbar(chip_cfg.noc, chip=c)
+                          for c in range(config.num_chips)]
+        self.ring = InterChipRing(config.inter_chip, config.num_chips)
+        self.dram = DramSystem(chip_cfg.memory, config.num_chips)
+        self.l1: Optional[List[List[SetAssociativeCache]]] = None
+        if self.params.model_l1:
+            self.l1 = [
+                [make_cache(chip_cfg.l1, name=f"l1.{c}.{cl}")
+                 for cl in range(chip_cfg.num_clusters)]
+                for c in range(config.num_chips)]
+        self.software_coherence: Optional[SoftwareCoherence] = None
+        self.hardware_coherence: Optional[HardwareCoherence] = None
+        self.mesi = None
+        if config.coherence.protocol == "software":
+            self.software_coherence = SoftwareCoherence(
+                config.coherence, self.line_size)
+        elif config.coherence.protocol == "hardware-mesi":
+            from ..coherence.mesi import MESIDirectory
+            self.mesi = MESIDirectory(config.num_chips)
+        else:
+            self.hardware_coherence = HardwareCoherence(
+                config.coherence, config.num_chips)
+        # Per-epoch LLC slice service bytes, [chip][slice].
+        self._slice_bytes = [[0.0] * chip_cfg.llc_slices
+                             for _ in range(config.num_chips)]
+        # Per-epoch accumulated request latency per chip (for the MLP bound).
+        self._latency_sum = [0.0] * config.num_chips
+        # Cycles charged outside epochs (reconfiguration, flushes).
+        self._pending_cycles = 0.0
+        self.last_epoch_cycles = 0.0
+        self.stats.slice_requests = [0] * config.total_llc_slices
+        # Figure 9 sampling accumulators (cycle-weighted).
+        self._alloc_weight = 0.0
+        self._alloc_local = 0.0
+        self._alloc_remote = 0.0
+        self._line_mask = ~(self.line_size - 1)
+        self._page_shift = chip_cfg.memory.page_size.bit_length() - 1
+        self.migration = None
+        if self.params.page_migration:
+            from ..memory.migration import DominantAccessorMigration
+            # Threshold ~2 accesses per line of the page, so the policy
+            # fires at the same per-line reuse regardless of page size.
+            self.migration = DominantAccessorMigration(
+                page_size=chip_cfg.memory.page_size,
+                num_chips=config.num_chips,
+                min_accesses=max(
+                    8, 2 * chip_cfg.memory.page_size // self.line_size))
+        organization.attach(self)
+
+    # ------------------------------------------------------------------
+    # EngineContext interface used by organizations.
+    # ------------------------------------------------------------------
+
+    def slice_of(self, addr: int) -> int:
+        """LLC slice index (within a chip) that serves ``addr``."""
+        return self.mapping.llc_slice_of(addr)
+
+    def set_llc_partitioning(self, ways: Optional[Dict[int, int]]) -> None:
+        """Apply way partitioning to every LLC slice in the system."""
+        for chip_slices in self.llc:
+            for cache in chip_slices:
+                cache.set_partition(ways)
+
+    def charge_cycles(self, cycles: float) -> None:
+        """Charge overhead cycles (drain, reconfiguration) to the run."""
+        if cycles < 0:
+            raise ValueError("cannot charge negative cycles")
+        self._pending_cycles += cycles
+
+    def flush_llc(self, partition: Optional[int] = None,
+                  chips: Optional[Iterable[int]] = None,
+                  dirty_only: bool = False) -> None:
+        """Write back + invalidate LLC contents, charging the cost.
+
+        ``partition=None`` flushes everything; otherwise only lines of
+        that way-partition.  ``dirty_only=True`` writes back and
+        invalidates only the dirty lines, leaving clean lines resident —
+        this is what SAC's memory-side -> SM-side reconfiguration needs
+        (paper Section 3.6).  Dirty write-backs are charged as cycles
+        (serialized at the chip's DRAM bandwidth) plus the coherence
+        per-line bookkeeping cost.
+        """
+        chip_list = list(chips) if chips is not None else \
+            list(range(self.config.num_chips))
+        coherence_cfg = self.config.coherence
+        dram_bw = self.config.chip.memory.chip_bw()
+        # Chips flush concurrently: the run is delayed by the slowest one.
+        worst_cycles = 0.0
+        for chip in chip_list:
+            dirty_bytes_by_home: Dict[int, int] = {}
+            invalidated = 0
+            dirty = 0
+            for cache in self.llc[chip]:
+                victims = []
+                for line_addr, line in list(cache.resident_lines()):
+                    if partition is not None and line.partition != partition:
+                        continue
+                    if dirty_only and not line.dirty:
+                        continue
+                    if line.dirty:
+                        home = self.page_table.lookup(line_addr)
+                        if home is None:
+                            home = chip
+                        dirty_bytes_by_home[home] = \
+                            dirty_bytes_by_home.get(home, 0) + self.line_size
+                    if self.hardware_coherence is not None:
+                        self.hardware_coherence.on_evict(
+                            line_addr & self._line_mask, chip)
+                    if self.mesi is not None:
+                        self.mesi.evict(line_addr & self._line_mask, chip)
+                    victims.append((line_addr, line.dirty))
+                if dirty_only:
+                    for line_addr, was_dirty in victims:
+                        cache.invalidate(line_addr)
+                    lines = len(victims)
+                    dirties = sum(1 for _a, d in victims if d)
+                elif partition is None:
+                    lines, dirties = cache.flush()
+                else:
+                    lines, dirties = cache.invalidate_partition(partition)
+                invalidated += lines
+                dirty += dirties
+            writeback = sum(dirty_bytes_by_home.values())
+            remote_wb = sum(b for home, b in dirty_bytes_by_home.items()
+                            if home != chip)
+            cycles = (dirty * coherence_cfg.flush_cycles_per_line
+                      + writeback / dram_bw)
+            if remote_wb and self.config.num_chips > 1:
+                cycles += remote_wb / self.config.inter_chip.chip_egress_bw()
+            worst_cycles = max(worst_cycles, cycles)
+            self.stats.dram_bytes += writeback
+            self.stats.inter_chip_bytes += remote_wb
+        self._pending_cycles += worst_cycles
+        self.stats.flush_cycles += worst_cycles
+
+    @property
+    def total_dram_bw(self) -> float:
+        return self.config.total_memory_bw
+
+    @property
+    def total_inter_chip_bw(self) -> float:
+        return self.config.total_inter_chip_bw
+
+    # ------------------------------------------------------------------
+    # Trace execution.
+    # ------------------------------------------------------------------
+
+    def run(self, kernels: Iterable[KernelTrace],
+            benchmark: str = "") -> RunStats:
+        """Simulate every kernel launch and return the aggregate stats."""
+        self.stats.benchmark = benchmark
+        for kernel in kernels:
+            self._run_kernel(kernel)
+        self._finalize_allocation_stats()
+        return self.stats
+
+    def _run_kernel(self, kernel: KernelTrace) -> None:
+        kstats = KernelStats(name=kernel.name)
+        self.organization.begin_kernel(self, kernel.name)
+        for index, epoch in enumerate(kernel.epochs):
+            self.organization.begin_epoch(self, index)
+            if self.organization.profiling:
+                head, tail = self._split_profile_window(epoch)
+                self._run_epoch(head, kstats)
+                self.organization.profile_boundary(self)
+                if tail is not None:
+                    self._run_epoch(tail, kstats)
+            else:
+                self._run_epoch(epoch, kstats)
+            self.organization.end_epoch(self, index)
+        self._sample_allocation(kstats.cycles)
+        # Capture the mode the kernel actually ran in (and the coherence
+        # obligations it accrued) before SAC reverts to memory-side.
+        kstats.organization = self.organization.mode
+        flush_partitions = self.organization.flush_partitions()
+        cached_remote_data = self.organization.caches_remote_data
+        self.organization.end_kernel(self)
+        self._kernel_boundary_flush(flush_partitions, cached_remote_data)
+        # Reconfiguration/flush overhead charged during the kernel.
+        if self._pending_cycles:
+            kstats.cycles += self._pending_cycles
+            kstats.reconfig_cycles += self._pending_cycles
+            self._pending_cycles = 0.0
+        kstats.reconfigured = kstats.reconfig_cycles > 0
+        self.stats.merge_kernel(kstats)
+
+    def _split_profile_window(self, epoch: EpochTrace
+                              ) -> Tuple[EpochTrace, Optional[EpochTrace]]:
+        """Split an epoch into the profiling slice and the remainder.
+
+        The profiling window (paper: 2K cycles at the start of each
+        kernel) covers the first ``profile_window_cycles`` worth of the
+        epoch's compute time; the rest of the epoch runs under the
+        organization the SAC controller has just selected.
+        """
+        window = self.config.sac.profile_window_cycles
+        fraction = min(1.0, window / max(1e-9, epoch.compute_cycles))
+        cut = max(1, int(len(epoch) * fraction))
+        if cut >= len(epoch):
+            return epoch, None
+        head = EpochTrace(
+            chips=epoch.chips[:cut], clusters=epoch.clusters[:cut],
+            addrs=epoch.addrs[:cut], writes=epoch.writes[:cut],
+            compute_cycles=epoch.compute_cycles * cut / len(epoch))
+        tail = EpochTrace(
+            chips=epoch.chips[cut:], clusters=epoch.clusters[cut:],
+            addrs=epoch.addrs[cut:], writes=epoch.writes[cut:],
+            compute_cycles=epoch.compute_cycles * (len(epoch) - cut)
+            / len(epoch))
+        return head, tail
+
+    def _kernel_boundary_flush(self, flush_partitions, cached_remote_data
+                               ) -> None:
+        """Software coherence: flush L1s and remote-caching LLC partitions.
+
+        ``flush_partitions`` and ``cached_remote_data`` are captured from
+        the organization *before* its ``end_kernel`` hook so that SAC's
+        revert-to-memory-side does not erase the coherence obligations of
+        the mode the kernel actually ran in.
+        """
+        if self.l1 is not None:
+            for chip_l1s in self.l1:
+                for cache in chip_l1s:
+                    cache.flush()  # write-through L1s: invalidate only
+        if self.software_coherence is not None:
+            for chip, partition in flush_partitions:
+                chips = None if chip is None else [chip]
+                if partition is not None and \
+                        self.organization.name in ("static", "dynamic"):
+                    self.flush_llc(partition=partition, chips=chips)
+                else:
+                    self.flush_llc(partition=None, chips=chips)
+        elif (self.hardware_coherence is not None
+              or self.mesi is not None) and cached_remote_data:
+            # Hardware coherence keeps data consistent during execution,
+            # but remote replicas must still be written back before the
+            # next kernel's placement decisions (cheaper than a full
+            # software flush: only the remote-homed lines).
+            self._flush_remote_lines()
+
+    def _flush_remote_lines(self) -> None:
+        dram_bw = self.config.chip.memory.chip_bw()
+        worst_cycles = 0.0
+        for chip in range(self.config.num_chips):
+            writeback = 0
+            for cache in self.llc[chip]:
+                victims = []
+                for line_addr, line in cache.resident_lines():
+                    home = self.page_table.lookup(line_addr)
+                    if home is not None and home != chip:
+                        victims.append((line_addr, line.dirty))
+                for line_addr, dirty in victims:
+                    cache.invalidate(line_addr)
+                    if self.hardware_coherence is not None:
+                        self.hardware_coherence.on_evict(
+                            line_addr & self._line_mask, chip)
+                    if self.mesi is not None:
+                        self.mesi.evict(line_addr & self._line_mask, chip)
+                    if dirty:
+                        writeback += self.line_size
+            if writeback:
+                worst_cycles = max(worst_cycles, writeback / dram_bw)
+                self.stats.dram_bytes += writeback
+        if worst_cycles:
+            self._pending_cycles += worst_cycles
+            self.stats.flush_cycles += worst_cycles
+
+    # ------------------------------------------------------------------
+    # Epoch execution.
+    # ------------------------------------------------------------------
+
+    def _run_epoch(self, epoch: EpochTrace, kstats: KernelStats) -> None:
+        chips = epoch.chips.tolist()
+        clusters = epoch.clusters.tolist()
+        addrs = epoch.addrs.tolist()
+        writes = epoch.writes.tolist()
+        slices = self._vectorized_slices(epoch.addrs).tolist()
+        channels = self._vectorized_channels(epoch.addrs).tolist()
+        for i in range(len(addrs)):
+            self._access(chips[i], clusters[i], addrs[i], writes[i],
+                         slices[i], channels[i], kstats)
+        self._settle_epoch(epoch, kstats)
+
+    def _vectorized_slices(self, addrs: np.ndarray) -> np.ndarray:
+        return _hash_mod(addrs // self.line_size, self.mapping.seed,
+                         self.mapping.slices_per_chip)
+
+    def _vectorized_channels(self, addrs: np.ndarray) -> np.ndarray:
+        inverted = ~np.uint64(self.mapping.seed)
+        return _hash_mod(addrs // self.line_size, int(inverted),
+                         self.mapping.channels_per_chip)
+
+    def _access(self, chip: int, cluster: int, addr: int, is_write: bool,
+                slice_index: int, channel: int, kstats: KernelStats) -> None:
+        params = self.params
+        kstats.accesses += 1
+        if self.l1 is not None:
+            l1_result = self.l1[chip][cluster].access(addr, is_write)
+            if l1_result.hit and not is_write:
+                # Write-through L1: writes always propagate to the LLC.
+                return
+        home = self.page_table.home_chip(addr, chip)
+        if self.migration is not None:
+            self.migration.observe(addr >> self._page_shift, chip)
+        plan = self.organization.plan(chip, home)
+        req_bytes = params.request_bytes + (
+            params.write_data_bytes if is_write else 0)
+        rsp_bytes = self.line_size + params.response_header_bytes
+        dedicated = getattr(self.organization, "dedicated_memory_network",
+                            False)
+        latency = 0.0
+        hit_stage: Optional[int] = None
+        kstats.llc_lookups += 1
+        line_addr = addr & self._line_mask
+
+        for stage_index, stage in enumerate(plan.stages):
+            serve = stage.chip
+            cache = self.llc[serve][slice_index]
+            self.stats.slice_requests[
+                serve * self.config.chip.llc_slices + slice_index] += 1
+            # Charge the request leg to this stage.
+            latency += self._charge_leg(chip, serve, slice_index, req_bytes,
+                                        rsp_bytes, dedicated and
+                                        stage_index > 0)
+            self._slice_bytes[serve][slice_index] += self.line_size
+            allocate = stage.allocate
+            if allocate and stage.partition and \
+                    hasattr(self.organization, "remote_allocate"):
+                # Insertion-policy organizations (LADM) decide per access
+                # whether a remote line may enter the remote partition.
+                allocate = self.organization.remote_allocate(chip, addr)
+            result = self._llc_access(cache, serve, addr, line_addr, is_write,
+                                      stage.partition, allocate,
+                                      slice_index)
+            latency += params.latency_llc
+            if result:
+                hit_stage = stage_index
+                break
+
+        if hit_stage is not None:
+            kstats.llc_hits += 1
+            origin = (ORIGIN_LOCAL_LLC
+                      if plan.stages[hit_stage].chip == chip
+                      else ORIGIN_REMOTE_LLC)
+        else:
+            # Full miss: the last probed chip forwards to the home memory.
+            last = plan.stages[-1].chip
+            latency += self._charge_memory_leg(chip, last, home, channel,
+                                               req_bytes, rsp_bytes, is_write,
+                                               dedicated)
+            origin = ORIGIN_LOCAL_MEM if home == chip else ORIGIN_REMOTE_MEM
+        self.stats.responses_by_origin[origin] += 1
+        self._latency_sum[chip] += latency
+        if is_write and self.hardware_coherence is not None and \
+                self.organization.caches_remote_data:
+            self._propagate_write_invalidations(chip, line_addr, slice_index)
+        self.organization.observe_access(self, chip, addr, home, hit_stage)
+
+    def _llc_access(self, cache: SetAssociativeCache, serve: int, addr: int,
+                    line_addr: int, is_write: bool, partition: int,
+                    allocate: bool, slice_index: int) -> bool:
+        """Probe (and fill) one LLC slice; returns True on a hit."""
+        remote_capable = self.organization.caches_remote_data
+        track = self.hardware_coherence is not None and remote_capable
+        track_mesi = self.mesi is not None and remote_capable
+        try:
+            result = cache.access(addr, is_write, partition=partition,
+                                  allocate_on_miss=allocate)
+        except PartitionFullError:
+            return False
+        if result.hit:
+            if track_mesi and is_write:
+                self._apply_mesi_actions(
+                    serve, line_addr, slice_index,
+                    self.mesi.write(line_addr, serve))
+            return True
+        if result.evicted_addr is not None:
+            self._writeback_eviction(serve, result)
+            evicted_line = result.evicted_addr & self._line_mask
+            if track:
+                self.hardware_coherence.on_evict(evicted_line, serve)
+            if track_mesi:
+                self.mesi.evict(evicted_line, serve)
+        if allocate and track:
+            self.hardware_coherence.on_fill(line_addr, serve)
+        if allocate and track_mesi:
+            transition = self.mesi.write if is_write else self.mesi.read
+            self._apply_mesi_actions(serve, line_addr, slice_index,
+                                     transition(line_addr, serve))
+        return False
+
+    def _apply_mesi_actions(self, serve: int, line_addr: int,
+                            slice_index: int, actions) -> None:
+        """Charge MESI protocol messages and apply invalidations."""
+        from ..coherence.mesi import ActionKind
+        ctrl = self.config.coherence.invalidation_message_bytes
+        wb_bytes = self.line_size + self.params.response_header_bytes
+        for action in actions:
+            self.ring.charge(serve, action.chip, ctrl)
+            self.stats.coherence_bytes += ctrl
+            self.stats.inter_chip_bytes += ctrl
+            if action.kind is ActionKind.INVALIDATE:
+                self.llc[action.chip][slice_index].invalidate(line_addr)
+                self.stats.coherence_invalidations += 1
+            if action.kind is ActionKind.TRANSFER:
+                self.ring.charge(action.chip, serve, wb_bytes)
+                self.stats.coherence_bytes += wb_bytes
+                self.stats.inter_chip_bytes += wb_bytes
+            if action.writeback:
+                home = self.page_table.lookup(line_addr)
+                if home is None:
+                    home = action.chip
+                self.dram[home].charge(
+                    self.mapping.channel_of(line_addr), wb_bytes,
+                    is_write=True)
+                self.stats.dram_bytes += wb_bytes
+                if home != action.chip:
+                    self.ring.charge(action.chip, home, wb_bytes)
+                    self.stats.inter_chip_bytes += wb_bytes
+
+    def _writeback_eviction(self, chip: int,
+                            result) -> None:
+        if not result.evicted_dirty:
+            return
+        home = self.page_table.lookup(result.evicted_addr)
+        if home is None:
+            home = chip
+        wb_bytes = self.line_size + self.params.response_header_bytes
+        self.dram[home].charge(
+            self.mapping.channel_of(result.evicted_addr), wb_bytes,
+            is_write=True)
+        self.stats.dram_bytes += wb_bytes
+        if home != chip:
+            self.ring.charge(chip, home, wb_bytes)
+            self.stats.inter_chip_bytes += wb_bytes
+
+    def _propagate_write_invalidations(self, chip: int, line_addr: int,
+                                       slice_index: int) -> None:
+        assert self.hardware_coherence is not None
+        victims = self.hardware_coherence.on_write(line_addr, chip)
+        for victim in victims:
+            self.llc[victim][slice_index].invalidate(line_addr)
+            self.stats.coherence_invalidations += 1
+
+    # -- Traffic legs ---------------------------------------------------------
+
+    def _charge_leg(self, src: int, dst: int, slice_index: int,
+                    req_bytes: int, rsp_bytes: int,
+                    skip_crossbar: bool) -> float:
+        """Charge the SM->LLC request/response leg; returns its latency."""
+        params = self.params
+        if src == dst:
+            xbar = self.crossbars[src]
+            port = xbar.llc_port(slice_index)
+            xbar.charge_request(port, req_bytes)
+            xbar.charge_response(port, rsp_bytes)
+            return params.latency_noc
+        hops = self.ring.hops(src, dst)
+        self.ring.charge(src, dst, req_bytes)
+        self.ring.charge(dst, src, rsp_bytes)
+        self.stats.inter_chip_bytes += req_bytes + rsp_bytes
+        if not skip_crossbar:
+            link = slice_index % self.config.chip.noc.inter_chip_ports
+            src_xbar = self.crossbars[src]
+            dst_xbar = self.crossbars[dst]
+            src_xbar.charge_request(src_xbar.inter_chip_port(link), req_bytes)
+            src_xbar.charge_response(src_xbar.inter_chip_port(link), rsp_bytes)
+            dst_xbar.charge_request(dst_xbar.llc_port(slice_index), req_bytes)
+            dst_xbar.charge_response(dst_xbar.llc_port(slice_index), rsp_bytes)
+        return 2 * params.latency_noc + hops * params.latency_ring_hop
+
+    def _charge_memory_leg(self, requester: int, last: int, home: int,
+                           channel: int, req_bytes: int, rsp_bytes: int,
+                           is_write: bool, dedicated: bool) -> float:
+        """Charge the LLC-miss -> home-DRAM leg; returns its latency."""
+        params = self.params
+        latency = params.latency_dram
+        self.dram[home].charge(channel, req_bytes + rsp_bytes, is_write)
+        self.stats.dram_bytes += req_bytes + rsp_bytes
+        if last != home:
+            # SM-side remote miss (SR): local slice -> inter-chip link ->
+            # remote chip, bypassing the remote LLC slice (Figure 6 path 4).
+            hops = self.ring.hops(last, home)
+            self.ring.charge(last, home, req_bytes)
+            self.ring.charge(home, last, rsp_bytes)
+            self.stats.inter_chip_bytes += req_bytes + rsp_bytes
+            if not dedicated:
+                link = channel % self.config.chip.noc.inter_chip_ports
+                last_xbar = self.crossbars[last]
+                home_xbar = self.crossbars[home]
+                last_xbar.charge_request(
+                    last_xbar.inter_chip_port(link), req_bytes)
+                last_xbar.charge_response(
+                    last_xbar.inter_chip_port(link), rsp_bytes)
+                home_xbar.charge_request(
+                    home_xbar.inter_chip_port(link), req_bytes)
+                home_xbar.charge_response(
+                    home_xbar.inter_chip_port(link), rsp_bytes)
+            latency += 2 * params.latency_noc + hops * params.latency_ring_hop
+        return latency
+
+    # -- Epoch settlement ---------------------------------------------------------
+
+    def _settle_epoch(self, epoch: EpochTrace, kstats: KernelStats) -> None:
+        if self.migration is not None:
+            for _page, old_home, new_home in \
+                    self.migration.end_epoch(self.page_table):
+                # One page crosses the ring and touches both partitions.
+                page_bytes = self.config.chip.memory.page_size
+                self.ring.charge(old_home, new_home, page_bytes)
+                self.stats.inter_chip_bytes += page_bytes
+                channel = _page % self.config.chip.memory.channels_per_chip
+                self.dram[old_home].charge(channel, page_bytes,
+                                           is_write=False)
+                self.dram[new_home].charge(channel, page_bytes,
+                                           is_write=True)
+                self.stats.dram_bytes += 2 * page_bytes
+        if self.hardware_coherence is not None:
+            messages = self.hardware_coherence.pop_epoch_messages()
+            msg_bytes = self.hardware_coherence.message_bytes
+            for src, dst in messages:
+                self.ring.charge(src, dst, msg_bytes)
+                self.stats.coherence_bytes += msg_bytes
+                self.stats.inter_chip_bytes += msg_bytes
+        slice_bw = self.config.chip.llc_slice_bw_bytes_per_cycle
+        slice_cycles = max((b for chip in self._slice_bytes for b in chip),
+                           default=0.0) / slice_bw
+        crossbar_cycles = max(x.epoch_cycles() for x in self.crossbars)
+        ring_cycles = self.ring.epoch_cycles()
+        dram_cycles = max(p.epoch_cycles() for p in self.dram)
+        latency_cycles = max(self._latency_sum) / \
+            self.params.max_outstanding_per_chip
+        if self.params.model_queueing:
+            latency_cycles += self._queueing_latency(epoch.compute_cycles)
+        candidates = {
+            "compute": epoch.compute_cycles,
+            "llc_slice": slice_cycles,
+            "crossbar": crossbar_cycles,
+            "inter_chip": ring_cycles,
+            "dram": dram_cycles,
+            "latency": latency_cycles,
+        }
+        bottleneck = max(candidates, key=candidates.get)
+        cycles = candidates[bottleneck]
+        self.stats.bottleneck_cycles[bottleneck] = \
+            self.stats.bottleneck_cycles.get(bottleneck, 0.0) + cycles
+        kstats.cycles += cycles
+        kstats.epoch_cycles.append(cycles)
+        self.last_epoch_cycles = cycles
+        # Reset per-epoch accumulators.
+        for chip_bytes in self._slice_bytes:
+            for i in range(len(chip_bytes)):
+                chip_bytes[i] = 0.0
+        for i in range(len(self._latency_sum)):
+            self._latency_sum[i] = 0.0
+        for xbar in self.crossbars:
+            xbar.end_epoch()
+        self.ring.end_epoch()
+        self.dram.end_epoch()
+
+    def _queueing_latency(self, nominal_cycles: float) -> float:
+        """Mean M/D/1 queue delay per chip for this epoch's load.
+
+        Evaluated against the epoch's nominal (compute-floor) duration:
+        the queue term covers the sub-saturation region, the throughput
+        model covers saturation.
+        """
+        from .queueing import QueueModel
+        rsp = self.line_size + self.params.response_header_bytes
+        extra = 0.0
+        dram_model = QueueModel(
+            capacity=self.config.chip.memory.channel_bw_bytes_per_cycle,
+            request_bytes=rsp)
+        for partition in self.dram:
+            per_channel = partition.epoch_bytes() / \
+                self.config.chip.memory.channels_per_chip
+            wait = dram_model.wait(per_channel, nominal_cycles)
+            requests = per_channel / rsp * \
+                self.config.chip.memory.channels_per_chip
+            extra = max(extra, wait * requests)
+        ring_model = QueueModel(
+            capacity=self.ring.config.pair_bw(self.config.num_chips)
+            if self.config.num_chips > 1 else 1.0,
+            request_bytes=rsp)
+        for load in self.ring.segment_loads().values():
+            wait = ring_model.wait(load, nominal_cycles)
+            extra = max(extra, wait * load / rsp)
+        return extra / self.params.max_outstanding_per_chip
+
+    # -- Figure 9 sampling ---------------------------------------------------------
+
+    def _sample_allocation(self, weight: float) -> None:
+        """Sample the local/remote composition of the LLC (Figure 9)."""
+        local = 0
+        remote = 0
+        for chip in range(self.config.num_chips):
+            for cache in self.llc[chip]:
+                for line_addr, _line in cache.resident_lines():
+                    home = self.page_table.lookup(line_addr)
+                    if home is None or home == chip:
+                        local += 1
+                    else:
+                        remote += 1
+        total = local + remote
+        if total == 0 or weight <= 0:
+            return
+        self._alloc_weight += weight
+        self._alloc_local += weight * local / total
+        self._alloc_remote += weight * remote / total
+
+    def _finalize_allocation_stats(self) -> None:
+        if self._alloc_weight > 0:
+            self.stats.llc_local_fraction = \
+                self._alloc_local / self._alloc_weight
+            self.stats.llc_remote_fraction = \
+                self._alloc_remote / self._alloc_weight
+
+
+def _hash_mod(lines: np.ndarray, seed: int, modulus: int) -> np.ndarray:
+    """Vectorized splitmix64 finalizer mod ``modulus`` (matches
+    :func:`repro.memory.mapping._mix`)."""
+    v = lines.astype(np.uint64) ^ np.uint64(seed & 0xFFFFFFFFFFFFFFFF)
+    with np.errstate(over="ignore"):
+        v = (v ^ (v >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        v = (v ^ (v >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        v = v ^ (v >> np.uint64(31))
+    return (v % np.uint64(modulus)).astype(np.int64)
+
+
+#: Alias used by organizations' type hints.
+EngineContext = SimulationEngine

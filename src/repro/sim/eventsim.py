@@ -1,0 +1,308 @@
+"""Event-driven validation engine.
+
+The primary engine (:mod:`repro.sim.engine`) settles time per *epoch*:
+it charges bytes to resources and takes the bottleneck's service time.
+This module provides an independent, finer-grained timing model to
+validate that choice: an open-loop FCFS **queueing-network replay**.
+
+Every access becomes a request injected at its issue time (spread by the
+workload's compute rate) and then traverses its resource path — the
+requesting chip's crossbar port, ring segments, the serving LLC slice,
+and on a miss the home DRAM channel — where each resource is a
+single-server FCFS queue with service time ``bytes / bandwidth``::
+
+    depart(r) = max(arrive, free_until[r]) + service
+    free_until[r] = depart(r)
+
+The run's cycle count is the last departure.  Caches are the same
+functional models as the primary engine, so hit/miss behaviour is
+identical; only the *timing* model differs.  Agreement between the two
+models on which LLC organization wins (and roughly by how much) is the
+validation criterion — see ``benchmarks/test_validation.py``.
+
+Scope: fixed organizations (memory-side / SM-side / static / dynamic);
+SAC's reconfiguration and coherence flush costs are epoch-level policies
+and are validated separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..arch.config import SystemConfig
+from ..cache.cache import PartitionFullError
+from ..cache.waycache import make_cache
+from ..llc.base import LLCOrganization
+from ..memory.mapping import AddressMapping
+from ..memory.pages import PageTable
+from ..workloads.generator import KernelTrace
+
+
+@dataclass
+class EventStats:
+    """Outcome of one event-driven replay."""
+
+    cycles: float = 0.0
+    accesses: int = 0
+    llc_hits: int = 0
+    total_latency: float = 0.0
+    # Busy time per resource class (diagnostics).
+    busy: Dict[str, float] = None
+
+    @property
+    def llc_hit_rate(self) -> float:
+        return self.llc_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.accesses if self.accesses else 0.0
+
+
+class _Server:
+    """A single-server FCFS queue."""
+
+    __slots__ = ("bandwidth", "free_until", "busy")
+
+    def __init__(self, bandwidth: float) -> None:
+        self.bandwidth = bandwidth
+        self.free_until = 0.0
+        self.busy = 0.0
+
+    def serve(self, arrive: float, num_bytes: float) -> float:
+        service = num_bytes / self.bandwidth
+        start = arrive if arrive > self.free_until else self.free_until
+        depart = start + service
+        self.free_until = depart
+        self.busy += service
+        return depart
+
+
+class EventDrivenEngine:
+    """Queueing-network replay of a trace under one LLC organization."""
+
+    REQUEST_BYTES = 32.0
+    RESPONSE_BYTES = 144.0
+
+    def __init__(self, config: SystemConfig,
+                 organization: LLCOrganization) -> None:
+        self.config = config
+        self.organization = organization
+        chip = config.chip
+        self.line_size = chip.llc_slice.line_size
+        self.page_table = PageTable(chip.memory.page_size, config.num_chips,
+                                    policy=config.page_allocation)
+        self.mapping = AddressMapping(
+            line_size=self.line_size, slices_per_chip=chip.llc_slices,
+            channels_per_chip=chip.memory.channels_per_chip)
+        self.llc = [[make_cache(chip.llc_slice, name=f"ev{c}.{s}")
+                     for s in range(chip.llc_slices)]
+                    for c in range(config.num_chips)]
+        # Resource servers.
+        port_bw = chip.noc.port_bw_bytes_per_cycle
+        self._noc_ports = [
+            [_Server(port_bw) for _ in range(chip.noc.output_ports)]
+            for _ in range(config.num_chips)]
+        pair_bw = config.inter_chip.pair_bw(config.num_chips)
+        self._segments: Dict[Tuple[int, int], _Server] = {}
+        self._pair_bw = pair_bw
+        slice_bw = chip.llc_slice_bw_bytes_per_cycle
+        self._slices = [
+            [_Server(slice_bw) for _ in range(chip.llc_slices)]
+            for _ in range(config.num_chips)]
+        channel_bw = chip.memory.channel_bw_bytes_per_cycle
+        self._channels = [
+            [_Server(channel_bw) for _ in range(chip.memory.channels_per_chip)]
+            for _ in range(config.num_chips)]
+        organization.attach(self)
+
+    # Minimal EngineContext surface for organizations that need it.
+    def slice_of(self, addr: int) -> int:
+        return self.mapping.llc_slice_of(addr)
+
+    def set_llc_partitioning(self, ways) -> None:
+        for chip_slices in self.llc:
+            for cache in chip_slices:
+                cache.set_partition(ways)
+
+    @property
+    def stats(self):  # Dynamic LLC reads traffic counters; not tracked here.
+        raise AttributeError("event engine does not expose RunStats")
+
+    def _segment(self, src: int, dst: int) -> _Server:
+        server = self._segments.get((src, dst))
+        if server is None:
+            server = _Server(self._pair_bw)
+            self._segments[(src, dst)] = server
+        return server
+
+    def _ring_path(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        chips = self.config.num_chips
+        if src == dst:
+            return []
+        if self.config.inter_chip.topology == "fully-connected":
+            return [(src, dst)]
+        forward = (dst - src) % chips
+        backward = (src - dst) % chips
+        step = 1 if forward <= backward else -1
+        path = []
+        node = src
+        while node != dst:
+            nxt = (node + step) % chips
+            path.append((node, nxt))
+            node = nxt
+        return path
+
+    # -- Replay ------------------------------------------------------------
+
+    def run(self, kernels: Iterable[KernelTrace]) -> EventStats:
+        stats = EventStats(busy={})
+        now = 0.0
+        finish = 0.0
+        software = self.config.coherence.protocol == "software"
+        for kernel in kernels:
+            for epoch in kernel.epochs:
+                n = len(epoch)
+                rate = n / epoch.compute_cycles  # injections per cycle
+                chips = epoch.chips.tolist()
+                addrs = epoch.addrs.tolist()
+                writes = epoch.writes.tolist()
+                for i in range(n):
+                    issue = now + i / rate
+                    depart = self._request(issue, chips[i], addrs[i],
+                                           writes[i], stats)
+                    if depart > finish:
+                        finish = depart
+                    stats.total_latency += depart - issue
+                    stats.accesses += 1
+                # The next epoch injects after this one's compute time
+                # and after the system drained (closed kernel boundary).
+                now = max(now + epoch.compute_cycles, finish)
+            if software and self.organization.flush_partitions():
+                # Software coherence: write back + invalidate the LLC at
+                # the kernel boundary (whole-cache flush; the per-
+                # partition distinction does not change the event model's
+                # cold-restart effect materially).
+                finish = max(finish, self._flush(now))
+                now = max(now, finish)
+        stats.cycles = max(now, finish)
+        stats.busy = self._collect_busy()
+        return stats
+
+    def _flush(self, now: float) -> float:
+        """Flush every LLC slice, serializing dirty write-backs at DRAM."""
+        done = now
+        for chip in range(self.config.num_chips):
+            for slice_index, cache in enumerate(self.llc[chip]):
+                dirty_lines = [addr for addr, line in cache.resident_lines()
+                               if line.dirty]
+                cache.flush()
+                for addr in dirty_lines:
+                    home = self.page_table.lookup(addr)
+                    if home is None:
+                        home = chip
+                    channel = self.mapping.channel_of(addr)
+                    t = self._channels[home][channel].serve(
+                        now, self.line_size)
+                    if t > done:
+                        done = t
+        return done
+
+    def _request(self, issue: float, chip: int, addr: int, is_write: bool,
+                 stats: EventStats) -> float:
+        home = self.page_table.home_chip(addr, chip)
+        plan = self.organization.plan(chip, home)
+        slice_index = self.mapping.llc_slice_of(addr)
+        req = self.REQUEST_BYTES + (32.0 if is_write else 0.0)
+        rsp = self.RESPONSE_BYTES
+        t = issue
+        hit = False
+        last = chip
+        for stage in plan.stages:
+            serve = stage.chip
+            # Request leg: ring segments when crossing chips, then the
+            # serving chip's NoC port into the LLC slice.
+            for src, dst in self._ring_path(last, serve):
+                t = self._segment(src, dst).serve(t, req)
+            t = self._noc_ports[serve][slice_index].serve(t, req)
+            t = self._slices[serve][slice_index].serve(t, self.line_size)
+            cache = self.llc[serve][slice_index]
+            try:
+                result = cache.access(addr, is_write,
+                                      partition=stage.partition,
+                                      allocate_on_miss=stage.allocate)
+            except PartitionFullError:
+                result = None
+            if result is not None and result.hit:
+                hit = True
+                last = serve
+                break
+            last = serve
+        if hit:
+            stats.llc_hits += 1
+        else:
+            # Miss: traverse to the home chip's DRAM channel.
+            for src, dst in self._ring_path(last, home):
+                t = self._segment(src, dst).serve(t, req)
+            channel = self.mapping.channel_of(addr)
+            t = self._channels[home][channel].serve(t, req + rsp)
+            last = home
+        # Response leg back to the requester.
+        for src, dst in self._ring_path(last, chip):
+            t = self._segment(src, dst).serve(t, rsp)
+        t = self._noc_ports[chip][slice_index % len(self._noc_ports[chip])] \
+            .serve(t, rsp)
+        return t
+
+    def _collect_busy(self) -> Dict[str, float]:
+        busy = {"noc": 0.0, "ring": 0.0, "llc": 0.0, "dram": 0.0}
+        for ports in self._noc_ports:
+            busy["noc"] += sum(s.busy for s in ports)
+        busy["ring"] += sum(s.busy for s in self._segments.values())
+        for slices in self._slices:
+            busy["llc"] += sum(s.busy for s in slices)
+        for channels in self._channels:
+            busy["dram"] += sum(s.busy for s in channels)
+        return busy
+
+
+def validate_against_epoch_model(spec, organizations=("memory-side",
+                                                      "sm-side"),
+                                 config: Optional[SystemConfig] = None,
+                                 scale: float = 1.0 / 16,
+                                 accesses_per_epoch: int = 2048):
+    """Run both timing models on the same trace; return their cycles.
+
+    Returns ``{org: (epoch_cycles, event_cycles)}``.  The validation
+    criterion is *ordering agreement*: both models should prefer the
+    same organization.
+    """
+    from ..arch.presets import baseline
+    from ..workloads.generator import TraceGenerator
+    from .engine import SimulationEngine
+    from .run import make_organization, scaled_config
+
+    run_config = scaled_config(config or baseline(), scale)
+    results = {}
+    for name in organizations:
+        generator = TraceGenerator(
+            spec, num_chips=run_config.num_chips,
+            clusters_per_chip=run_config.chip.num_clusters,
+            line_size=run_config.line_size,
+            page_size=run_config.page_size,
+            accesses_per_epoch_per_chip=accesses_per_epoch, scale=scale)
+        epoch_engine = SimulationEngine(
+            run_config, make_organization(name, run_config))
+        epoch_stats = epoch_engine.run(generator.kernels(),
+                                       benchmark=spec.name)
+        generator2 = TraceGenerator(
+            spec, num_chips=run_config.num_chips,
+            clusters_per_chip=run_config.chip.num_clusters,
+            line_size=run_config.line_size,
+            page_size=run_config.page_size,
+            accesses_per_epoch_per_chip=accesses_per_epoch, scale=scale)
+        event_engine = EventDrivenEngine(
+            run_config, make_organization(name, run_config))
+        event_stats = event_engine.run(generator2.kernels())
+        results[name] = (epoch_stats.cycles, event_stats.cycles)
+    return results

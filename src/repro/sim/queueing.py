@@ -1,0 +1,79 @@
+"""Analytical queueing-delay estimation.
+
+The paper accounts for queueing delays at the LLC/memory-controller
+request queues (Section 3.1).  The epoch engine models *throughput*
+exactly (bottleneck service time); this module adds the *latency* face
+of contention: as a resource's utilization rises, requests wait longer
+in its queue even before it saturates.
+
+We use the M/D/1 mean waiting time (Poisson arrivals, deterministic
+service — a good fit for fixed-size cache-line transfers)::
+
+    W = s * rho / (2 * (1 - rho))
+
+where ``s`` is the per-request service time and ``rho`` the utilization.
+Utilization is capped just below 1: at or beyond saturation the *epoch
+throughput* model already stretches time, so the queue term only needs
+to cover the sub-saturation region.
+
+``EngineParams.model_queueing`` enables the term; it feeds the engine's
+MLP-limited latency bound, so it only affects end-to-end time when
+latency (not bandwidth) is the binding constraint — mirroring the
+paper's footnote 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Utilization cap: beyond this, throughput modelling takes over.
+RHO_CAP = 0.95
+
+
+def md1_wait(service_time: float, utilization: float,
+             rho_cap: float = RHO_CAP) -> float:
+    """Mean M/D/1 queue wait for one request.
+
+    ``service_time`` is the per-request service time at the resource;
+    ``utilization`` its offered load (demand / capacity), capped at
+    ``rho_cap``.
+    """
+    if service_time < 0:
+        raise ValueError("service time cannot be negative")
+    if utilization < 0:
+        raise ValueError("utilization cannot be negative")
+    rho = min(utilization, rho_cap)
+    if rho == 0.0:
+        return 0.0
+    return service_time * rho / (2.0 * (1.0 - rho))
+
+
+@dataclass
+class QueueModel:
+    """Per-epoch queue-delay bookkeeping for one resource class.
+
+    The engine charges bytes per epoch; at settlement it asks for the
+    mean wait per request given the epoch's nominal duration.
+    """
+
+    #: Resource capacity in bytes/cycle.
+    capacity: float
+    #: Mean request size in bytes (service time = size / capacity).
+    request_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if self.request_bytes <= 0:
+            raise ValueError("request size must be positive")
+
+    @property
+    def service_time(self) -> float:
+        return self.request_bytes / self.capacity
+
+    def wait(self, epoch_bytes: float, epoch_cycles: float) -> float:
+        """Mean queue wait per request for this epoch's load."""
+        if epoch_cycles <= 0 or epoch_bytes <= 0:
+            return 0.0
+        utilization = epoch_bytes / epoch_cycles / self.capacity
+        return md1_wait(self.service_time, utilization)

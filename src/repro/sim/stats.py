@@ -1,0 +1,155 @@
+"""Simulation statistics.
+
+``RunStats`` aggregates everything the paper's figures need: cycles
+(performance), LLC hit rates (Figure 1b), response-origin breakdown and
+effective LLC bandwidth (Figures 1c and 10), LLC local/remote allocation
+(Figure 9), per-slice request counts (LSU), inter-chip and DRAM traffic,
+and per-kernel cycle/organization records (Figure 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Response-origin keys, relative to the *requesting* chip.
+ORIGIN_LOCAL_LLC = "local_llc"
+ORIGIN_REMOTE_LLC = "remote_llc"
+ORIGIN_LOCAL_MEM = "local_mem"
+ORIGIN_REMOTE_MEM = "remote_mem"
+ORIGINS = (ORIGIN_LOCAL_LLC, ORIGIN_REMOTE_LLC,
+           ORIGIN_LOCAL_MEM, ORIGIN_REMOTE_MEM)
+
+
+@dataclass
+class KernelStats:
+    """Per-kernel-launch record."""
+
+    name: str
+    cycles: float = 0.0
+    accesses: int = 0
+    llc_hits: int = 0
+    llc_lookups: int = 0
+    # Organization active for the bulk of the kernel ("memory-side" or
+    # "sm-side"); for SAC this is the post-profiling decision.
+    organization: Optional[str] = None
+    reconfigured: bool = False
+    reconfig_cycles: float = 0.0
+    # Per-epoch durations, in execution order (time-varying analyses).
+    epoch_cycles: List[float] = field(default_factory=list)
+
+    @property
+    def llc_hit_rate(self) -> float:
+        if self.llc_lookups == 0:
+            return 0.0
+        return self.llc_hits / self.llc_lookups
+
+
+@dataclass
+class RunStats:
+    """Aggregate statistics for one benchmark under one LLC organization."""
+
+    benchmark: str = ""
+    organization: str = ""
+    cycles: float = 0.0
+    accesses: int = 0
+    # First-level LLC lookup outcomes (requests that found their data in
+    # *some* LLC slice count as hits).
+    llc_hits: int = 0
+    llc_lookups: int = 0
+    responses_by_origin: Dict[str, int] = field(
+        default_factory=lambda: {origin: 0 for origin in ORIGINS})
+    inter_chip_bytes: int = 0
+    dram_bytes: int = 0
+    coherence_bytes: int = 0
+    coherence_invalidations: int = 0
+    flush_cycles: float = 0.0
+    # Average fraction of resident LLC lines holding local vs remote data
+    # (Figure 9), sampled at every kernel boundary.
+    llc_local_fraction: float = 0.0
+    llc_remote_fraction: float = 0.0
+    # Global per-slice request counts (for LSU diagnostics).
+    slice_requests: List[int] = field(default_factory=list)
+    # Cycles attributed to each epoch's binding resource ("compute",
+    # "llc_slice", "crossbar", "inter_chip", "dram", "latency").
+    bottleneck_cycles: Dict[str, float] = field(default_factory=dict)
+    kernels: List[KernelStats] = field(default_factory=list)
+
+    @property
+    def llc_hit_rate(self) -> float:
+        if self.llc_lookups == 0:
+            return 0.0
+        return self.llc_hits / self.llc_lookups
+
+    @property
+    def llc_miss_rate(self) -> float:
+        return 1.0 - self.llc_hit_rate if self.llc_lookups else 0.0
+
+    @property
+    def effective_llc_bandwidth(self) -> float:
+        """LLC responses delivered per cycle (paper Figures 1c and 10)."""
+        if self.cycles <= 0:
+            return 0.0
+        return sum(self.responses_by_origin.values()) / self.cycles
+
+    def bandwidth_breakdown(self) -> Dict[str, float]:
+        """Responses per cycle, split by origin (Figure 10 series)."""
+        if self.cycles <= 0:
+            return {origin: 0.0 for origin in ORIGINS}
+        return {origin: count / self.cycles
+                for origin, count in self.responses_by_origin.items()}
+
+    def merge_kernel(self, kernel: KernelStats) -> None:
+        self.kernels.append(kernel)
+        self.cycles += kernel.cycles
+        self.accesses += kernel.accesses
+        self.llc_hits += kernel.llc_hits
+        self.llc_lookups += kernel.llc_lookups
+
+    def bottleneck_fractions(self) -> Dict[str, float]:
+        """Fraction of (epoch) time attributed to each binding resource."""
+        total = sum(self.bottleneck_cycles.values())
+        if total <= 0:
+            return {}
+        return {resource: cycles / total
+                for resource, cycles in self.bottleneck_cycles.items()}
+
+    def dominant_bottleneck(self) -> Optional[str]:
+        """The resource that bound the most epoch time, if any."""
+        if not self.bottleneck_cycles:
+            return None
+        return max(self.bottleneck_cycles, key=self.bottleneck_cycles.get)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat digest of the run (for reports and CSV export)."""
+        return {
+            "benchmark": self.benchmark,
+            "organization": self.organization,
+            "cycles": self.cycles,
+            "accesses": self.accesses,
+            "llc_hit_rate": self.llc_hit_rate,
+            "effective_llc_bandwidth": self.effective_llc_bandwidth,
+            "inter_chip_mb": self.inter_chip_bytes / 1e6,
+            "dram_mb": self.dram_bytes / 1e6,
+            "coherence_invalidations": self.coherence_invalidations,
+            "flush_cycles": self.flush_cycles,
+            "llc_remote_fraction": self.llc_remote_fraction,
+            "dominant_bottleneck": self.dominant_bottleneck(),
+            "kernels": len(self.kernels),
+        }
+
+
+def speedup(baseline: RunStats, candidate: RunStats) -> float:
+    """Speedup of ``candidate`` over ``baseline`` (cycles ratio)."""
+    if candidate.cycles <= 0:
+        raise ValueError("candidate run has no cycles")
+    return baseline.cycles / candidate.cycles
+
+
+def harmonic_mean(values: List[float]) -> float:
+    """Harmonic mean, the paper's average for speedups (Figure 8)."""
+    if not values:
+        raise ValueError("harmonic mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)

@@ -1,0 +1,62 @@
+"""Workloads: Table 4 benchmark specs and the synthetic trace generator."""
+
+from .generator import (
+    REGION_FALSE,
+    REGION_PRIVATE,
+    REGION_TRUE,
+    EpochTrace,
+    KernelTrace,
+    TraceGenerator,
+)
+from .programs import (
+    Array,
+    ArrayAccess,
+    Broadcast,
+    Halo,
+    KernelProgram,
+    Partitioned,
+    ProgramWorkload,
+    Strided,
+    simulate_program,
+)
+from .spec import (
+    MEMORY_SIDE_PREFERRED,
+    SM_SIDE_PREFERRED,
+    BenchmarkSpec,
+    KernelSpec,
+    PhaseSpec,
+)
+from .suite import BENCHMARKS, MP_BENCHMARKS, SP_BENCHMARKS, SUITE, get
+from .traceio import TraceStatistics, load_trace, save_trace, trace_statistics
+
+__all__ = [
+    "REGION_FALSE",
+    "REGION_PRIVATE",
+    "REGION_TRUE",
+    "EpochTrace",
+    "KernelTrace",
+    "TraceGenerator",
+    "Array",
+    "ArrayAccess",
+    "Broadcast",
+    "Halo",
+    "KernelProgram",
+    "Partitioned",
+    "ProgramWorkload",
+    "Strided",
+    "simulate_program",
+    "MEMORY_SIDE_PREFERRED",
+    "SM_SIDE_PREFERRED",
+    "BenchmarkSpec",
+    "KernelSpec",
+    "PhaseSpec",
+    "BENCHMARKS",
+    "MP_BENCHMARKS",
+    "SP_BENCHMARKS",
+    "SUITE",
+    "get",
+    "TraceStatistics",
+    "load_trace",
+    "save_trace",
+    "trace_statistics",
+]

@@ -1,0 +1,272 @@
+"""Synthetic trace generation.
+
+The generator turns a :class:`~repro.workloads.spec.BenchmarkSpec` into a
+deterministic stream of post-L1 memory accesses (the paper's performance
+counters also operate on L1 misses).  The virtual address space is laid
+out in three page-aligned regions:
+
+* **true region** — every chip draws line addresses from the same pool,
+  so the same lines are accessed by multiple chips (true sharing);
+* **false region** — lines within each page are statically partitioned
+  across chips (line ``i`` of a page belongs to chip ``i mod num_chips``),
+  so chips share pages but never lines (false sharing);
+* **private region** — split into per-chip contiguous blocks that only
+  the owning chip touches (no sharing).
+
+Reuse is shaped by a hot set: ``hot_weight`` of the accesses fall into the
+first ``hot_fraction`` of the region.  The hot-set size is what determines
+whether replicating shared data under an SM-side LLC fits in the cache —
+the decision boundary at the core of the paper.
+
+Epoch records are numpy arrays for fast generation; the engine consumes
+them row-wise.  Within an epoch the per-chip streams are shuffled together
+so that first-touch page allocation spreads shared pages across chips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .spec import BenchmarkSpec, KernelSpec, PhaseSpec
+
+REGION_TRUE = 0
+REGION_FALSE = 1
+REGION_PRIVATE = 2
+
+
+@dataclass(frozen=True)
+class EpochTrace:
+    """One epoch of accesses plus its compute floor.
+
+    ``chips``, ``clusters``, ``addrs`` and ``writes`` are parallel arrays;
+    ``compute_cycles`` is the time the epoch would take with an infinitely
+    fast memory system (sets the lower bound on epoch latency).
+    """
+
+    chips: np.ndarray
+    clusters: np.ndarray
+    addrs: np.ndarray
+    writes: np.ndarray
+    compute_cycles: float
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+
+@dataclass(frozen=True)
+class KernelTrace:
+    """A kernel launch: name plus its epoch sequence."""
+
+    name: str
+    epochs: Tuple[EpochTrace, ...]
+
+    @property
+    def num_accesses(self) -> int:
+        return sum(len(e) for e in self.epochs)
+
+
+class TraceGenerator:
+    """Generates the access trace for one benchmark on one system shape."""
+
+    def __init__(self, spec: BenchmarkSpec, num_chips: int,
+                 clusters_per_chip: int, line_size: int = 128,
+                 page_size: int = 4096,
+                 accesses_per_epoch_per_chip: int = 8192,
+                 scale: float = 1.0) -> None:
+        if num_chips < 1:
+            raise ValueError("need at least one chip")
+        if clusters_per_chip < 1:
+            raise ValueError("need at least one cluster per chip")
+        if accesses_per_epoch_per_chip < 1:
+            raise ValueError("need at least one access per epoch")
+        self.spec = spec
+        self.num_chips = num_chips
+        self.clusters_per_chip = clusters_per_chip
+        self.line_size = line_size
+        self.page_size = page_size
+        self.accesses_per_epoch = accesses_per_epoch_per_chip
+        self.scale = scale
+        self._lines_per_page = max(1, page_size // line_size)
+
+        regions = spec.region_bytes(scale)
+        self._true_lines = self._to_lines(regions["true"])
+        self._false_lines = self._to_lines(regions["false"])
+        self._private_lines_per_chip = (
+            self._to_lines(regions["private"]) // max(1, num_chips))
+
+        # Page-aligned region base addresses.
+        self._true_base = 0
+        self._false_base = self._align_pages(self._true_lines * line_size)
+        private_base = self._false_base + self._align_pages(
+            self._false_lines * line_size)
+        self._private_bases = [
+            private_base + chip * self._align_pages(
+                self._private_lines_per_chip * line_size)
+            for chip in range(num_chips)]
+
+    def _to_lines(self, num_bytes: int) -> int:
+        return max(0, num_bytes // self.line_size)
+
+    def _align_pages(self, num_bytes: int) -> int:
+        pages = -(-num_bytes // self.page_size)
+        return pages * self.page_size
+
+    # -- Public API -------------------------------------------------------
+
+    @property
+    def total_lines(self) -> int:
+        return (self._true_lines + self._false_lines
+                + self.num_chips * self._private_lines_per_chip)
+
+    def region_of(self, addr: int) -> int:
+        """Classify an address into its region (for analysis/tests)."""
+        if addr < self._false_base:
+            return REGION_TRUE
+        if addr < self._private_bases[0]:
+            return REGION_FALSE
+        return REGION_PRIVATE
+
+    def kernels(self) -> Iterator[KernelTrace]:
+        """Yield every kernel launch of the benchmark, in order."""
+        seed = self.spec.effective_seed
+        launch = 0
+        for _ in range(self.spec.iterations):
+            for kernel in self.spec.kernels:
+                rng = np.random.default_rng((seed, launch))
+                yield self._generate_kernel(kernel, rng, launch)
+                launch += 1
+
+    def generate(self) -> List[KernelTrace]:
+        """Materialize the full trace (convenience for tests)."""
+        return list(self.kernels())
+
+    # -- Generation internals ----------------------------------------------
+
+    def _generate_kernel(self, kernel: KernelSpec, rng: np.random.Generator,
+                         launch: int) -> KernelTrace:
+        epochs = tuple(self._generate_epoch(kernel.phase, rng)
+                       for _ in range(kernel.epochs))
+        name = f"{kernel.name}#{launch}"
+        return KernelTrace(name=name, epochs=epochs)
+
+    def _generate_epoch(self, phase: PhaseSpec,
+                        rng: np.random.Generator) -> EpochTrace:
+        n = self.accesses_per_epoch
+        per_chip = []
+        for chip in range(self.num_chips):
+            per_chip.append(self._chip_accesses(chip, n, phase, rng))
+        chips = np.concatenate([np.full(n, chip, dtype=np.int64)
+                                for chip in range(self.num_chips)])
+        addrs = np.concatenate([a for a, _ in per_chip])
+        writes = np.concatenate([w for _, w in per_chip])
+        clusters = rng.integers(0, self.clusters_per_chip,
+                                size=len(addrs), dtype=np.int64)
+        order = rng.permutation(len(addrs))
+        compute = n / phase.intensity * 1000.0
+        return EpochTrace(chips=chips[order], clusters=clusters,
+                          addrs=addrs[order], writes=writes[order],
+                          compute_cycles=compute)
+
+    def _chip_accesses(self, chip: int, n: int, phase: PhaseSpec,
+                       rng: np.random.Generator
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        weights = self._effective_weights(phase)
+        regions = rng.choice(3, size=n, p=weights)
+        addrs = np.empty(n, dtype=np.int64)
+        for region in (REGION_TRUE, REGION_FALSE, REGION_PRIVATE):
+            mask = regions == region
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            addrs[mask] = self._sample_region(region, chip, count, phase, rng)
+        writes = rng.random(n) < phase.write_fraction
+        return addrs, writes
+
+    def _effective_weights(self, phase: PhaseSpec) -> Sequence[float]:
+        """Zero out weights of empty regions and renormalize."""
+        raw = [phase.weight_true if self._true_lines else 0.0,
+               phase.weight_false if self._false_lines else 0.0,
+               phase.weight_private if self._private_lines_per_chip else 0.0]
+        total = sum(raw)
+        if total <= 0:
+            raise ValueError(
+                f"benchmark {self.spec.name!r}: every weighted region is empty")
+        return [w / total for w in raw]
+
+    def _hot_cold_indices(self, count: int, num_items: int, phase: PhaseSpec,
+                          rng: np.random.Generator,
+                          region: str) -> np.ndarray:
+        """Draw ``count`` item indices from a hot/cold split of ``num_items``."""
+        if num_items <= 0:
+            raise ValueError("cannot sample from an empty region")
+        hot_items = max(1, int(num_items * phase.region_hot_fraction(region)))
+        if hot_items >= num_items:
+            return rng.integers(0, num_items, size=count, dtype=np.int64)
+        is_hot = rng.random(count) < phase.hot_weight
+        indices = np.empty(count, dtype=np.int64)
+        num_hot = int(is_hot.sum())
+        if num_hot:
+            indices[is_hot] = rng.integers(0, hot_items, size=num_hot,
+                                           dtype=np.int64)
+        num_cold = count - num_hot
+        if num_cold:
+            indices[~is_hot] = rng.integers(hot_items, num_items,
+                                            size=num_cold, dtype=np.int64)
+        return indices
+
+    def _sample_region(self, region: int, chip: int, count: int,
+                       phase: PhaseSpec,
+                       rng: np.random.Generator) -> np.ndarray:
+        if region == REGION_TRUE:
+            return self._sample_true(chip, count, phase, rng)
+        if region == REGION_FALSE:
+            return self._sample_false(chip, count, phase, rng)
+        lines = self._hot_cold_indices(count, self._private_lines_per_chip,
+                                       phase, rng, "private")
+        return self._private_bases[chip] + lines * self.line_size
+
+    def _sample_true(self, chip: int, count: int, phase: PhaseSpec,
+                     rng: np.random.Generator) -> np.ndarray:
+        """Sample truly shared lines, honouring the phase's home affinity.
+
+        The region is split into ``num_chips`` equal segments, each with
+        its own hot prefix.  With probability ``true_affinity`` a chip
+        accesses its own segment (the part it first touches and that is
+        therefore homed locally); otherwise it accesses a uniformly random
+        segment.  Every segment can be accessed by every chip, so all the
+        lines remain truly shared.
+        """
+        seg_lines = self._true_lines // self.num_chips
+        if phase.true_affinity <= 0.0 or seg_lines == 0:
+            lines = self._hot_cold_indices(count, self._true_lines, phase,
+                                           rng, "true")
+            return self._true_base + lines * self.line_size
+        segments = rng.integers(0, self.num_chips, size=count, dtype=np.int64)
+        own = rng.random(count) < phase.true_affinity
+        segments[own] = chip
+        within = self._hot_cold_indices(count, seg_lines, phase, rng, "true")
+        lines = segments * seg_lines + within
+        return self._true_base + lines * self.line_size
+
+    def _sample_false(self, chip: int, count: int, phase: PhaseSpec,
+                      rng: np.random.Generator) -> np.ndarray:
+        """Sample falsely shared lines: per-page line slots owned by ``chip``.
+
+        Each page of the false region has ``lines_per_page`` lines; chip
+        ``c`` only ever touches lines whose within-page index is congruent
+        to ``c`` modulo the chip count, so no line is accessed by two
+        chips while every page is shared.
+        """
+        lpp = self._lines_per_page
+        slots_per_page = max(1, lpp // self.num_chips)
+        num_pages = max(1, self._false_lines // lpp)
+        num_slots = num_pages * slots_per_page
+        slot = self._hot_cold_indices(count, num_slots, phase, rng, "false")
+        page = slot // slots_per_page
+        within = slot % slots_per_page
+        line_in_page = (within * self.num_chips + chip) % lpp
+        return (self._false_base + page * self.page_size
+                + line_in_page * self.line_size)

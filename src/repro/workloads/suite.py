@@ -1,0 +1,207 @@
+"""The 16-benchmark workload suite (paper Table 4).
+
+Each benchmark reproduces the published characteristics — CTA count,
+footprint, truly-shared and falsely-shared megabytes — and encodes an
+access pattern whose *hot working set* places it on the correct side of
+the SAC decision boundary:
+
+* **SM-side preferred (SP)** benchmarks direct most traffic at shared
+  data with a small truly-shared hot set (≲ 2.5 MB): replicating it per
+  chip fits the 4 MB LLC, so an SM-side LLC serves the shared data at
+  intra-chip bandwidth while a memory-side LLC saturates the inter-chip
+  ring.
+* **Memory-side preferred (MP)** benchmarks have footprints dominated by
+  private data whose hot set fits the per-chip LLC, plus a truly-shared
+  hot set of ~6-14 MB.  Under an SM-side LLC the replicated shared set
+  thrashes each chip's LLC (evicting the private hot data too), driving
+  DRAM traffic past its bandwidth; a memory-side LLC keeps one copy and
+  stays fast.
+* The paper's "atypical" benchmarks (3DC, BS, BP, DWT) are less
+  memory-intensive and/or barely shared, so the organizations nearly tie.
+
+BFS alternates a memory-side-preferred kernel (K1) with an SM-side-
+preferred kernel (K2), which drives the Figure 12 time-varying study.
+
+Hot-set sizes are expressed as per-region hot fractions: for example,
+SRAD's 30 MB truly-shared region with ``hot_fraction_true = 0.40`` has a
+12 MB hot set.  ``intensity`` (memory accesses per chip per 1000 compute
+cycles) controls how memory-bound each benchmark is and therefore the
+magnitude of its organization preference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .spec import (
+    MEMORY_SIDE_PREFERRED,
+    SM_SIDE_PREFERRED,
+    BenchmarkSpec,
+    KernelSpec,
+    PhaseSpec,
+)
+
+
+def _bench(name: str, suite: str, ctas: int, footprint: float, true_mb: float,
+           false_mb: float, preference: str, phase: PhaseSpec,
+           epochs: int = 6, iterations: int = 2) -> BenchmarkSpec:
+    kernels = (KernelSpec(name=f"{name}.K1", phase=phase, epochs=epochs),)
+    return BenchmarkSpec(
+        name=name, suite=suite, num_ctas=ctas, footprint_mb=footprint,
+        true_shared_mb=true_mb, false_shared_mb=false_mb,
+        preference=preference, kernels=kernels, iterations=iterations)
+
+
+def _sp_phase(weight_true: float, weight_false: float, weight_private: float,
+              hot_true: float, intensity: float, hot_false: float = 0.15,
+              hot_private: float = 0.10, write_fraction: float = 0.2,
+              hot_weight: float = 0.85) -> PhaseSpec:
+    """Phase template for SM-side preferred benchmarks."""
+    return PhaseSpec(
+        weight_true=weight_true, weight_false=weight_false,
+        weight_private=weight_private, hot_weight=hot_weight,
+        write_fraction=write_fraction, intensity=intensity,
+        hot_fraction=0.15, hot_fraction_true=max(hot_true, 1e-6),
+        hot_fraction_false=hot_false, hot_fraction_private=hot_private)
+
+
+def _mp_phase(weight_true: float, weight_false: float, weight_private: float,
+              hot_true: float, hot_private: float, intensity: float,
+              hot_false: float = 0.10, write_fraction: float = 0.25,
+              hot_weight: float = 0.92,
+              true_affinity: float = 0.70) -> PhaseSpec:
+    """Phase template for memory-side preferred benchmarks.
+
+    MP workloads are iterative: true sharing is temporally skewed toward
+    the home chip (``true_affinity``), keeping memory-side responses
+    largely local while an SM-side LLC still ends up replicating the
+    whole shared hot set across kernels.
+    """
+    return PhaseSpec(
+        weight_true=weight_true, weight_false=weight_false,
+        weight_private=weight_private, hot_weight=hot_weight,
+        write_fraction=write_fraction, intensity=intensity,
+        hot_fraction=0.2, hot_fraction_true=hot_true,
+        hot_fraction_false=hot_false, hot_fraction_private=hot_private,
+        true_affinity=true_affinity)
+
+
+def _make_bfs() -> BenchmarkSpec:
+    """BFS: alternating kernels with opposite preferences (Figure 12)."""
+    # K1 traverses the frontier/visited structures shared by every chip:
+    # a large truly-shared hot set (~6 MB) plus a per-chip private hot set
+    # near the LLC capacity makes it memory-side preferred (replicating
+    # the frontier evicts the private data and saturates DRAM).
+    k1 = _mp_phase(0.45, 0.05, 0.50, hot_true=0.80, hot_private=0.98,
+                   intensity=11000.0, true_affinity=0.85, hot_weight=0.96)
+    # K2 expands per-chip partitions of the graph: falsely shared, with a
+    # small truly-shared pivot set (~1.2 MB), so it is SM-side preferred.
+    k2 = _sp_phase(0.35, 0.45, 0.20, hot_true=0.20, hot_false=0.30,
+                   intensity=2600.0)
+    kernels = (KernelSpec(name="BFS.K1", phase=k1, epochs=8),
+               KernelSpec(name="BFS.K2", phase=k2, epochs=5))
+    return BenchmarkSpec(
+        name="BFS", suite="Rodinia", num_ctas=1954, footprint_mb=37,
+        true_shared_mb=10, false_shared_mb=14, preference=SM_SIDE_PREFERRED,
+        kernels=kernels, iterations=3)
+
+
+def _build_suite() -> Tuple[BenchmarkSpec, ...]:
+    benchmarks: List[BenchmarkSpec] = [
+        # -- SM-side preferred (paper Table 4, top half) -------------------
+        # RN: 11 MB truly shared, hot set ~1.7 MB -> replicas fit per chip.
+        _bench("RN", "Tango", 512, 21, 11, 4, SM_SIDE_PREFERRED,
+               _sp_phase(0.55, 0.25, 0.20, hot_true=0.27, hot_false=0.30,
+                         intensity=3000.0)),
+        # AN: similar profile to RN with slightly smaller shared data.
+        _bench("AN", "Tango", 1024, 20, 9, 3, SM_SIDE_PREFERRED,
+               _sp_phase(0.55, 0.20, 0.25, hot_true=0.33, hot_false=0.30,
+                         intensity=3000.0)),
+        # SN: dominated by falsely shared data (13 of 18 MB).
+        _bench("SN", "Tango", 512, 18, 2, 13, SM_SIDE_PREFERRED,
+               _sp_phase(0.20, 0.60, 0.20, hot_true=0.90, hot_false=0.50,
+                         intensity=2700.0)),
+        # CFD: large falsely-shared flux arrays, small shared boundary set.
+        _bench("CFD", "Rodinia", 4031, 97, 9, 33, SM_SIDE_PREFERRED,
+               _sp_phase(0.30, 0.50, 0.20, hot_true=0.24, hot_false=0.15,
+                         hot_private=0.03, intensity=2450.0)),
+        # BFS: alternates K1 (memory-side) and K2 (SM-side); see Figure 12.
+        _make_bfs(),
+        # 3DC: atypical — wide stencil, lower intensity, small tie gap.
+        _bench("3DC", "Polybench", 2048, 98, 17, 38, SM_SIDE_PREFERRED,
+               _sp_phase(0.25, 0.55, 0.20, hot_true=0.10, hot_false=0.12,
+                         intensity=1150.0)),
+        # BS: no true sharing at all; all benefit comes from false sharing.
+        _bench("BS", "SDK", 480, 76, 0, 56, SM_SIDE_PREFERRED,
+               _sp_phase(0.0, 0.75, 0.25, hot_true=0.5, hot_false=0.20,
+                         intensity=1250.0)),
+        # BT: many small CTAs; modest shared set, mostly false sharing.
+        _bench("BT", "Rodinia", 48096, 31, 4, 19, SM_SIDE_PREFERRED,
+               _sp_phase(0.25, 0.50, 0.25, hot_true=0.45, hot_false=0.28,
+                         intensity=2050.0)),
+        # -- Memory-side preferred (paper Table 4, bottom half) ------------
+        # MP apps are iterative: many short kernel launches, so an SM-side
+        # LLC pays a software-coherence flush and a cold refill per launch
+        # while the memory-side LLC stays warm.
+        # SRAD: 30 MB truly shared, hot ~9 MB -> replication thrashes the
+        # per-chip LLC; the private hot set (~1.5 MB/chip) stays resident
+        # under memory-side.
+        _bench("SRAD", "Rodinia", 65536, 753, 30, 3, MEMORY_SIDE_PREFERRED,
+               _mp_phase(0.42, 0.08, 0.50, hot_true=0.25, hot_private=0.018,
+                         intensity=7600.0, true_affinity=0.90), epochs=2, iterations=6),
+        # GEMM: shared input matrices (~7 MB hot) reused by every chip.
+        _bench("GEMM", "Polybench", 2048, 174, 14, 21, MEMORY_SIDE_PREFERRED,
+               _mp_phase(0.42, 0.08, 0.50, hot_true=0.57, hot_private=0.092,
+                         intensity=7600.0, true_affinity=0.85), epochs=2, iterations=6),
+        # LUD: large shared factor panels (hot ~9.5 MB).
+        _bench("LUD", "Rodinia", 131068, 317, 38, 51, MEMORY_SIDE_PREFERRED,
+               _mp_phase(0.42, 0.08, 0.50, hot_true=0.21, hot_private=0.056,
+                         intensity=8000.0, true_affinity=0.85), epochs=2, iterations=6),
+        # STEN: shared halo planes of ~9 MB.
+        _bench("STEN", "Parboil", 1024, 205, 18, 17, MEMORY_SIDE_PREFERRED,
+               _mp_phase(0.42, 0.08, 0.50, hot_true=0.44, hot_private=0.075,
+                         intensity=7600.0, true_affinity=0.85), epochs=2, iterations=6),
+        # 3MM: chained matrix products sharing ~6.6 MB of operands.
+        _bench("3MM", "Polybench", 4096, 109, 12, 7, MEMORY_SIDE_PREFERRED,
+               _mp_phase(0.42, 0.08, 0.50, hot_true=0.67, hot_private=0.142,
+                         intensity=8200.0, true_affinity=0.92), epochs=2, iterations=6),
+        # BP: atypical — almost no sharing, compute-bound; the flush per
+        # launch gives memory-side a small edge.
+        _bench("BP", "Rodinia", 65536, 76, 4, 0, MEMORY_SIDE_PREFERRED,
+               _mp_phase(0.10, 0.0, 0.90, hot_true=0.20, hot_private=0.070,
+                         intensity=2000.0), epochs=4, iterations=3),
+        # DWT: atypical — tiny shared set, mildly memory-bound.
+        _bench("DWT", "Rodinia", 91373, 207, 3, 10, MEMORY_SIDE_PREFERRED,
+               _mp_phase(0.08, 0.12, 0.80, hot_true=0.60, hot_private=0.025,
+                         intensity=2100.0), epochs=4, iterations=3),
+        # NN: 154 MB of truly shared weights; hot ~9 MB, far too big to
+        # replicate but cacheable once system-wide.
+        _bench("NN", "Tango", 60000, 1388, 154, 0, MEMORY_SIDE_PREFERRED,
+               _mp_phase(0.45, 0.0, 0.55, hot_true=0.052, hot_private=0.0104,
+                         intensity=8000.0, true_affinity=0.85), epochs=2, iterations=6),
+    ]
+    return tuple(benchmarks)
+
+
+#: All benchmarks, in the paper's Table 4 order (SP block then MP block).
+SUITE: Tuple[BenchmarkSpec, ...] = _build_suite()
+
+#: Benchmarks by name, e.g. ``BENCHMARKS["BFS"]``.
+BENCHMARKS: Dict[str, BenchmarkSpec] = {b.name: b for b in SUITE}
+
+#: The SM-side preferred group (paper Figure 1/8 left block).
+SP_BENCHMARKS: Tuple[BenchmarkSpec, ...] = tuple(
+    b for b in SUITE if b.preference == SM_SIDE_PREFERRED)
+
+#: The memory-side preferred group (paper Figure 1/8 right block).
+MP_BENCHMARKS: Tuple[BenchmarkSpec, ...] = tuple(
+    b for b in SUITE if b.preference == MEMORY_SIDE_PREFERRED)
+
+
+def get(name: str) -> BenchmarkSpec:
+    """Look up a benchmark by name (raises KeyError with suggestions)."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        known = ", ".join(sorted(BENCHMARKS))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None

@@ -1,0 +1,79 @@
+"""Unit tests for terminal bar-chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import (
+    bar_chart,
+    grouped_bar_chart,
+    series_chart,
+    stacked_bar_chart,
+)
+
+
+class TestBarChart:
+    def test_bar_lengths_are_proportional(self):
+        chart = bar_chart({"a": 1.0, "b": 2.0}, width=20)
+        lines = chart.splitlines()
+        assert lines[0].count("#") * 2 == pytest.approx(
+            lines[1].count("#"), abs=2)
+
+    def test_values_are_printed(self):
+        chart = bar_chart({"x": 1.5}, width=10)
+        assert "1.50" in chart
+
+    def test_reference_marker_is_drawn(self):
+        chart = bar_chart({"a": 0.5, "b": 2.0}, width=20, reference=1.0)
+        # The short bar's line carries a reference mark beyond its bar.
+        assert "|" in chart.splitlines()[0]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_nonpositive_peak_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 0.0})
+
+    def test_labels_are_aligned(self):
+        chart = bar_chart({"a": 1.0, "longer": 1.0})
+        lines = chart.splitlines()
+        assert lines[0].index("#") == lines[1].index("#")
+
+
+class TestGroupedBarChart:
+    def test_groups_render_as_blocks(self):
+        chart = grouped_bar_chart({"SP": {"sac": 1.6},
+                                   "MP": {"sac": 1.0}})
+        assert "SP:" in chart
+        assert "MP:" in chart
+
+
+class TestStackedBarChart:
+    def test_components_use_distinct_symbols_with_legend(self):
+        chart = stacked_bar_chart({
+            "bench": {"local": 2.0, "remote": 1.0}})
+        assert "legend:" in chart
+        assert "local" in chart
+        assert "remote" in chart
+
+    def test_custom_symbols(self):
+        chart = stacked_bar_chart(
+            {"x": {"a": 1.0}}, symbols={"a": "@"})
+        assert "@" in chart
+
+    def test_totals_are_printed(self):
+        chart = stacked_bar_chart({"x": {"a": 1.0, "b": 2.0}})
+        assert "3.00" in chart
+
+
+class TestSeriesChart:
+    def test_renders_all_points_and_series(self):
+        points = [{"x": "48GB/s", "sm": 2.0, "sac": 1.9},
+                  {"x": "768GB/s", "sm": 1.0, "sac": 1.1}]
+        chart = series_chart(points, "x", ["sm", "sac"])
+        assert chart.count("48GB/s") == 2
+        assert "sac" in chart
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            series_chart([], "x", ["y"])

@@ -1,0 +1,67 @@
+"""Unit and integration tests for the energy estimate."""
+
+import pytest
+
+from repro.analysis.energy import (
+    PJ_PER_BYTE,
+    EnergyEstimate,
+    energy_ratio,
+    estimate_energy,
+)
+from repro.sim import simulate
+from repro.sim.stats import RunStats
+from repro.workloads import get
+
+
+def make_stats(**kwargs):
+    defaults = dict(benchmark="x", organization="memory-side",
+                    cycles=1000.0, accesses=100, llc_lookups=100,
+                    llc_hits=80)
+    defaults.update(kwargs)
+    stats = RunStats()
+    for key, value in defaults.items():
+        setattr(stats, key, value)
+    return stats
+
+
+class TestEstimate:
+    def test_breakdown_sums(self):
+        stats = make_stats(dram_bytes=1000, inter_chip_bytes=500)
+        estimate = estimate_energy(stats)
+        assert estimate.total == pytest.approx(
+            sum(estimate.breakdown().values()))
+        assert estimate.dynamic == pytest.approx(
+            estimate.total - estimate.static)
+
+    def test_dram_term_uses_counter(self):
+        low = estimate_energy(make_stats(dram_bytes=0))
+        high = estimate_energy(make_stats(dram_bytes=100_000))
+        assert high.dram - low.dram == pytest.approx(
+            100_000 * PJ_PER_BYTE["dram"])
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_energy(make_stats(accesses=0))
+
+    def test_cost_ordering_is_sane(self):
+        assert PJ_PER_BYTE["noc"] < PJ_PER_BYTE["llc"] \
+            < PJ_PER_BYTE["inter_chip"] <= PJ_PER_BYTE["dram"]
+
+
+class TestEnergyRatio:
+    def test_identity(self):
+        stats = make_stats(dram_bytes=100)
+        assert energy_ratio(stats, stats) == pytest.approx(1.0)
+
+    def test_sm_side_trades_ring_energy_for_dram_energy(self):
+        """On an SP benchmark, caching remote data locally halves the
+        inter-chip energy but pays more DRAM energy (higher miss rate) —
+        the performance and energy winners need not coincide."""
+        spec = get("RN")
+        mem = simulate(spec, "memory-side", accesses_per_epoch=2048)
+        sm = simulate(spec, "sm-side", accesses_per_epoch=2048)
+        mem_energy = estimate_energy(mem)
+        sm_energy = estimate_energy(sm)
+        assert sm_energy.inter_chip < mem_energy.inter_chip
+        assert sm_energy.dram > mem_energy.dram
+        assert sm_energy.static < mem_energy.static  # finishes earlier

@@ -1,0 +1,78 @@
+"""Unit tests for CSV export of experiment results."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import (
+    export_experiment,
+    flatten_grouped,
+    flatten_speedups,
+    write_csv,
+)
+
+
+def read_back(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestWriteCSV:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        count = write_csv(str(path), ["a", "b"], [[1, 2], [3, 4]])
+        assert count == 2
+        rows = read_back(path)
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+class TestFlatteners:
+    def test_flatten_speedups_is_sorted(self):
+        flat = flatten_speedups({("b", "x"): 2.0, ("a", "y"): 1.0})
+        assert flat == [["a", "y", 1.0], ["b", "x", 2.0]]
+
+    def test_flatten_grouped(self):
+        flat = flatten_grouped({"SP": {"sac": 1.5}})
+        assert flat == [["SP", "sac", 1.5]]
+
+
+class TestExportDispatch:
+    def test_speedups_shape(self, tmp_path):
+        result = {"speedups": {("RN", "sac"): 2.0}, "other": 1}
+        path = tmp_path / "fig8.csv"
+        assert export_experiment(result, str(path)) == 1
+        assert read_back(path)[1] == ["RN", "sac", "2.0"]
+
+    def test_rows_shape(self, tmp_path):
+        result = {"rows": [{"benchmark": "RN", "ctas": 512}]}
+        path = tmp_path / "table4.csv"
+        export_experiment(result, str(path))
+        rows = read_back(path)
+        assert rows[0] == ["benchmark", "ctas"]
+        assert rows[1] == ["RN", "512"]
+
+    def test_series_shape(self, tmp_path):
+        result = {"series": {"RN": [{"factor": 2.0, "sac_speedup": 1.4}]}}
+        path = tmp_path / "fig13.csv"
+        export_experiment(result, str(path))
+        rows = read_back(path)
+        assert rows[0] == ["name", "factor", "sac_speedup"]
+
+    def test_grouped_shape(self, tmp_path):
+        result = {"performance": {"SP": {"sac": 1.9}}}
+        path = tmp_path / "fig1.csv"
+        export_experiment(result, str(path))
+        assert read_back(path)[1] == ["SP", "sac", "1.9"]
+
+    def test_unknown_shape_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="unrecognized"):
+            export_experiment({"weird": 1}, str(tmp_path / "x.csv"))
+
+    def test_real_experiment_roundtrip(self, tmp_path):
+        from repro.experiments import fig12_time_varying
+        result = fig12_time_varying.run_experiment(fast=True)
+        # Figure 12 uses "launches" -> adapt through the series path.
+        result_as_series = {"series": {"BFS": result["launches"]}}
+        path = tmp_path / "fig12.csv"
+        count = export_experiment(result_as_series, str(path))
+        assert count == len(result["launches"])

@@ -1,0 +1,74 @@
+"""Unit tests for the cached experiment runner and aggregation helpers."""
+
+import pytest
+
+from repro.analysis import (
+    cache_size,
+    clear_cache,
+    hmean_speedup,
+    run,
+    run_matrix,
+    speedups_vs_baseline,
+)
+from repro.workloads import BenchmarkSpec, KernelSpec, PhaseSpec
+
+
+def tiny_spec(name="runner-tiny"):
+    phase = PhaseSpec(weight_true=0.4, weight_false=0.3, weight_private=0.3)
+    return BenchmarkSpec(
+        name=name, suite="test", num_ctas=8, footprint_mb=4,
+        true_shared_mb=1, false_shared_mb=1, preference="sm-side",
+        kernels=(KernelSpec(name="k", phase=phase, epochs=1),), seed=13)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestCaching:
+    def test_repeat_run_is_memoized(self):
+        spec = tiny_spec()
+        first = run(spec, "memory-side", accesses_per_epoch=256)
+        assert cache_size() == 1
+        second = run(spec, "memory-side", accesses_per_epoch=256)
+        assert second is first
+
+    def test_different_organizations_are_distinct_entries(self):
+        spec = tiny_spec()
+        run(spec, "memory-side", accesses_per_epoch=256)
+        run(spec, "sm-side", accesses_per_epoch=256)
+        assert cache_size() == 2
+
+    def test_use_cache_false_bypasses(self):
+        spec = tiny_spec()
+        first = run(spec, "memory-side", accesses_per_epoch=256,
+                    use_cache=False)
+        assert cache_size() == 0
+        second = run(spec, "memory-side", accesses_per_epoch=256,
+                     use_cache=False)
+        assert second is not first
+        assert second.cycles == first.cycles
+
+
+class TestMatrix:
+    def test_matrix_covers_all_pairs(self):
+        specs = [tiny_spec("a"), tiny_spec("b")]
+        results = run_matrix(specs, ["memory-side", "sm-side"],
+                             accesses_per_epoch=256)
+        assert set(results) == {("a", "memory-side"), ("a", "sm-side"),
+                                ("b", "memory-side"), ("b", "sm-side")}
+
+    def test_speedups_normalize_to_baseline(self):
+        specs = [tiny_spec("a")]
+        results = run_matrix(specs, ["memory-side", "sm-side"],
+                             accesses_per_epoch=256)
+        speedups = speedups_vs_baseline(results, ["a"],
+                                        ["memory-side", "sm-side"])
+        assert speedups[("a", "memory-side")] == pytest.approx(1.0)
+
+    def test_hmean_speedup(self):
+        speedups = {("a", "x"): 2.0, ("b", "x"): 2.0}
+        assert hmean_speedup(speedups, ["a", "b"], "x") == pytest.approx(2.0)

@@ -1,0 +1,41 @@
+"""Unit tests for table/series formatting."""
+
+import pytest
+
+from repro.analysis import format_series, format_table, normalize
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        table = format_table(["name", "value"], [["a", 1.0], ["bb", 2.5]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.00" in lines[2]
+        assert "2.50" in lines[3]
+
+    def test_mixed_types(self):
+        table = format_table(["x"], [[42], ["text"], [3.14159]])
+        assert "42" in table
+        assert "text" in table
+        assert "3.14" in table
+
+    def test_custom_float_format(self):
+        table = format_table(["x"], [[0.123456]], float_format="{:.4f}")
+        assert "0.1235" in table
+
+
+class TestFormatSeries:
+    def test_renders_title_and_points(self):
+        text = format_series("My figure", {"a": {"x": 1.0, "y": 2.0}})
+        assert text.startswith("My figure")
+        assert "a: x=1.000 y=2.000" in text
+
+
+class TestNormalize:
+    def test_normalizes_by_reference(self):
+        values = normalize({"a": 2.0, "b": 4.0}, "a")
+        assert values == {"a": 1.0, "b": 2.0}
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ValueError):
+            normalize({"a": 0.0, "b": 1.0}, "a")

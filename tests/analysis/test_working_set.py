@@ -1,0 +1,134 @@
+"""Unit tests for the windowed working-set / sharing analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    SHARING_FALSE,
+    SHARING_NONE,
+    SHARING_TRUE,
+    classify_lines,
+    working_set_profile,
+)
+from repro.workloads import BenchmarkSpec, KernelSpec, PhaseSpec, get
+
+LINE = 128
+PAGE = 4096
+
+
+class TestClassifyLines:
+    def test_true_sharing(self):
+        chips = np.array([0, 1])
+        addrs = np.array([0, 0])
+        classes = classify_lines(chips, addrs, LINE, PAGE)
+        assert classes[0] == SHARING_TRUE
+
+    def test_false_sharing(self):
+        # Two chips touch different lines of the same page.
+        chips = np.array([0, 1])
+        addrs = np.array([0, LINE])
+        classes = classify_lines(chips, addrs, LINE, PAGE)
+        assert classes[0] == SHARING_FALSE
+        assert classes[1] == SHARING_FALSE
+
+    def test_no_sharing(self):
+        # Different pages entirely.
+        chips = np.array([0, 1])
+        addrs = np.array([0, PAGE])
+        classes = classify_lines(chips, addrs, LINE, PAGE)
+        assert classes[0] == SHARING_NONE
+        assert classes[PAGE // LINE] == SHARING_NONE
+
+    def test_mixed_page(self):
+        # Line 0 truly shared; line 1 only by chip 0 but page is shared.
+        chips = np.array([0, 1, 0])
+        addrs = np.array([0, 0, LINE])
+        classes = classify_lines(chips, addrs, LINE, PAGE)
+        assert classes[0] == SHARING_TRUE
+        assert classes[1] == SHARING_FALSE
+
+
+def tiny_spec():
+    phase = PhaseSpec(weight_true=0.4, weight_false=0.3, weight_private=0.3,
+                      hot_fraction=0.5)
+    return BenchmarkSpec(
+        name="ws", suite="test", num_ctas=8, footprint_mb=4,
+        true_shared_mb=1, false_shared_mb=1, preference="sm-side",
+        kernels=(KernelSpec(name="k", phase=phase, epochs=2),), seed=9)
+
+
+class TestWorkingSetProfile:
+    def test_points_follow_requested_windows(self):
+        points = working_set_profile(tiny_spec(), num_chips=4,
+                                     window_cycles=(1000, 10000),
+                                     accesses_per_epoch=512,
+                                     scale=1.0 / 16, clusters_per_chip=4)
+        assert [p.window_cycles for p in points] == [1000, 10000]
+
+    def test_larger_windows_see_larger_working_sets(self):
+        points = working_set_profile(tiny_spec(), num_chips=4,
+                                     window_cycles=(500, 50000),
+                                     accesses_per_epoch=512,
+                                     scale=1.0 / 16, clusters_per_chip=4)
+        assert points[1].total_bytes >= points[0].total_bytes
+
+    def test_all_three_classes_appear(self):
+        points = working_set_profile(tiny_spec(), num_chips=4,
+                                     window_cycles=(100000,),
+                                     accesses_per_epoch=1024,
+                                     scale=1.0 / 16, clusters_per_chip=4)
+        point = points[0]
+        assert point.true_shared_bytes > 0
+        assert point.false_shared_bytes > 0
+        assert point.non_shared_bytes > 0
+
+    def test_replication_counts_copies_per_chip(self):
+        # All-true workload: the replicated working set over a huge
+        # window approaches num_chips x the distinct footprint.
+        phase = PhaseSpec(weight_true=1.0, weight_false=0.0,
+                          weight_private=0.0, hot_fraction=1.0,
+                          hot_weight=0.0)
+        spec = BenchmarkSpec(
+            name="rep", suite="test", num_ctas=8, footprint_mb=1,
+            true_shared_mb=1, false_shared_mb=0, preference="sm-side",
+            kernels=(KernelSpec(name="k", phase=phase, epochs=2),), seed=9)
+        points = working_set_profile(spec, num_chips=4,
+                                     window_cycles=(10 ** 9,),
+                                     accesses_per_epoch=4096,
+                                     scale=1.0 / 16, clusters_per_chip=4)
+        distinct_bytes = 1024 * 1024 / 16  # 1 MB at scale 1/16
+        assert points[0].true_shared_bytes > 2.5 * distinct_bytes
+
+    def test_as_mb_reporting(self):
+        points = working_set_profile(tiny_spec(), num_chips=4,
+                                     window_cycles=(1000,),
+                                     accesses_per_epoch=256,
+                                     scale=1.0 / 16, clusters_per_chip=4)
+        row = points[0].as_mb()
+        assert row["total_mb"] == pytest.approx(
+            row["true_mb"] + row["false_mb"] + row["none_mb"])
+
+    def test_suite_mp_has_bigger_active_demand_than_sp(self):
+        sp = working_set_profile(get("RN"), window_cycles=(20000,),
+                                 accesses_per_epoch=2048, scale=1.0 / 16)
+        mp = working_set_profile(get("NN"), window_cycles=(20000,),
+                                 accesses_per_epoch=2048, scale=1.0 / 16)
+        assert mp[0].active_demand_bytes > sp[0].active_demand_bytes
+
+    def test_active_demand_excludes_single_touch_lines(self):
+        # A pure streaming workload (no reuse) has zero active demand.
+        phase = PhaseSpec(weight_true=0.0, weight_false=0.0,
+                          weight_private=1.0, hot_fraction=1.0,
+                          hot_weight=0.0)
+        spec = BenchmarkSpec(
+            name="stream", suite="test", num_ctas=8, footprint_mb=512,
+            true_shared_mb=0, false_shared_mb=0, preference="memory-side",
+            kernels=(KernelSpec(name="k", phase=phase, epochs=1),), seed=9)
+        points = working_set_profile(spec, num_chips=4,
+                                     window_cycles=(10 ** 9,),
+                                     accesses_per_epoch=512,
+                                     scale=1.0, clusters_per_chip=4)
+        # With 512 accesses over 128 MB/chip, repeats are essentially
+        # impossible: nothing is re-referenced.
+        assert points[0].active_demand_bytes == 0.0
+        assert points[0].non_shared_bytes > 0

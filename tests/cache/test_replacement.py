@@ -1,0 +1,220 @@
+"""Unit tests for replacement policies and the way-organized cache."""
+
+import pytest
+
+from repro.arch import CacheConfig
+from repro.cache import (
+    LRUPolicy,
+    SRRIPPolicy,
+    TreePLRUPolicy,
+    WayOrganizedCache,
+    make_cache,
+    make_policy,
+)
+from repro.cache.cache import SetAssociativeCache
+
+
+class TestPolicyFactory:
+    def test_make_policy_by_name(self):
+        assert isinstance(make_policy("lru", 4), LRUPolicy)
+        assert isinstance(make_policy("tree-plru", 4), TreePLRUPolicy)
+        assert isinstance(make_policy("srrip", 4), SRRIPPolicy)
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="srrip"):
+            make_policy("random", 4)
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("lru", 0)
+
+
+class TestLRUPolicy:
+    def test_victim_is_least_recent(self):
+        policy = LRUPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(way)
+        policy.on_hit(0)
+        assert policy.victim([0, 1, 2, 3]) == 1
+
+    def test_victim_respects_candidates(self):
+        policy = LRUPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(way)
+        assert policy.victim([2, 3]) == 2
+
+    def test_untouched_way_is_coldest(self):
+        policy = LRUPolicy(4)
+        policy.on_fill(1)
+        assert policy.victim([0, 1]) == 0
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two_ways(self):
+        with pytest.raises(ValueError):
+            TreePLRUPolicy(6)
+
+    def test_victim_avoids_recent_way(self):
+        policy = TreePLRUPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(way)
+        policy.on_hit(2)
+        assert policy.victim([0, 1, 2, 3]) != 2
+
+    def test_round_robin_like_behaviour_under_sweep(self):
+        policy = TreePLRUPolicy(4)
+        victims = []
+        for step in range(8):
+            way = policy.victim([0, 1, 2, 3])
+            victims.append(way)
+            policy.on_fill(way)
+        # The tree cycles through all ways rather than camping on one.
+        assert set(victims) == {0, 1, 2, 3}
+
+    def test_fallback_when_tree_points_outside_candidates(self):
+        policy = TreePLRUPolicy(4)
+        pointed = policy.victim([0, 1, 2, 3])
+        others = [w for w in range(4) if w != pointed]
+        assert policy.victim(others) in others
+
+
+class TestSRRIP:
+    def test_new_lines_are_near_eviction(self):
+        policy = SRRIPPolicy(4)
+        policy.on_fill(0)
+        policy.on_hit(1)  # way 1 promoted to RRPV 0
+        # Way 0 (RRPV 2) ages out before way 1 (RRPV 0).
+        assert policy.victim([0, 1]) == 0
+
+    def test_scan_resistance(self):
+        """A one-shot scan cannot displace a re-referenced line."""
+        policy = SRRIPPolicy(2)
+        policy.on_fill(0)
+        policy.on_hit(0)  # hot line
+        policy.on_fill(1)  # scan line
+        assert policy.victim([0, 1]) == 1
+
+    def test_aging_eventually_selects_someone(self):
+        policy = SRRIPPolicy(4)
+        for way in range(4):
+            policy.on_fill(way)
+            policy.on_hit(way)
+        assert policy.victim([0, 1, 2, 3]) in (0, 1, 2, 3)
+
+
+def make_way_cache(replacement="srrip", size=4096, ways=4):
+    return make_cache(CacheConfig(size_bytes=size, associativity=ways,
+                                  line_size=128, replacement=replacement))
+
+
+class TestWayOrganizedCache:
+    def test_factory_dispatches_by_policy(self):
+        assert isinstance(make_way_cache("lru"), SetAssociativeCache)
+        assert isinstance(make_way_cache("srrip"), WayOrganizedCache)
+        assert isinstance(make_way_cache("tree-plru"), WayOrganizedCache)
+
+    @pytest.mark.parametrize("replacement", ["tree-plru", "srrip"])
+    def test_basic_hit_miss(self, replacement):
+        cache = make_way_cache(replacement)
+        assert cache.access(0x1000).miss
+        assert cache.access(0x1000).hit
+        assert cache.probe(0x1000)
+
+    @pytest.mark.parametrize("replacement", ["tree-plru", "srrip"])
+    def test_capacity_eviction(self, replacement):
+        cache = make_way_cache(replacement)
+        stride = 8 * 128  # same set
+        for i in range(5):
+            cache.access(i * stride)
+        assert cache.occupancy() == 4
+        assert cache.stats.evictions == 1
+
+    def test_dirty_eviction_reports_writeback(self):
+        cache = make_way_cache("srrip", size=2048, ways=2)
+        stride = 8 * 128
+        cache.access(0, is_write=True)
+        cache.access(stride)
+        result = cache.access(2 * stride)
+        assert result.evicted_addr is not None
+        # The evicted address maps back to the same set.
+        assert (result.evicted_addr // 128) % 8 == 0
+
+    def test_flush_and_invalidate(self):
+        cache = make_way_cache("tree-plru")
+        cache.access(0, is_write=True)
+        cache.access(0x80)
+        assert cache.invalidate(0x80)
+        invalidated, dirty = cache.flush()
+        assert invalidated == 1
+        assert dirty == 1
+        assert cache.occupancy() == 0
+
+    def test_partitioning(self):
+        cache = make_way_cache("srrip")
+        cache.set_partition({0: 2, 1: 2})
+        stride = 8 * 128
+        for i in range(4):
+            cache.access(i * stride, partition=0)
+        assert cache.occupancy_by_partition()[0] == 2
+
+    def test_sectored_variant(self):
+        cache = make_cache(CacheConfig(
+            size_bytes=4096, associativity=4, line_size=128,
+            sectored=True, sectors_per_line=4, replacement="srrip"))
+        cache.access(0)
+        assert cache.access(32).sector_miss
+        assert cache.access(32).hit
+
+    def test_reset(self):
+        cache = make_way_cache("srrip")
+        cache.access(0)
+        cache.reset()
+        assert cache.occupancy() == 0
+        assert cache.stats.accesses == 0
+
+    def test_resident_lines_roundtrip(self):
+        cache = make_way_cache("tree-plru")
+        for addr in (0, 0x80, 0x2480):
+            cache.access(addr)
+        resident = {addr for addr, _ in cache.resident_lines()}
+        assert resident == {0, 0x80, 0x2480 & ~127}
+
+
+class TestPolicyComparison:
+    def test_srrip_beats_lru_on_scanning_mix(self):
+        """SRRIP's raison d'etre: scans should not flush the hot set."""
+        import random
+        rng = random.Random(42)
+        configs = {name: make_cache(CacheConfig(
+            size_bytes=8192, associativity=8, line_size=128,
+            replacement=name)) for name in ("lru", "srrip")}
+        hits = {name: 0 for name in configs}
+        hot = [i * 128 for i in range(48)]          # fits comfortably
+        scan = [0x100000 + i * 128 for i in range(4096)]
+        scan_pos = 0
+        for step in range(20000):
+            if rng.random() < 0.5:
+                addr = rng.choice(hot)
+            else:
+                addr = scan[scan_pos % len(scan)]
+                scan_pos += 1
+            for name, cache in configs.items():
+                if cache.access(addr).hit:
+                    hits[name] += 1
+        assert hits["srrip"] > hits["lru"]
+
+    def test_plru_approximates_lru(self):
+        """On a friendly workload PLRU should be within a few % of LRU."""
+        import random
+        rng = random.Random(7)
+        configs = {name: make_cache(CacheConfig(
+            size_bytes=8192, associativity=8, line_size=128,
+            replacement=name)) for name in ("lru", "tree-plru")}
+        hits = {name: 0 for name in configs}
+        lines = [i * 128 for i in range(96)]
+        for step in range(20000):
+            addr = rng.choice(lines)
+            for name, cache in configs.items():
+                if cache.access(addr).hit:
+                    hits[name] += 1
+        assert hits["tree-plru"] > 0.85 * hits["lru"]

@@ -1,0 +1,168 @@
+"""Unit tests for the MESI directory protocol."""
+
+import pytest
+
+from repro.coherence.mesi import (
+    ActionKind,
+    MESIDirectory,
+    State,
+)
+
+
+def make():
+    return MESIDirectory(num_chips=4)
+
+
+class TestReads:
+    def test_first_read_grants_exclusive(self):
+        directory = make()
+        assert directory.read(0x100, chip=1) == []
+        assert directory.state_of(0x100) is State.EXCLUSIVE
+        assert directory.sharers_of(0x100) == [1]
+
+    def test_silent_reread_by_owner(self):
+        directory = make()
+        directory.read(0x100, 1)
+        assert directory.read(0x100, 1) == []
+        assert directory.state_of(0x100) is State.EXCLUSIVE
+
+    def test_second_reader_causes_transfer_and_shared(self):
+        directory = make()
+        directory.read(0x100, 0)
+        actions = directory.read(0x100, 2)
+        assert len(actions) == 1
+        assert actions[0].kind is ActionKind.TRANSFER
+        assert actions[0].chip == 0
+        assert not actions[0].writeback
+        assert directory.state_of(0x100) is State.SHARED
+        assert directory.sharers_of(0x100) == [0, 2]
+
+    def test_read_of_modified_line_downgrades_with_writeback(self):
+        directory = make()
+        directory.write(0x100, 0)
+        actions = directory.read(0x100, 3)
+        assert actions[0].kind is ActionKind.DOWNGRADE
+        assert actions[0].chip == 0
+        assert actions[0].writeback
+        assert directory.state_of(0x100) is State.SHARED
+
+    def test_third_reader_joins_silently(self):
+        directory = make()
+        directory.read(0x100, 0)
+        directory.read(0x100, 1)
+        assert directory.read(0x100, 2) == []
+        assert directory.sharers_of(0x100) == [0, 1, 2]
+
+
+class TestWrites:
+    def test_first_write_goes_modified(self):
+        directory = make()
+        assert directory.write(0x100, 2) == []
+        assert directory.state_of(0x100) is State.MODIFIED
+        assert directory.sharers_of(0x100) == [2]
+
+    def test_write_upgrades_exclusive_silently(self):
+        directory = make()
+        directory.read(0x100, 1)
+        assert directory.write(0x100, 1) == []
+        assert directory.state_of(0x100) is State.MODIFIED
+
+    def test_write_to_shared_invalidates_others(self):
+        directory = make()
+        for chip in (0, 1, 3):
+            directory.read(0x100, chip)
+        actions = directory.write(0x100, 1)
+        invalidated = {a.chip for a in actions}
+        assert invalidated == {0, 3}
+        assert all(a.kind is ActionKind.INVALIDATE for a in actions)
+        assert directory.state_of(0x100) is State.MODIFIED
+        assert directory.sharers_of(0x100) == [1]
+
+    def test_write_steals_modified_line_with_writeback(self):
+        directory = make()
+        directory.write(0x100, 0)
+        actions = directory.write(0x100, 2)
+        assert len(actions) == 1
+        assert actions[0].kind is ActionKind.INVALIDATE
+        assert actions[0].chip == 0
+        assert actions[0].writeback
+
+    def test_rewrite_by_owner_is_silent(self):
+        directory = make()
+        directory.write(0x100, 0)
+        assert directory.write(0x100, 0) == []
+
+
+class TestEvictions:
+    def test_evicting_modified_copy_requires_writeback(self):
+        directory = make()
+        directory.write(0x100, 0)
+        assert directory.evict(0x100, 0) is True
+        assert directory.state_of(0x100) is State.INVALID
+        assert len(directory) == 0
+
+    def test_evicting_clean_copy_is_silent(self):
+        directory = make()
+        directory.read(0x100, 0)
+        assert directory.evict(0x100, 0) is False
+
+    def test_evicting_one_sharer_keeps_the_rest(self):
+        directory = make()
+        directory.read(0x100, 0)
+        directory.read(0x100, 1)
+        directory.evict(0x100, 0)
+        assert directory.sharers_of(0x100) == [1]
+        assert directory.state_of(0x100) is State.SHARED
+
+    def test_evicting_untracked_is_noop(self):
+        directory = make()
+        assert directory.evict(0x500, 1) is False
+
+
+class TestStats:
+    def test_counters(self):
+        directory = make()
+        directory.read(0x100, 0)       # E
+        directory.read(0x100, 1)       # transfer
+        directory.write(0x100, 2)      # 2 invalidations
+        directory.read(0x100, 3)       # downgrade + writeback
+        stats = directory.stats
+        assert stats.reads == 3
+        assert stats.writes == 1
+        assert stats.transfers == 1
+        assert stats.invalidations == 2
+        assert stats.downgrades == 1
+        assert stats.writebacks >= 1
+
+    def test_reset(self):
+        directory = make()
+        directory.write(0x100, 0)
+        directory.reset()
+        assert len(directory) == 0
+        assert directory.stats.writes == 0
+
+
+class TestInvariants:
+    def test_modified_always_has_single_sharer(self):
+        import random
+        rng = random.Random(5)
+        directory = make()
+        lines = [0x100, 0x200, 0x300]
+        for _ in range(500):
+            line = rng.choice(lines)
+            chip = rng.randrange(4)
+            op = rng.random()
+            if op < 0.45:
+                directory.read(line, chip)
+            elif op < 0.8:
+                directory.write(line, chip)
+            else:
+                directory.evict(line, chip)
+            state = directory.state_of(line)
+            sharers = directory.sharers_of(line)
+            if state in (State.MODIFIED, State.EXCLUSIVE):
+                assert len(sharers) == 1
+            if state is State.INVALID:
+                assert sharers == []
+            if sharers == [] and state is not State.INVALID:
+                pytest.fail("non-invalid state without sharers")

@@ -1,0 +1,32 @@
+"""Unit tests for software (flush-based) coherence."""
+
+import pytest
+
+from repro.arch import CoherenceConfig
+from repro.coherence import SoftwareCoherence
+
+
+def make():
+    return SoftwareCoherence(CoherenceConfig(protocol="software"),
+                             line_size=128)
+
+
+class TestFlushCost:
+    def test_clean_flush_is_free(self):
+        cost = make().flush_cost(lines_invalidated=100, dirty_lines=0)
+        assert cost.cycles == 0.0
+        assert cost.writeback_bytes == 0
+        assert cost.lines_invalidated == 100
+
+    def test_dirty_flush_charges_cycles_and_bytes(self):
+        cost = make().flush_cost(lines_invalidated=100, dirty_lines=40)
+        assert cost.cycles == pytest.approx(40 * 0.25)
+        assert cost.writeback_bytes == 40 * 128
+
+    def test_rejects_more_dirty_than_lines(self):
+        with pytest.raises(ValueError):
+            make().flush_cost(lines_invalidated=10, dirty_lines=11)
+
+    def test_rejects_hardware_protocol(self):
+        with pytest.raises(ValueError):
+            SoftwareCoherence(CoherenceConfig(protocol="hardware"), 128)

@@ -1,0 +1,90 @@
+"""Unit tests for the SAC profiling-counter architecture."""
+
+import pytest
+
+from repro.arch import SACConfig
+from repro.core import ProfilingCounters
+
+
+def make_counters(num_chips=4, slices=16, **kwargs):
+    return ProfilingCounters(SACConfig(), num_chips=num_chips,
+                             slices_per_chip=slices, llc_num_sets=2048,
+                             line_size=128, **kwargs)
+
+
+class TestRLocal:
+    def test_all_local(self):
+        counters = make_counters()
+        for chip in range(4):
+            counters.record_issue(chip, home_chip=chip, sm_slice_index=0)
+        assert counters.r_local == 1.0
+
+    def test_all_remote(self):
+        counters = make_counters()
+        counters.record_issue(0, home_chip=1, sm_slice_index=0)
+        counters.record_issue(1, home_chip=2, sm_slice_index=0)
+        assert counters.r_local == 0.0
+
+    def test_mixed(self):
+        counters = make_counters()
+        counters.record_issue(0, home_chip=0, sm_slice_index=0)
+        counters.record_issue(0, home_chip=1, sm_slice_index=1)
+        counters.record_issue(0, home_chip=2, sm_slice_index=2)
+        counters.record_issue(0, home_chip=0, sm_slice_index=3)
+        assert counters.r_local == pytest.approx(0.5)
+
+    def test_empty_defaults_local(self):
+        assert make_counters().r_local == 1.0
+
+
+class TestHitRates:
+    def test_memory_side_hit_rate(self):
+        counters = make_counters()
+        counters.record_llc_outcome(True)
+        counters.record_llc_outcome(True)
+        counters.record_llc_outcome(False)
+        assert counters.llc_hit_memory_side == pytest.approx(2 / 3)
+
+    def test_sm_side_hit_rate_pools_crds(self):
+        counters = make_counters()
+        # Two requests homed at chip 0: first misses, repeat hits.
+        counters.record_arrival(0, slice_index=0, requester_chip=1, addr=0)
+        counters.record_arrival(0, slice_index=0, requester_chip=1, addr=0)
+        assert counters.llc_hit_sm_side == pytest.approx(0.5)
+
+
+class TestLSU:
+    def test_memory_side_lsu_from_arrivals(self):
+        counters = make_counters(num_chips=1, slices=4)
+        for _ in range(8):
+            counters.record_arrival(0, slice_index=0, requester_chip=0,
+                                    addr=0)
+        assert counters.lsu_memory_side == pytest.approx(0.25)
+
+    def test_sm_side_lsu_from_issues(self):
+        counters = make_counters(num_chips=1, slices=4)
+        for slice_index in range(4):
+            counters.record_issue(0, home_chip=0, sm_slice_index=slice_index)
+        assert counters.lsu_sm_side == pytest.approx(1.0)
+
+
+class TestStorage:
+    def test_paper_620_bytes_conventional(self):
+        counters = make_counters()
+        assert counters.storage_bytes_per_chip() == 620
+
+    def test_paper_812_bytes_sectored(self):
+        counters = make_counters(sectored=True, sectors_per_line=4)
+        assert counters.storage_bytes_per_chip() == 812
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        counters = make_counters()
+        counters.record_issue(0, 1, 0)
+        counters.record_arrival(1, 0, 0, 0)
+        counters.record_llc_outcome(True)
+        counters.reset()
+        assert counters.total_requests == 0
+        assert counters.llc_hit_memory_side == 0.0
+        assert counters.llc_hit_sm_side == 0.0

@@ -1,0 +1,195 @@
+"""Unit tests for the EAB analytical model (paper Section 3.3)."""
+
+import math
+
+import pytest
+
+from repro.arch import baseline
+from repro.core import (
+    EABInputs,
+    architecture_bandwidths,
+    decide,
+    eab_memory_side,
+    eab_sm_side,
+    llc_slice_uniformity,
+)
+
+
+def make_inputs(**overrides):
+    defaults = dict(
+        r_local=0.5,
+        lsu_memory_side=0.8,
+        lsu_sm_side=0.8,
+        llc_hit_memory_side=0.8,
+        llc_hit_sm_side=0.8,
+        b_intra=8192.0,
+        b_inter=576.0,
+        b_llc=16384.0,
+        b_mem=1750.0)
+    defaults.update(overrides)
+    return EABInputs(**defaults)
+
+
+class TestLSU:
+    def test_uniform_distribution_gives_one(self):
+        assert llc_slice_uniformity([100] * 16) == pytest.approx(1.0)
+
+    def test_single_hot_slice_gives_one_over_n(self):
+        requests = [0] * 15 + [500]
+        assert llc_slice_uniformity(requests) == pytest.approx(1 / 16)
+
+    def test_half_loaded(self):
+        # Half the slices get the peak load, half get zero.
+        requests = [100, 0] * 8
+        assert llc_slice_uniformity(requests) == pytest.approx(0.5)
+
+    def test_all_zero_is_neutral(self):
+        assert llc_slice_uniformity([0, 0, 0]) == 1.0
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            llc_slice_uniformity([1, -1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            llc_slice_uniformity([])
+
+
+class TestMemorySideEAB:
+    def test_remote_side_is_capped_by_inter_chip_bandwidth(self):
+        result = eab_memory_side(make_inputs(r_local=0.0))
+        assert result.remote <= 576.0
+        assert result.local == pytest.approx(0.0)
+
+    def test_local_side_is_capped_by_intra_bandwidth(self):
+        # Enormous LLC hit bandwidth: the intra-chip NoC becomes the cap.
+        result = eab_memory_side(make_inputs(
+            r_local=1.0, llc_hit_memory_side=1.0, b_llc=1e9))
+        assert result.local == pytest.approx(8192.0)
+
+    def test_miss_path_goes_through_memory_bandwidth(self):
+        # No hits: everything is bounded by B_mem * R.
+        result = eab_memory_side(make_inputs(
+            r_local=1.0, llc_hit_memory_side=0.0))
+        assert result.local == pytest.approx(min(8192, 1750.0))
+
+    def test_total_is_sum_of_sides(self):
+        result = eab_memory_side(make_inputs())
+        assert result.total == pytest.approx(result.local + result.remote)
+
+
+class TestSMSideEAB:
+    def test_noc_bandwidth_is_shared_by_request_fractions(self):
+        # Table 1: under SM-side, B_SM_LLC is B_intra * R per side.
+        inputs = make_inputs(r_local=0.25, llc_hit_sm_side=1.0, b_llc=1e9)
+        result = eab_sm_side(inputs)
+        assert result.local == pytest.approx(8192 * 0.25)
+        assert result.remote == pytest.approx(8192 * 0.75)
+
+    def test_remote_misses_are_capped_by_inter_chip(self):
+        # All remote, no hits: the LLC->memory leg crosses the ring.
+        inputs = make_inputs(r_local=0.0, llc_hit_sm_side=0.0)
+        result = eab_sm_side(inputs)
+        assert result.remote == pytest.approx(min(8192, 576.0))
+
+    def test_high_hit_rate_escapes_inter_chip_cap(self):
+        # The SM-side advantage: hits are served at intra-chip bandwidth.
+        low = eab_sm_side(make_inputs(r_local=0.0, llc_hit_sm_side=0.1))
+        high = eab_sm_side(make_inputs(r_local=0.0, llc_hit_sm_side=0.9))
+        assert high.remote > low.remote
+
+
+class TestDecision:
+    def test_sharing_friendly_profile_prefers_sm_side(self):
+        # High remote fraction, high SM-side hit rate (small shared set).
+        inputs = make_inputs(r_local=0.4, llc_hit_sm_side=0.85,
+                             llc_hit_memory_side=0.9)
+        assert decide(inputs) == "sm-side"
+
+    def test_replication_thrashing_prefers_memory_side(self):
+        # The CRD predicts a collapsed SM-side hit rate.
+        inputs = make_inputs(r_local=0.8, llc_hit_sm_side=0.2,
+                             llc_hit_memory_side=0.85)
+        assert decide(inputs) == "memory-side"
+
+    def test_theta_guards_marginal_wins(self):
+        # Construct a marginal SM-side advantage below theta.
+        inputs = make_inputs(r_local=1.0, llc_hit_sm_side=0.8,
+                             llc_hit_memory_side=0.8)
+        mem = eab_memory_side(inputs).total
+        sm = eab_sm_side(inputs).total
+        assert sm <= mem * 1.05
+        assert decide(inputs, theta=0.05) == "memory-side"
+
+    def test_zero_theta_takes_any_win(self):
+        inputs = make_inputs(r_local=0.4, llc_hit_sm_side=0.9)
+        assert decide(inputs, theta=0.0) == "sm-side"
+
+    def test_rejects_negative_theta(self):
+        with pytest.raises(ValueError):
+            decide(make_inputs(), theta=-0.1)
+
+
+class TestInputValidation:
+    def test_rejects_out_of_range_rates(self):
+        with pytest.raises(ValueError):
+            make_inputs(r_local=1.5)
+        with pytest.raises(ValueError):
+            make_inputs(llc_hit_sm_side=-0.1)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            make_inputs(b_inter=0.0)
+
+    def test_r_remote_is_complement(self):
+        assert make_inputs(r_local=0.3).r_remote == pytest.approx(0.7)
+
+
+class TestArchitectureBandwidths:
+    def test_baseline_terms(self):
+        terms = architecture_bandwidths(baseline())
+        # Half of 4 TB/s bisection per chip x 4 chips.
+        assert terms["b_intra"] == pytest.approx(8192.0)
+        # 64 slices x 256 B/cycle = 16 TB/s at 1 GHz (Table 3).
+        assert terms["b_llc"] == pytest.approx(64 * 256)
+        assert terms["b_mem"] == pytest.approx(1750.0)
+        # Ring egress derated by the mean hop count (4/3 for 4 chips).
+        assert terms["b_inter"] == pytest.approx(4 * 192 / (4 / 3))
+
+    def test_single_chip_has_no_inter_chip_term(self):
+        from repro.arch import with_chip_count
+        terms = architecture_bandwidths(with_chip_count(baseline(), 1))
+        assert terms["b_inter"] == math.inf
+
+
+class TestGoldenValues:
+    """Hand-computed Table 1 cross-checks for one fixed input."""
+
+    def golden_inputs(self):
+        return make_inputs(
+            r_local=0.6, lsu_memory_side=0.5, lsu_sm_side=0.75,
+            llc_hit_memory_side=0.9, llc_hit_sm_side=0.6,
+            b_intra=1000.0, b_inter=100.0, b_llc=2000.0, b_mem=400.0)
+
+    def test_memory_side_by_hand(self):
+        # hit_bw = 2000 * 0.5 * 0.9 = 900; miss_bw = 2000 * 0.5 * 0.1 = 100
+        # local  = min(1000, 900*0.6 + min(100*0.6, inf, 400*0.6)) = min(1000, 540+60) = 600
+        # remote = min(100, 900*0.4 + min(100*0.4, inf, 400*0.4)) = 100
+        result = eab_memory_side(self.golden_inputs())
+        assert result.local == pytest.approx(600.0)
+        assert result.remote == pytest.approx(100.0)
+        assert result.total == pytest.approx(700.0)
+
+    def test_sm_side_by_hand(self):
+        # hit_bw = 2000 * 0.75 * 0.6 = 900; miss_bw = 2000 * 0.75 * 0.4 = 600
+        # local  = min(1000*0.6, 900*0.6 + min(600*0.6, inf, 400*0.6)) = min(600, 540+240) = 600
+        # remote = min(1000*0.4, 900*0.4 + min(600*0.4, 100, 400*0.4)) = min(400, 360+100) = 400
+        result = eab_sm_side(self.golden_inputs())
+        assert result.local == pytest.approx(600.0)
+        assert result.remote == pytest.approx(400.0)
+        assert result.total == pytest.approx(1000.0)
+
+    def test_decision_on_golden_inputs(self):
+        # 1000 > 700 * 1.05 -> SM-side wins despite its lower hit rate:
+        # the replicated hot data is served at intra-chip bandwidth.
+        assert decide(self.golden_inputs(), theta=0.05) == "sm-side"

@@ -1,0 +1,93 @@
+"""Property-based tests for the EAB model's structural invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EABInputs,
+    decide,
+    eab_memory_side,
+    eab_sm_side,
+    llc_slice_uniformity,
+)
+
+rates = st.floats(min_value=0.0, max_value=1.0)
+bandwidths = st.floats(min_value=1.0, max_value=1e6)
+
+
+@st.composite
+def eab_inputs(draw):
+    return EABInputs(
+        r_local=draw(rates),
+        lsu_memory_side=draw(rates),
+        lsu_sm_side=draw(rates),
+        llc_hit_memory_side=draw(rates),
+        llc_hit_sm_side=draw(rates),
+        b_intra=draw(bandwidths),
+        b_inter=draw(bandwidths),
+        b_llc=draw(bandwidths),
+        b_mem=draw(bandwidths))
+
+
+@given(eab_inputs())
+@settings(max_examples=300, deadline=None)
+def test_eab_is_nonnegative_and_bounded(inputs):
+    for result in (eab_memory_side(inputs), eab_sm_side(inputs)):
+        assert result.local >= 0.0
+        assert result.remote >= 0.0
+        assert result.total == result.local + result.remote
+    # The memory-side remote EAB can never exceed the inter-chip links.
+    assert eab_memory_side(inputs).remote <= inputs.b_inter + 1e-9
+    # Neither side can exceed the SM<->LLC interconnect under SM-side.
+    sm = eab_sm_side(inputs)
+    assert sm.local <= inputs.b_intra * inputs.r_local + 1e-9
+    assert sm.remote <= inputs.b_intra * inputs.r_remote + 1e-9
+
+
+@given(eab_inputs(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=300, deadline=None)
+def test_decision_is_consistent_with_eab_comparison(inputs, theta):
+    mem = eab_memory_side(inputs).total
+    sm = eab_sm_side(inputs).total
+    expected = "sm-side" if sm > mem * (1.0 + theta) else "memory-side"
+    assert decide(inputs, theta=theta) == expected
+
+
+@given(eab_inputs())
+@settings(max_examples=200, deadline=None)
+def test_raising_theta_never_flips_toward_sm_side(inputs):
+    low = decide(inputs, theta=0.0)
+    high = decide(inputs, theta=0.5)
+    if low == "memory-side":
+        assert high == "memory-side"
+
+
+@given(eab_inputs(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=200, deadline=None)
+def test_sm_side_eab_is_monotone_in_its_hit_rate(inputs, other_hit):
+    lo, hi = sorted([inputs.llc_hit_sm_side, other_hit])
+    import dataclasses
+    low = eab_sm_side(dataclasses.replace(inputs, llc_hit_sm_side=lo))
+    high = eab_sm_side(dataclasses.replace(inputs, llc_hit_sm_side=hi))
+    # More hits can only help: hit bandwidth dominates the capped
+    # miss path term per Table 1.
+    assert high.total >= low.total - 1e-6 * max(1.0, low.total)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000),
+                min_size=1, max_size=64))
+@settings(max_examples=300, deadline=None)
+def test_lsu_bounds(requests):
+    lsu = llc_slice_uniformity(requests)
+    assert 0.0 < lsu <= 1.0 + 1e-12
+    if len(set(requests)) == 1 and requests[0] > 0:
+        assert lsu == 1.0
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10_000),
+                min_size=2, max_size=64))
+@settings(max_examples=200, deadline=None)
+def test_lsu_is_scale_invariant(requests):
+    scaled = [r * 3 for r in requests]
+    assert llc_slice_uniformity(requests) == \
+        llc_slice_uniformity(scaled)

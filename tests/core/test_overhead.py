@@ -1,0 +1,45 @@
+"""Unit tests for the Section 3.6 hardware-overhead accounting."""
+
+import pytest
+
+from repro.arch import baseline, with_chip_count, with_sectored_llc
+from repro.core import crd_bytes, overhead_report
+
+
+class TestCRDBytes:
+    def test_conventional_544(self):
+        assert crd_bytes(baseline().sac, num_chips=4, sectored=False) == 544
+
+    def test_sectored_736(self):
+        assert crd_bytes(baseline().sac, num_chips=4, sectored=True,
+                         sectors_per_line=4) == 736
+
+    def test_scales_with_chip_count(self):
+        sac = baseline().sac
+        assert crd_bytes(sac, 8, False) > crd_bytes(sac, 4, False)
+
+
+class TestOverheadReport:
+    def test_total_620_bytes_conventional(self):
+        report = overhead_report(baseline())
+        assert report.crd_bytes == 544
+        assert report.lsu_counter_bytes == 64
+        assert report.scalar_counter_bytes == 12
+        assert report.total_bytes == 620
+
+    def test_total_812_bytes_sectored(self):
+        report = overhead_report(with_sectored_llc(baseline()))
+        assert report.total_bytes == 812
+
+    def test_sectored_autodetected_from_config(self):
+        report = overhead_report(with_sectored_llc(baseline()))
+        assert report.crd_bytes == 736
+
+    def test_bypass_overheads_match_paper(self):
+        report = overhead_report(baseline())
+        assert report.bypass_power_overhead == pytest.approx(0.016, abs=0.004)
+        assert report.bypass_area_overhead == pytest.approx(0.019, abs=0.004)
+
+    def test_two_chip_variant_shrinks_crd(self):
+        report = overhead_report(with_chip_count(baseline(), 2))
+        assert report.crd_bytes < 544

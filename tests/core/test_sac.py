@@ -1,0 +1,150 @@
+"""End-to-end tests for the SAC controller."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch import baseline
+from repro.core import SharingAwareCaching
+from repro.sim import SimulationEngine, simulate
+from repro.sim.run import scaled_config
+from repro.workloads import (
+    BenchmarkSpec,
+    KernelSpec,
+    PhaseSpec,
+    TraceGenerator,
+    get,
+)
+
+SCALE = 1.0 / 16
+
+
+def sp_like_spec(iterations=1):
+    """A workload with a small shared hot set: SM-side preferred."""
+    phase = PhaseSpec(weight_true=0.5, weight_false=0.3, weight_private=0.2,
+                      hot_fraction=0.1, hot_fraction_true=0.15,
+                      hot_weight=0.9, intensity=3000.0)
+    return BenchmarkSpec(
+        name="sp-like", suite="test", num_ctas=64, footprint_mb=24,
+        true_shared_mb=10, false_shared_mb=6, preference="sm-side",
+        kernels=(KernelSpec(name="k", phase=phase, epochs=4),),
+        iterations=iterations, seed=3)
+
+
+def mp_like_spec():
+    """A big replicated shared hot set: memory-side preferred."""
+    phase = PhaseSpec(weight_true=0.42, weight_false=0.08,
+                      weight_private=0.50, hot_fraction=0.2,
+                      hot_fraction_true=0.5, hot_fraction_private=0.06,
+                      hot_weight=0.92, intensity=7600.0, true_affinity=0.85)
+    return BenchmarkSpec(
+        name="mp-like", suite="test", num_ctas=64, footprint_mb=160,
+        true_shared_mb=14, false_shared_mb=16, preference="memory-side",
+        kernels=(KernelSpec(name="k", phase=phase, epochs=2),),
+        iterations=4, seed=5)
+
+
+def run_sac(spec, **sac_kwargs):
+    config = scaled_config(baseline(), SCALE)
+    sac = SharingAwareCaching(config, **sac_kwargs)
+    generator = TraceGenerator(
+        spec, num_chips=config.num_chips,
+        clusters_per_chip=config.chip.num_clusters,
+        line_size=config.line_size, page_size=config.page_size,
+        accesses_per_epoch_per_chip=4096, scale=SCALE)
+    engine = SimulationEngine(config, sac)
+    stats = engine.run(generator.kernels(), benchmark=spec.name)
+    return sac, stats
+
+
+class TestDecisions:
+    def test_sp_workload_selects_sm_side(self):
+        sac, _stats = run_sac(sp_like_spec())
+        assert [d.chosen for d in sac.stats.decisions] == ["sm-side"]
+        assert sac.stats.reconfigurations >= 2  # switch + revert
+
+    def test_mp_workload_stays_memory_side(self):
+        sac, _stats = run_sac(mp_like_spec())
+        assert all(d.chosen == "memory-side"
+                   for d in sac.stats.decisions)
+        assert sac.stats.reconfigurations == 0
+
+    def test_decision_is_made_per_kernel(self):
+        sac, _stats = run_sac(sp_like_spec(iterations=3))
+        assert len(sac.stats.decisions) == 3
+
+    def test_decision_table(self):
+        sac, _stats = run_sac(sp_like_spec())
+        table = sac.decision_table()
+        assert list(table.values()) == ["sm-side"]
+
+    def test_eab_inputs_are_recorded(self):
+        sac, _stats = run_sac(sp_like_spec())
+        inputs = sac.stats.decisions[0].eab_inputs
+        assert inputs is not None
+        assert 0.0 <= inputs.r_local <= 1.0
+        assert inputs.llc_hit_sm_side > 0.0
+
+
+class TestModeMechanics:
+    def test_reverts_to_memory_side_after_kernel(self):
+        sac, _stats = run_sac(sp_like_spec())
+        assert sac.mode == "memory-side"
+
+    def test_kernel_stats_record_the_running_mode(self):
+        _sac, stats = run_sac(sp_like_spec())
+        assert stats.kernels[0].organization == "sm-side"
+
+    def test_reconfiguration_cost_is_charged(self):
+        _sac, stats = run_sac(sp_like_spec())
+        assert stats.kernels[0].reconfig_cycles > 0
+
+    def test_zero_reconfig_cost_ablation(self):
+        sac_free, stats_free = run_sac(sp_like_spec(),
+                                       zero_reconfig_cost=True)
+        _sac, stats_real = run_sac(sp_like_spec())
+        assert stats_free.cycles <= stats_real.cycles
+        assert sac_free.stats.drain_cycles_total == 0.0
+
+
+class TestAblations:
+    def test_no_crd_uses_memory_side_hit_rate(self):
+        sac, _stats = run_sac(mp_like_spec(), use_crd=False)
+        inputs = sac.stats.decisions[0].eab_inputs
+        assert inputs.llc_hit_sm_side == inputs.llc_hit_memory_side
+
+    def test_no_lsu_pins_uniformity(self):
+        sac, _stats = run_sac(sp_like_spec(), use_lsu=False)
+        inputs = sac.stats.decisions[0].eab_inputs
+        assert inputs.lsu_memory_side == 1.0
+        assert inputs.lsu_sm_side == 1.0
+
+
+class TestReprofiling:
+    def test_periodic_reprofiling_produces_extra_decisions(self):
+        config = scaled_config(baseline(), SCALE)
+        sac_cfg = dataclasses.replace(config.sac,
+                                      reprofile_interval_cycles=2000)
+        config = config.with_updates(sac=sac_cfg)
+        sac = SharingAwareCaching(config)
+        spec = sp_like_spec()
+        generator = TraceGenerator(
+            spec, num_chips=config.num_chips,
+            clusters_per_chip=config.chip.num_clusters,
+            line_size=config.line_size, page_size=config.page_size,
+            accesses_per_epoch_per_chip=4096, scale=SCALE)
+        engine = SimulationEngine(config, sac)
+        engine.run(generator.kernels(), benchmark=spec.name)
+        assert len(sac.stats.decisions) > 1
+
+
+class TestSACAgainstSuite:
+    """SAC must pick the winner on real suite benchmarks (smoke level)."""
+
+    def test_rn_selects_sm_side(self):
+        stats = simulate(get("RN"), "sac", accesses_per_epoch=2048)
+        assert all(k.organization == "sm-side" for k in stats.kernels)
+
+    def test_nn_selects_memory_side(self):
+        stats = simulate(get("NN"), "sac", accesses_per_epoch=2048)
+        assert all(k.organization == "memory-side" for k in stats.kernels)

@@ -1,0 +1,54 @@
+"""Tests for shared experiment plumbing."""
+
+import pytest
+
+from repro.analysis.runner import cache_size, clear_cache
+from repro.experiments.common import (
+    FAST_ACCESSES_PER_EPOCH,
+    SWEEP_MP,
+    SWEEP_SP,
+    run_suite,
+    trace_density,
+)
+from repro.sim.run import DEFAULT_ACCESSES_PER_EPOCH
+from repro.workloads import get
+
+
+class TestTraceDensity:
+    def test_fast_mode_is_cheaper(self):
+        assert trace_density(True) == FAST_ACCESSES_PER_EPOCH
+        assert trace_density(False) == DEFAULT_ACCESSES_PER_EPOCH
+        assert trace_density(True) < trace_density(False)
+
+
+class TestSweepSubsets:
+    def test_sweep_benchmarks_exist_and_cover_both_groups(self):
+        for name in SWEEP_SP:
+            assert get(name).preference == "sm-side"
+        for name in SWEEP_MP:
+            assert get(name).preference == "memory-side"
+
+
+class TestRunSuite:
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        clear_cache()
+        yield
+        clear_cache()
+
+    def test_results_are_keyed_and_cached(self):
+        specs = [get("BS")]
+        results = run_suite(["memory-side"], specs=specs, fast=True)
+        assert set(results) == {("BS", "memory-side")}
+        assert cache_size() == 1
+        # A second call reuses the cache (same object identity).
+        again = run_suite(["memory-side"], specs=specs, fast=True)
+        assert again[("BS", "memory-side")] is results[("BS", "memory-side")]
+
+    def test_fast_and_full_density_are_distinct_cache_entries(self):
+        specs = [get("BS")]
+        run_suite(["memory-side"], specs=specs, fast=True)
+        before = cache_size()
+        run_suite(["memory-side"], specs=specs,
+                  scale=1.0 / 8, fast=True)
+        assert cache_size() > before

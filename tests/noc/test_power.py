@@ -1,0 +1,57 @@
+"""Unit tests for the NoC power/area model (paper-reported deltas)."""
+
+import pytest
+
+from repro.arch import NoCConfig
+from repro.noc import (
+    crossbar_cost,
+    memory_side_noc_cost,
+    report,
+    sac_noc_cost,
+    sm_side_noc_cost,
+)
+
+
+class TestCalibration:
+    """The baseline geometry must reproduce the paper's relative costs."""
+
+    def test_sm_side_costs_about_21_percent_more_power(self):
+        delta = report(NoCConfig())["sm_side_vs_memory_side"]
+        assert delta.power == pytest.approx(0.21, abs=0.02)
+
+    def test_sm_side_costs_about_18_percent_more_area(self):
+        delta = report(NoCConfig())["sm_side_vs_memory_side"]
+        assert delta.area == pytest.approx(0.18, abs=0.02)
+
+    def test_sac_bypass_costs_about_1_6_percent_power(self):
+        delta = report(NoCConfig())["sac_vs_memory_side"]
+        assert delta.power == pytest.approx(0.016, abs=0.004)
+
+    def test_sac_bypass_costs_about_1_9_percent_area(self):
+        delta = report(NoCConfig())["sac_vs_memory_side"]
+        assert delta.area == pytest.approx(0.019, abs=0.004)
+
+
+class TestModelShape:
+    def test_cost_scales_with_ports(self):
+        small = crossbar_cost(8, 8)
+        large = crossbar_cost(16, 16)
+        assert large.power > small.power
+        assert large.area > small.area
+
+    def test_sac_is_cheaper_than_two_noc_sm_side(self):
+        config = NoCConfig()
+        assert sac_noc_cost(config).power < sm_side_noc_cost(config).power
+        assert sac_noc_cost(config).area < sm_side_noc_cost(config).area
+
+    def test_sac_adds_cost_over_memory_side(self):
+        config = NoCConfig()
+        assert sac_noc_cost(config).power > memory_side_noc_cost(config).power
+
+    def test_relative_to_is_a_ratio_minus_one(self):
+        a = crossbar_cost(8, 8)
+        assert a.relative_to(a).power == pytest.approx(0.0)
+
+    def test_rejects_empty_crossbar(self):
+        with pytest.raises(ValueError):
+            crossbar_cost(0, 4)

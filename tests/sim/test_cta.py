@@ -1,0 +1,56 @@
+"""Unit tests for CTA scheduling policies."""
+
+import pytest
+
+from repro.sim import DistributedCTAScheduler, RoundRobinCTAScheduler
+
+
+class TestDistributed:
+    def test_contiguous_blocks(self):
+        scheduler = DistributedCTAScheduler(num_ctas=8, num_chips=4)
+        assert [scheduler.chip_of(i) for i in range(8)] == \
+            [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_uneven_division(self):
+        scheduler = DistributedCTAScheduler(num_ctas=10, num_chips=4)
+        counts = scheduler.counts()
+        assert sum(counts) == 10
+        assert max(counts) - min(counts) <= 3
+
+    def test_ctas_of_roundtrip(self):
+        scheduler = DistributedCTAScheduler(num_ctas=100, num_chips=4)
+        for chip in range(4):
+            for cta in scheduler.ctas_of(chip):
+                assert scheduler.chip_of(cta) == chip
+
+    def test_fewer_ctas_than_chips(self):
+        scheduler = DistributedCTAScheduler(num_ctas=2, num_chips=4)
+        assert sum(scheduler.counts()) == 2
+
+    def test_bounds_checking(self):
+        scheduler = DistributedCTAScheduler(num_ctas=8, num_chips=4)
+        with pytest.raises(IndexError):
+            scheduler.chip_of(8)
+        with pytest.raises(IndexError):
+            scheduler.ctas_of(4)
+
+
+class TestRoundRobin:
+    def test_interleaving(self):
+        scheduler = RoundRobinCTAScheduler(num_ctas=8, num_chips=4)
+        assert [scheduler.chip_of(i) for i in range(8)] == \
+            [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_ctas_of(self):
+        scheduler = RoundRobinCTAScheduler(num_ctas=10, num_chips=4)
+        assert list(scheduler.ctas_of(1)) == [1, 5, 9]
+
+    def test_counts_are_balanced(self):
+        scheduler = RoundRobinCTAScheduler(num_ctas=10, num_chips=4)
+        counts = scheduler.counts()
+        assert sum(counts) == 10
+        assert max(counts) - min(counts) <= 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RoundRobinCTAScheduler(num_ctas=0, num_chips=4)

@@ -1,0 +1,80 @@
+"""Focused tests on the engine's traffic accounting (Figure 6 paths)."""
+
+import pytest
+
+from repro.arch import baseline
+from repro.sim import SimulationEngine, make_organization
+from repro.sim.run import scaled_config
+from repro.workloads import BenchmarkSpec, KernelSpec, PhaseSpec, TraceGenerator
+
+SCALE = 1.0 / 32
+
+
+def run(org_name, weight_true=1.0, weight_private=0.0, seed=53,
+        write_fraction=0.0, epochs=1, accesses=256):
+    config = scaled_config(baseline(), SCALE)
+    phase = PhaseSpec(weight_true=weight_true, weight_false=0.0,
+                      weight_private=weight_private, hot_fraction=1.0,
+                      hot_weight=0.0, write_fraction=write_fraction)
+    spec = BenchmarkSpec(
+        name="traffic", suite="test", num_ctas=8, footprint_mb=4,
+        true_shared_mb=4 * weight_true, false_shared_mb=0,
+        preference="sm-side",
+        kernels=(KernelSpec(name="k", phase=phase, epochs=epochs),),
+        seed=seed)
+    org = make_organization(org_name, config)
+    engine = SimulationEngine(config, org)
+    generator = TraceGenerator(
+        spec, num_chips=config.num_chips,
+        clusters_per_chip=config.chip.num_clusters,
+        line_size=config.line_size, page_size=config.page_size,
+        accesses_per_epoch_per_chip=accesses, scale=SCALE)
+    stats = engine.run(generator.kernels(), benchmark="traffic")
+    return engine, stats
+
+
+class TestMemorySidePaths:
+    def test_remote_requests_cross_the_ring_twice(self):
+        """Each remote access charges a request and a response message."""
+        _engine, stats = run("memory-side")
+        remote = (stats.responses_by_origin["remote_llc"]
+                  + stats.responses_by_origin["remote_mem"])
+        # 32B request + 144B response per remote access, ignoring
+        # write-backs (write_fraction=0).
+        assert stats.inter_chip_bytes == pytest.approx(
+            remote * (32 + 144), rel=0.01)
+
+    def test_private_traffic_never_crosses_the_ring(self):
+        _engine, stats = run("memory-side", weight_true=0.0,
+                             weight_private=1.0)
+        assert stats.inter_chip_bytes == 0
+
+    def test_cold_misses_reach_dram_once_per_line(self):
+        engine, stats = run("memory-side", weight_true=0.0,
+                            weight_private=1.0)
+        misses = stats.llc_lookups - stats.llc_hits
+        # Each miss moves request+response through DRAM (176 B).
+        assert stats.dram_bytes == pytest.approx(misses * 176, rel=0.01)
+
+
+class TestSMSidePaths:
+    def test_remote_misses_cross_ring_but_hits_do_not(self):
+        _engine, stats = run("sm-side")
+        # With write_fraction 0 and no dirty evictions, inter-chip bytes
+        # come only from remote-homed misses.
+        remote_misses = stats.responses_by_origin["remote_mem"]
+        assert stats.inter_chip_bytes == pytest.approx(
+            remote_misses * (32 + 144), rel=0.01)
+
+    def test_dirty_writebacks_add_ring_traffic(self):
+        _clean_engine, clean = run("sm-side", write_fraction=0.0, epochs=2)
+        _dirty_engine, dirty = run("sm-side", write_fraction=0.5, epochs=2)
+        assert dirty.inter_chip_bytes > clean.inter_chip_bytes
+
+
+class TestWriteTraffic:
+    def test_writes_carry_payload_on_the_request(self):
+        _r, reads = run("memory-side", write_fraction=0.0)
+        _w, writes = run("memory-side", write_fraction=1.0, seed=53)
+        # Write requests carry +32B of data per remote access.
+        assert writes.inter_chip_bytes > reads.inter_chip_bytes

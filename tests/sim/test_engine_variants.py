@@ -1,0 +1,110 @@
+"""Integration tests for engine behaviour across design-space variants."""
+
+import pytest
+
+from repro.arch import (
+    baseline,
+    with_chip_count,
+    with_coherence,
+    with_page_size,
+    with_sectored_llc,
+)
+from repro.sim import simulate
+from repro.workloads import BenchmarkSpec, KernelSpec, PhaseSpec
+
+SCALE = 1.0 / 32
+
+
+def tiny_spec(**phase_kwargs):
+    defaults = dict(weight_true=0.4, weight_false=0.3, weight_private=0.3)
+    defaults.update(phase_kwargs)
+    phase = PhaseSpec(**defaults)
+    return BenchmarkSpec(
+        name="variant-tiny", suite="test", num_ctas=16, footprint_mb=8,
+        true_shared_mb=2, false_shared_mb=2, preference="sm-side",
+        kernels=(KernelSpec(name="k", phase=phase, epochs=2),), seed=23)
+
+
+def run(org="memory-side", config=None, spec=None):
+    return simulate(spec or tiny_spec(), org, config=config, scale=SCALE,
+                    accesses_per_epoch=512)
+
+
+class TestChipCounts:
+    def test_two_chip_system(self):
+        config = with_chip_count(baseline(), 2)
+        stats = run(config=config)
+        assert stats.cycles > 0
+        assert sum(stats.responses_by_origin.values()) == stats.accesses
+
+    def test_single_chip_has_no_remote_traffic(self):
+        config = with_chip_count(baseline(), 1)
+        stats = run(config=config)
+        assert stats.inter_chip_bytes == 0
+        assert stats.responses_by_origin["remote_llc"] == 0
+        assert stats.responses_by_origin["remote_mem"] == 0
+
+    def test_eight_chip_system(self):
+        config = with_chip_count(baseline(), 8)
+        stats = run("sm-side", config=config)
+        assert stats.cycles > 0
+
+    def test_sac_works_on_two_chips(self):
+        config = with_chip_count(baseline(), 2)
+        stats = run("sac", config=config)
+        assert stats.kernels[0].organization in ("memory-side", "sm-side")
+
+
+class TestSectoredLLC:
+    def test_sectored_llc_runs_and_has_lower_hit_rate(self):
+        base = baseline()
+        conventional = run(config=base)
+        sectored = run(config=with_sectored_llc(base))
+        # Sector misses on resident lines only exist in sectored caches.
+        assert sectored.llc_hit_rate <= conventional.llc_hit_rate + 1e-9
+
+    def test_sac_with_sectored_llc(self):
+        stats = run("sac", config=with_sectored_llc(baseline()))
+        assert stats.cycles > 0
+
+
+class TestPageSizes:
+    def test_large_pages_spread_false_sharing(self):
+        stats = run(config=with_page_size(baseline(), 65536))
+        assert stats.cycles > 0
+
+    def test_page_size_changes_placement(self):
+        small = run(config=baseline())
+        large = run(config=with_page_size(baseline(), 65536))
+        # Different placement -> different remote traffic (usually more
+        # false sharing with bigger pages under first touch).
+        assert small.inter_chip_bytes != large.inter_chip_bytes
+
+
+class TestHardwareCoherenceWithSAC:
+    def test_sac_runs_under_hardware_coherence(self):
+        config = with_coherence(baseline(), "hardware")
+        spec = tiny_spec(weight_true=0.8, weight_false=0.0,
+                         weight_private=0.2, write_fraction=0.4,
+                         hot_fraction=0.05, hot_weight=0.95,
+                         intensity=3000.0)
+        stats = run("sac", config=config, spec=spec)
+        assert stats.cycles > 0
+
+    def test_hw_coherence_avoids_kernel_boundary_full_flush(self):
+        spec = tiny_spec(write_fraction=0.3)
+        sw = run("sm-side", config=baseline(), spec=spec)
+        hw = run("sm-side", config=with_coherence(baseline(), "hardware"),
+                 spec=spec)
+        # The hardware protocol only writes back remote-homed lines at
+        # kernel end; the software protocol flushes everything.
+        assert hw.flush_cycles <= sw.flush_cycles
+
+
+class TestInputScaling:
+    def test_scaled_input_changes_working_set(self):
+        spec = tiny_spec()
+        small = run(spec=spec.scaled_input(0.25))
+        large = run(spec=spec.scaled_input(4.0))
+        # A bigger input has a bigger footprint and a lower hit rate.
+        assert large.llc_hit_rate < small.llc_hit_rate

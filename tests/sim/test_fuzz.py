@@ -1,0 +1,107 @@
+"""Randomized end-to-end invariants over the full engine (hypothesis).
+
+Small random workload specs run through every organization; the
+invariants checked are the accounting identities every figure relies
+on, so this acts as a catch-all harness for the whole stack.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import baseline, with_coherence
+from repro.sim import simulate
+from repro.sim.run import ORGANIZATIONS
+from repro.workloads import BenchmarkSpec, KernelSpec, PhaseSpec
+
+SCALE = 1.0 / 64
+
+
+@st.composite
+def workload_specs(draw):
+    wt = draw(st.floats(0.0, 1.0))
+    wf = draw(st.floats(0.0, 1.0 - wt))
+    wp = 1.0 - wt - wf
+    true_mb = draw(st.floats(0.25, 4.0))
+    false_mb = draw(st.floats(0.25, 4.0))
+    private_mb = draw(st.floats(0.5, 8.0))
+    phase = PhaseSpec(
+        weight_true=wt, weight_false=wf, weight_private=wp,
+        hot_fraction=draw(st.floats(0.05, 1.0)),
+        hot_weight=draw(st.floats(0.0, 1.0)),
+        write_fraction=draw(st.floats(0.0, 0.6)),
+        intensity=draw(st.floats(500.0, 9000.0)),
+        true_affinity=draw(st.floats(0.0, 0.95)))
+    return BenchmarkSpec(
+        name="fuzz", suite="test", num_ctas=16,
+        footprint_mb=true_mb + false_mb + private_mb,
+        true_shared_mb=true_mb, false_shared_mb=false_mb,
+        preference="sm-side",
+        kernels=(KernelSpec(name="k", phase=phase,
+                            epochs=draw(st.integers(1, 3))),),
+        iterations=draw(st.integers(1, 2)),
+        seed=draw(st.integers(0, 2 ** 31 - 1)))
+
+
+@given(workload_specs(), st.sampled_from(ORGANIZATIONS + ("ladm",)))
+@settings(max_examples=60, deadline=None)
+def test_accounting_invariants(spec, organization):
+    stats = simulate(spec, organization, scale=SCALE,
+                     accesses_per_epoch=256)
+    # One response per access; one top-level lookup per access.
+    assert sum(stats.responses_by_origin.values()) == stats.accesses
+    assert stats.llc_lookups == stats.accesses
+    assert 0 <= stats.llc_hits <= stats.llc_lookups
+    # Time moves forward and every epoch is attributed to a bottleneck.
+    # Non-epoch time is exactly the per-kernel overhead charges (which
+    # include flush cycles — flush_cycles is a subset, not additive).
+    assert stats.cycles > 0
+    overheads = sum(k.reconfig_cycles for k in stats.kernels)
+    attributed = sum(stats.bottleneck_cycles.values())
+    assert abs(attributed + overheads - stats.cycles) < 1e-6 * stats.cycles \
+        + 1e-6
+    assert stats.flush_cycles <= overheads + 1e-9
+    # Allocation fractions are a partition of the resident lines.
+    assert 0.0 <= stats.llc_remote_fraction <= 1.0
+    if stats.llc_local_fraction or stats.llc_remote_fraction:
+        total = stats.llc_local_fraction + stats.llc_remote_fraction
+        assert abs(total - 1.0) < 1e-9
+    # Kernel records tile the run.
+    assert sum(k.accesses for k in stats.kernels) == stats.accesses
+
+
+@given(workload_specs())
+@settings(max_examples=20, deadline=None)
+def test_memory_side_never_caches_remote_data(spec):
+    stats = simulate(spec, "memory-side", scale=SCALE,
+                     accesses_per_epoch=256)
+    assert stats.llc_remote_fraction == 0.0
+    assert stats.responses_by_origin["remote_llc"] >= 0
+
+
+@given(workload_specs())
+@settings(max_examples=20, deadline=None)
+def test_sm_side_never_hits_remote_llcs(spec):
+    stats = simulate(spec, "sm-side", scale=SCALE, accesses_per_epoch=256)
+    assert stats.responses_by_origin["remote_llc"] == 0
+
+
+@given(workload_specs())
+@settings(max_examples=15, deadline=None)
+def test_sac_decisions_are_always_valid(spec):
+    stats = simulate(spec, "sac", scale=SCALE, accesses_per_epoch=256)
+    for kernel in stats.kernels:
+        assert kernel.organization in ("memory-side", "sm-side")
+
+
+@given(workload_specs())
+@settings(max_examples=10, deadline=None)
+def test_hardware_coherence_accounting(spec):
+    spec = dataclasses.replace(spec, name="fuzz-hw")
+    config = with_coherence(baseline(), "hardware")
+    stats = simulate(spec, "sm-side", config=config, scale=SCALE,
+                     accesses_per_epoch=256)
+    assert stats.coherence_invalidations >= 0
+    assert stats.coherence_bytes >= 0
+    assert sum(stats.responses_by_origin.values()) == stats.accesses

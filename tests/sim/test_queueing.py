@@ -1,0 +1,81 @@
+"""Unit tests for the analytical queueing model."""
+
+import pytest
+
+from repro.sim.queueing import RHO_CAP, QueueModel, md1_wait
+
+
+class TestMD1Wait:
+    def test_zero_load_waits_nothing(self):
+        assert md1_wait(service_time=2.0, utilization=0.0) == 0.0
+
+    def test_wait_grows_with_utilization(self):
+        waits = [md1_wait(1.0, rho) for rho in (0.1, 0.5, 0.9)]
+        assert waits[0] < waits[1] < waits[2]
+
+    def test_half_load_closed_form(self):
+        # W = s * 0.5 / (2 * 0.5) = s / 2.
+        assert md1_wait(4.0, 0.5) == pytest.approx(2.0)
+
+    def test_saturation_is_capped(self):
+        capped = md1_wait(1.0, RHO_CAP)
+        assert md1_wait(1.0, 5.0) == pytest.approx(capped)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            md1_wait(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            md1_wait(1.0, -0.5)
+
+
+class TestQueueModel:
+    def test_service_time(self):
+        model = QueueModel(capacity=64.0, request_bytes=128.0)
+        assert model.service_time == pytest.approx(2.0)
+
+    def test_wait_from_epoch_load(self):
+        model = QueueModel(capacity=100.0, request_bytes=100.0)
+        # 5000 bytes over 100 cycles at 100 B/cyc -> rho = 0.5.
+        assert model.wait(epoch_bytes=5000.0, epoch_cycles=100.0) == \
+            pytest.approx(md1_wait(1.0, 0.5))
+
+    def test_idle_epoch_is_free(self):
+        model = QueueModel(capacity=100.0, request_bytes=100.0)
+        assert model.wait(0.0, 100.0) == 0.0
+        assert model.wait(100.0, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueModel(capacity=0.0, request_bytes=1.0)
+        with pytest.raises(ValueError):
+            QueueModel(capacity=1.0, request_bytes=0.0)
+
+
+class TestEngineIntegration:
+    def test_queueing_can_bind_when_latency_limited(self):
+        """With few outstanding misses, queue delay extends the epoch."""
+        from repro.sim import EngineParams, simulate
+        from repro.workloads import BenchmarkSpec, KernelSpec, PhaseSpec
+
+        phase = PhaseSpec(weight_true=0.2, weight_false=0.0,
+                          weight_private=0.8, hot_fraction=1.0,
+                          hot_weight=0.0, intensity=4000.0)
+        spec = BenchmarkSpec(
+            name="queue-tiny", suite="test", num_ctas=8, footprint_mb=64,
+            true_shared_mb=4, false_shared_mb=0,
+            preference="memory-side",
+            kernels=(KernelSpec(name="k", phase=phase, epochs=2),), seed=31)
+        base = simulate(spec, "memory-side", accesses_per_epoch=1024,
+                        params=EngineParams(max_outstanding_per_chip=16))
+        queued = simulate(spec, "memory-side", accesses_per_epoch=1024,
+                          params=EngineParams(max_outstanding_per_chip=16,
+                                              model_queueing=True))
+        assert queued.cycles > base.cycles
+
+    def test_queueing_never_reduces_cycles(self):
+        from repro.sim import EngineParams, simulate
+        from repro.workloads import get
+        base = simulate(get("BS"), "memory-side", accesses_per_epoch=1024)
+        queued = simulate(get("BS"), "memory-side", accesses_per_epoch=1024,
+                          params=EngineParams(model_queueing=True))
+        assert queued.cycles >= base.cycles

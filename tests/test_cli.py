@@ -1,0 +1,48 @@
+"""Tests for the `python -m repro` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments import REGISTRY
+
+
+class TestCLI:
+    def test_list_enumerates_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in REGISTRY:
+            assert name in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_an_experiment_fast(self, capsys):
+        assert main(["fig12", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 12" in out
+        assert "completed in" in out
+
+
+class TestRegistry:
+    def test_registry_covers_every_experiment_module(self):
+        import repro.experiments as experiments
+        registered = {module.__name__ for module in REGISTRY.values()}
+        exported = {getattr(experiments, name).__name__
+                    for name in experiments.__all__
+                    if name != "REGISTRY"}
+        assert registered == exported
+
+    def test_registry_modules_expose_the_experiment_api(self):
+        for module in REGISTRY.values():
+            assert callable(module.run_experiment)
+            assert callable(module.format_report)
+
+
+class TestCSVExport:
+    def test_csv_flag_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "fig12.csv"
+        # Figure 12's result has no exportable shape; use table4 instead.
+        assert main(["table4", "--fast", "--csv", str(out)]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,178 @@
+"""Unit tests for CTA-level kernel programs."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    Array,
+    ArrayAccess,
+    Broadcast,
+    Halo,
+    KernelProgram,
+    Partitioned,
+    ProgramWorkload,
+    Strided,
+    simulate_program,
+)
+
+MB = 1024 * 1024
+LINE = 128
+
+
+def make_workload(accesses=None, ctas=64, scheduling="distributed",
+                  per_chip=256, iterations=1):
+    a = Array("A", 2 * MB)
+    accesses = accesses or [ArrayAccess(a, Partitioned(), weight=1.0)]
+    kernel = KernelProgram("k", accesses, ctas=ctas, accesses_per_cta=64,
+                           intensity=4000.0)
+    return ProgramWorkload("test-app", [kernel], num_chips=4,
+                           clusters_per_chip=8,
+                           cta_scheduling=scheduling,
+                           accesses_per_epoch_per_chip=per_chip,
+                           iterations=iterations)
+
+
+class TestLayout:
+    def test_arrays_are_page_aligned_and_disjoint(self):
+        a = Array("A", 1 * MB + 5)
+        b = Array("B", 2 * MB)
+        kernel = KernelProgram("k", [
+            ArrayAccess(a, Partitioned(), 1.0),
+            ArrayAccess(b, Broadcast(), 1.0)], ctas=8, accesses_per_cta=8)
+        workload = ProgramWorkload("app", [kernel], num_chips=2)
+        assert workload.array_base(a) == 0
+        assert workload.array_base(b) % 4096 == 0
+        assert workload.array_base(b) >= a.size_bytes
+
+    def test_shared_arrays_are_laid_out_once(self):
+        a = Array("A", 1 * MB)
+        k1 = KernelProgram("k1", [ArrayAccess(a, Partitioned(), 1.0)],
+                           ctas=8, accesses_per_cta=8)
+        k2 = KernelProgram("k2", [ArrayAccess(a, Broadcast(), 1.0)],
+                           ctas=8, accesses_per_cta=8)
+        workload = ProgramWorkload("app", [k1, k2], num_chips=2)
+        assert workload.footprint_bytes == 1 * MB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Array("bad", 0)
+        with pytest.raises(ValueError):
+            KernelProgram("k", [], ctas=8, accesses_per_cta=8)
+        a = Array("A", MB)
+        with pytest.raises(ValueError):
+            ArrayAccess(a, Partitioned(), weight=0.0)
+
+
+class TestCompilation:
+    def test_epoch_count_covers_total_accesses(self):
+        workload = make_workload(ctas=64, per_chip=256)
+        traces = list(workload.kernel_traces())
+        assert len(traces) == 1
+        # 64 CTAs x 64 accesses = 4096 total; 4 chips x 256 = 1024/epoch.
+        assert len(traces[0].epochs) == 4
+
+    def test_determinism(self):
+        a = list(make_workload().kernel_traces())[0].epochs[0]
+        b = list(make_workload().kernel_traces())[0].epochs[0]
+        assert np.array_equal(a.addrs, b.addrs)
+
+    def test_iterations_repeat_kernels(self):
+        names = [t.name for t in make_workload(iterations=2).kernel_traces()]
+        assert len(names) == 2
+        assert names[0] != names[1]
+
+    def test_write_fractions_propagate(self):
+        a = Array("A", 2 * MB)
+        workload = make_workload(accesses=[
+            ArrayAccess(a, Partitioned(), 1.0, write_fraction=1.0)])
+        epoch = list(workload.kernel_traces())[0].epochs[0]
+        assert epoch.writes.all()
+
+
+class TestPatternSemantics:
+    def _epoch_lines_by_chip(self, workload):
+        epochs = list(workload.kernel_traces())[0].epochs
+        by_chip = {}
+        for epoch in epochs:
+            for chip, addr in zip(epoch.chips.tolist(),
+                                  epoch.addrs.tolist()):
+                by_chip.setdefault(chip, set()).add(addr // LINE)
+        return by_chip
+
+    def test_partitioned_with_distributed_scheduler_has_no_sharing(self):
+        workload = make_workload(
+            accesses=[ArrayAccess(Array("A", 2 * MB), Partitioned(), 1.0)])
+        by_chip = self._epoch_lines_by_chip(workload)
+        for chip_a in by_chip:
+            for chip_b in by_chip:
+                if chip_a < chip_b:
+                    assert not (by_chip[chip_a] & by_chip[chip_b])
+
+    def test_partitioned_with_round_robin_scheduler_shares_pages(self):
+        """The contrast policy: interleaved CTAs destroy chip locality."""
+        # 1024 CTAs over 2 MB: each CTA's slice (2 KB) is sub-page, so
+        # interleaved CTAs from different chips land in the same pages.
+        workload = make_workload(
+            accesses=[ArrayAccess(Array("A", 2 * MB), Partitioned(), 1.0)],
+            scheduling="round-robin", ctas=1024)
+        by_chip = self._epoch_lines_by_chip(workload)
+        pages_by_chip = {c: {l // 32 for l in lines}
+                         for c, lines in by_chip.items()}
+        shared = pages_by_chip[0] & pages_by_chip[1]
+        assert shared
+
+    def test_broadcast_is_truly_shared(self):
+        workload = make_workload(
+            accesses=[ArrayAccess(Array("A", 2 * MB),
+                                  Broadcast(hot_fraction=0.1), 1.0)])
+        by_chip = self._epoch_lines_by_chip(workload)
+        common = set.intersection(*by_chip.values())
+        assert common
+
+    def test_strided_is_falsely_shared(self):
+        workload = make_workload(
+            accesses=[ArrayAccess(Array("A", 2 * MB),
+                                  Strided(interleave=64), 1.0)],
+            ctas=64)
+        by_chip = self._epoch_lines_by_chip(workload)
+        # Lines are (mostly) chip-exclusive...
+        overlap = len(by_chip[0] & by_chip[1])
+        assert overlap < 0.05 * len(by_chip[0])
+        # ...but pages are shared.
+        pages0 = {l // 32 for l in by_chip[0]}
+        pages1 = {l // 32 for l in by_chip[1]}
+        assert pages0 & pages1
+
+    def test_halo_shares_borders_only(self):
+        workload = make_workload(
+            accesses=[ArrayAccess(Array("A", 2 * MB),
+                                  Halo(halo_fraction=0.3), 1.0)],
+            ctas=8)
+        by_chip = self._epoch_lines_by_chip(workload)
+        shared = by_chip[0] & by_chip[1]
+        assert shared
+        assert len(shared) < 0.5 * len(by_chip[0])
+
+
+class TestSimulateProgram:
+    def test_runs_end_to_end(self):
+        workload = make_workload()
+        stats = simulate_program(workload, "memory-side", scale=1.0 / 16)
+        assert stats.benchmark == "test-app"
+        assert stats.cycles > 0
+
+    def test_broadcast_heavy_program_prefers_sm_side(self):
+        """A broadcast-dominated program should favour SM-side caching."""
+        a = Array("priv", 8 * MB)
+        b = Array("table", 2 * MB)  # small shared table -> replicable
+        kernel = KernelProgram("lookup", [
+            ArrayAccess(a, Partitioned(hot_fraction=0.2), weight=0.3),
+            ArrayAccess(b, Broadcast(hot_fraction=0.5), weight=0.7),
+        ], ctas=256, accesses_per_cta=128, intensity=4000.0)
+        workload = ProgramWorkload("lookup-app", [kernel], num_chips=4,
+                                   clusters_per_chip=8,
+                                   accesses_per_epoch_per_chip=2048,
+                                   iterations=2)
+        mem = simulate_program(workload, "memory-side", scale=1.0 / 16)
+        sm = simulate_program(workload, "sm-side", scale=1.0 / 16)
+        assert mem.cycles > sm.cycles

@@ -1,0 +1,71 @@
+"""Property-based tests for kernel-program access patterns."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import Broadcast, Halo, Partitioned, Strided
+
+rngs = st.integers(min_value=0, max_value=2 ** 31 - 1).map(
+    np.random.default_rng)
+
+pattern_strategies = st.one_of(
+    st.builds(Partitioned,
+              hot_fraction=st.floats(0.01, 1.0),
+              hot_weight=st.floats(0.0, 1.0)),
+    st.builds(Broadcast,
+              hot_fraction=st.floats(0.01, 1.0),
+              hot_weight=st.floats(0.0, 1.0)),
+    st.builds(Strided, interleave=st.integers(1, 64),
+              hot_fraction=st.floats(0.01, 1.0)),
+    st.builds(Halo, halo_fraction=st.floats(0.0, 1.0),
+              hot_fraction=st.floats(0.01, 1.0)),
+)
+
+
+@given(pattern_strategies,
+       st.integers(0, 255),
+       st.integers(1, 256),
+       st.integers(1, 100_000),
+       st.integers(1, 200),
+       rngs)
+@settings(max_examples=300, deadline=None)
+def test_samples_stay_in_bounds(pattern, cta, num_ctas, num_lines, count,
+                                rng):
+    cta = cta % num_ctas
+    lines = pattern.sample(cta, num_ctas, num_lines, count, rng)
+    assert len(lines) == count
+    assert int(lines.min()) >= 0
+    assert int(lines.max()) < num_lines
+
+
+@given(st.integers(0, 63), st.integers(1, 64), st.integers(64, 100_000),
+       rngs)
+@settings(max_examples=100, deadline=None)
+def test_partitioned_ctas_are_disjoint(cta, num_ctas, num_lines, rng):
+    cta = cta % num_ctas
+    other = (cta + 1) % num_ctas
+    if other == cta:
+        return
+    pattern = Partitioned(hot_fraction=1.0, hot_weight=0.0)
+    a = set(pattern.sample(cta, num_ctas, num_lines, 200, rng).tolist())
+    b = set(pattern.sample(other, num_ctas, num_lines, 200, rng).tolist())
+    # Slices can only collide at the clamped tail of the array.
+    slice_lines = max(1, num_lines // num_ctas)
+    if (cta + 1) * slice_lines <= num_lines and \
+            (other + 1) * slice_lines <= num_lines:
+        assert not a & b
+
+
+@given(st.integers(1, 64), st.integers(256, 100_000), rngs)
+@settings(max_examples=100, deadline=None)
+def test_strided_lanes_never_collide(interleave, num_lines, rng):
+    pattern = Strided(interleave=interleave, hot_fraction=1.0)
+    lanes = {}
+    for cta in range(min(4, interleave)):
+        lines = pattern.sample(cta, 64, num_lines, 100, rng)
+        lanes[cta] = {int(l) % interleave for l in lines.tolist()}
+    values = list(lanes.values())
+    for i, a in enumerate(values):
+        for b in values[i + 1:]:
+            assert not a & b

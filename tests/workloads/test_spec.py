@@ -1,0 +1,128 @@
+"""Unit tests for benchmark specifications (Table 4)."""
+
+import pytest
+
+from repro.workloads import (
+    BENCHMARKS,
+    MP_BENCHMARKS,
+    SP_BENCHMARKS,
+    SUITE,
+    BenchmarkSpec,
+    KernelSpec,
+    PhaseSpec,
+    get,
+)
+
+
+class TestTable4Fidelity:
+    """The suite must carry the paper's published characteristics."""
+
+    #: (name, ctas, footprint, true_shared, false_shared) from Table 4.
+    TABLE4 = [
+        ("RN", 512, 21, 11, 4), ("AN", 1024, 20, 9, 3),
+        ("SN", 512, 18, 2, 13), ("CFD", 4031, 97, 9, 33),
+        ("BFS", 1954, 37, 10, 14), ("3DC", 2048, 98, 17, 38),
+        ("BS", 480, 76, 0, 56), ("BT", 48096, 31, 4, 19),
+        ("SRAD", 65536, 753, 30, 3), ("GEMM", 2048, 174, 14, 21),
+        ("LUD", 131068, 317, 38, 51), ("STEN", 1024, 205, 18, 17),
+        ("3MM", 4096, 109, 12, 7), ("BP", 65536, 76, 4, 0),
+        ("DWT", 91373, 207, 3, 10), ("NN", 60000, 1388, 154, 0),
+    ]
+
+    @pytest.mark.parametrize("name,ctas,footprint,true_mb,false_mb", TABLE4)
+    def test_row(self, name, ctas, footprint, true_mb, false_mb):
+        spec = get(name)
+        assert spec.num_ctas == ctas
+        assert spec.footprint_mb == footprint
+        assert spec.true_shared_mb == true_mb
+        assert spec.false_shared_mb == false_mb
+
+    def test_sixteen_benchmarks(self):
+        assert len(SUITE) == 16
+
+    def test_group_split_matches_paper(self):
+        assert [b.name for b in SP_BENCHMARKS] == \
+            ["RN", "AN", "SN", "CFD", "BFS", "3DC", "BS", "BT"]
+        assert [b.name for b in MP_BENCHMARKS] == \
+            ["SRAD", "GEMM", "LUD", "STEN", "3MM", "BP", "DWT", "NN"]
+
+    def test_bfs_has_two_alternating_kernels(self):
+        bfs = get("BFS")
+        assert len(bfs.kernels) == 2
+        assert bfs.iterations >= 2
+
+    def test_get_unknown_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="known:"):
+            get("nope")
+
+    def test_benchmarks_index_matches_suite(self):
+        assert set(BENCHMARKS) == {b.name for b in SUITE}
+
+
+class TestPhaseSpec:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(weight_true=0.5, weight_false=0.5, weight_private=0.5)
+
+    def test_region_hot_fraction_overrides(self):
+        phase = PhaseSpec(weight_true=1.0, weight_false=0.0,
+                          weight_private=0.0, hot_fraction=0.2,
+                          hot_fraction_true=0.5)
+        assert phase.region_hot_fraction("true") == 0.5
+        assert phase.region_hot_fraction("false") == 0.2
+
+    def test_rejects_out_of_range_affinity(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(weight_true=1.0, weight_false=0.0, weight_private=0.0,
+                      true_affinity=1.5)
+
+    def test_rejects_nonpositive_intensity(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(weight_true=1.0, weight_false=0.0, weight_private=0.0,
+                      intensity=0.0)
+
+
+class TestBenchmarkSpec:
+    def test_private_mb_is_remainder(self):
+        spec = get("CFD")
+        assert spec.private_mb == pytest.approx(97 - 9 - 33)
+
+    def test_shared_cannot_exceed_footprint(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(
+                name="x", suite="s", num_ctas=1, footprint_mb=10,
+                true_shared_mb=8, false_shared_mb=8, preference="sm-side",
+                kernels=(KernelSpec(name="k", phase=PhaseSpec(
+                    weight_true=1.0, weight_false=0.0,
+                    weight_private=0.0)),))
+
+    def test_effective_seed_is_stable_and_distinct(self):
+        assert get("RN").effective_seed == get("RN").effective_seed
+        assert get("RN").effective_seed != get("AN").effective_seed
+
+    def test_scaled_input_scales_all_regions(self):
+        spec = get("CFD").scaled_input(2.0)
+        assert spec.footprint_mb == 194
+        assert spec.true_shared_mb == 18
+        assert spec.false_shared_mb == 66
+        assert "x2" in spec.name
+
+    def test_scaled_input_keeps_seed(self):
+        spec = get("CFD")
+        assert spec.scaled_input(2.0).effective_seed == spec.effective_seed
+
+    def test_scaled_input_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            get("CFD").scaled_input(0)
+
+    def test_region_bytes_partition_footprint(self):
+        spec = get("CFD")
+        regions = spec.region_bytes(scale=1.0)
+        total_mb = sum(regions.values()) / (1024 * 1024)
+        assert total_mb == pytest.approx(spec.footprint_mb, rel=0.01)
+
+    def test_table4_row_shape(self):
+        row = get("RN").table4_row()
+        assert row["benchmark"] == "RN"
+        assert row["suite"] == "Tango"
+        assert row["preference"] == "sm-side"
