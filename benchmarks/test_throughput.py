@@ -1,0 +1,70 @@
+"""Bench: simulator throughput of the batched epoch fast path.
+
+Times the per-access (serial) and batched engine paths on the paper's
+first benchmark under memory-side and SM-side LLCs at the default
+experiment scale, asserts the batched path is at least 3x faster, and
+records the accesses/sec figures into ``BENCH_throughput.json``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.sim import EngineParams
+from repro.sim.run import simulate
+from repro.workloads.suite import SUITE
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_throughput.json"
+
+#: Best-of-N repetitions; simulation is single-threaded and allocation-
+#: bound, so max accesses/sec is the noise-robust statistic.
+REPS = 3
+
+SPEEDUP_FLOOR = 3.0
+
+
+def best_rate(organization, batched):
+    rate = 0.0
+    stats = None
+    for _ in range(REPS):
+        stats = simulate(SUITE[0], organization,
+                         params=EngineParams(batched=batched))
+        rate = max(rate, stats.accesses_per_second)
+    return rate, stats
+
+
+def test_batched_throughput(benchmark, capsys):
+    def measure():
+        report = {}
+        for organization in ("memory-side", "sm-side"):
+            serial_rate, serial_stats = best_rate(organization, False)
+            batched_rate, batched_stats = best_rate(organization, True)
+            assert batched_stats.comparable_dict() == \
+                serial_stats.comparable_dict()
+            report[organization] = {
+                "serial_accesses_per_second": round(serial_rate),
+                "batched_accesses_per_second": round(batched_rate),
+                "speedup": round(batched_rate / serial_rate, 2),
+                "accesses": serial_stats.accesses,
+                "fast_epochs": batched_stats.fast_epochs,
+                "bottleneck": batched_stats.bottleneck_summary(),
+            }
+        return report
+
+    report = benchmark.pedantic(measure, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True)
+                           + "\n")
+    with capsys.disabled():
+        print()
+        print("Engine throughput (accesses/sec, best of "
+              f"{REPS}):")
+        for organization, row in report.items():
+            print(f"  {organization:12} serial "
+                  f"{row['serial_accesses_per_second']:>9,} -> batched "
+                  f"{row['batched_accesses_per_second']:>9,} "
+                  f"({row['speedup']:.2f}x)")
+    for organization, row in report.items():
+        assert row["speedup"] >= SPEEDUP_FLOOR, (
+            f"batched path only {row['speedup']}x on {organization}; "
+            f"expected >= {SPEEDUP_FLOOR}x")

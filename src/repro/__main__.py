@@ -10,6 +10,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -27,7 +28,24 @@ def main(argv=None) -> int:
                         help="reduced trace density (quicker, noisier)")
     parser.add_argument("--csv", metavar="PATH",
                         help="also export the result to a CSV file")
+    parser.add_argument("--jobs", type=int, metavar="N",
+                        help="simulate matrix pairs across N worker "
+                             "processes (default: REPRO_JOBS env, else 1)")
+    parser.add_argument("--cache-dir", metavar="PATH", nargs="?",
+                        const=".repro_cache", default=None,
+                        help="persist results under PATH so repeated runs "
+                             "skip simulation (default path: .repro_cache)")
     args = parser.parse_args(argv)
+
+    if args.jobs is not None:
+        if args.jobs < 1:
+            parser.error("--jobs must be at least 1")
+        # run_matrix reads REPRO_JOBS through default_jobs(), so setting
+        # the env reaches every experiment without new plumbing.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.cache_dir is not None:
+        from .analysis.runner import set_default_cache_dir
+        set_default_cache_dir(args.cache_dir)
 
     if args.experiment == "list":
         for name, module in REGISTRY.items():
@@ -53,7 +71,9 @@ def main(argv=None) -> int:
         except ValueError as error:
             print(f"[csv export not supported for this experiment: {error}]",
                   file=sys.stderr)
-    print(f"\n[{args.experiment} completed in {time.time() - started:.1f}s]")
+    from .analysis.runner import telemetry
+    print(f"\n[{args.experiment} completed in {time.time() - started:.1f}s"
+          f"; runs: {telemetry().summary()}]")
     return 0
 
 

@@ -9,7 +9,10 @@ on the result's structure; ``write_csv`` is the low-level primitive.
 from __future__ import annotations
 
 import csv
-from typing import Dict, Iterable, List, Mapping, Sequence
+import json
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..sim.stats import RunStats
 
 
 def write_csv(path: str, headers: Sequence[str],
@@ -23,6 +26,23 @@ def write_csv(path: str, headers: Sequence[str],
             writer.writerow(list(row))
             count += 1
     return count
+
+
+def write_json(path: str, payload: object) -> None:
+    """Write ``payload`` as pretty-printed JSON (benchmark reports)."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def flatten_run_summaries(results: Mapping[Tuple[str, str], RunStats]
+                          ) -> List[Dict[str, object]]:
+    """One ``RunStats.summary()`` row per (benchmark, organization) pair.
+
+    Row order follows the mapping's own (submission) order, so exports of
+    a ``run_matrix`` result are deterministic.
+    """
+    return [stats.summary() for stats in results.values()]
 
 
 def flatten_speedups(speedups: Mapping[tuple, float]

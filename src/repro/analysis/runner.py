@@ -1,18 +1,37 @@
-"""Experiment runner with in-process result caching.
+"""Experiment runner: memoized, disk-cached, optionally parallel.
 
 Several paper figures share the same underlying runs (e.g. Figures 1, 8,
 9 and 10 all need the 16 benchmarks under the five organizations), so
 the runner memoizes :func:`repro.sim.run.simulate` results by a
-structural key (benchmark spec, organization, config, scale, density).
-The cache is per-process; benches that run in one pytest session reuse
-each other's runs.
+structural key (benchmark spec, organization, *resolved* config, scale,
+density, engine params).  Config resolution happens before the key is
+built, so ``config=None`` and an explicit ``baseline()`` share cache
+entries.
+
+Three layers, checked in order:
+
+1. the in-process memo (``_CACHE``), free within one process;
+2. the optional on-disk :class:`~repro.analysis.diskcache.ResultCache`,
+   which survives process boundaries (pass ``cache_dir``);
+3. :func:`~repro.sim.run.simulate`, optionally fanned out across a
+   ``ProcessPoolExecutor`` (``n_jobs``) for matrix runs.
+
+Matrix results are keyed and ordered deterministically by (benchmark,
+organization) submission order regardless of worker completion order.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..arch.config import SystemConfig
+from ..arch.presets import baseline
+from ..sim.engine import EngineParams
 from ..sim.run import (
     DEFAULT_ACCESSES_PER_EPOCH,
     DEFAULT_SCALE,
@@ -20,12 +39,42 @@ from ..sim.run import (
 )
 from ..sim.stats import RunStats, harmonic_mean
 from ..workloads.spec import BenchmarkSpec
+from .diskcache import ResultCache, content_key
 
 _CACHE: Dict[object, RunStats] = {}
 
 
+@dataclass
+class RunnerTelemetry:
+    """Where matrix runs came from (fresh simulation vs cache layers)."""
+
+    simulated: int = 0
+    memo_hits: int = 0
+    disk_hits: int = 0
+    disk_stores: int = 0
+    wall_seconds: float = 0.0
+
+    def summary(self) -> str:
+        return (f"{self.simulated} simulated, {self.memo_hits} memo hits, "
+                f"{self.disk_hits} disk hits, {self.disk_stores} disk "
+                f"stores in {self.wall_seconds:.1f}s")
+
+
+_TELEMETRY = RunnerTelemetry()
+
+
+def telemetry() -> RunnerTelemetry:
+    """Cumulative counters for this process's runner activity."""
+    return _TELEMETRY
+
+
+def reset_telemetry() -> None:
+    global _TELEMETRY
+    _TELEMETRY = RunnerTelemetry()
+
+
 def clear_cache() -> None:
-    """Drop every memoized run (for tests)."""
+    """Drop every memoized run (for tests).  Leaves the disk cache alone."""
     _CACHE.clear()
 
 
@@ -33,35 +82,196 @@ def cache_size() -> int:
     return len(_CACHE)
 
 
+def default_jobs() -> int:
+    """Worker count used when ``n_jobs`` is not given (env ``REPRO_JOBS``)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+_DEFAULT_CACHE_DIR: Optional[Path] = None
+
+
+def set_default_cache_dir(path: Optional[Union[str, Path]]) -> None:
+    """Disk-cache root used by ``run_matrix`` calls that do not pass
+    ``cache_dir`` themselves (``None`` disables it again).  Lets the CLI
+    turn on persistence without threading a parameter through every
+    experiment module."""
+    global _DEFAULT_CACHE_DIR
+    _DEFAULT_CACHE_DIR = Path(path) if path is not None else None
+
+
+def _resolve_config(config: Optional[SystemConfig]) -> SystemConfig:
+    """Resolve ``None`` to the paper baseline *before* any key is built.
+
+    This is what makes ``run(spec, org)`` and
+    ``run(spec, org, config=baseline())`` share one cache entry.
+    """
+    return config if config is not None else baseline()
+
+
+def _resolve_params(params: Optional[EngineParams]) -> EngineParams:
+    return params if params is not None else EngineParams()
+
+
+def _memo_key(spec: BenchmarkSpec, organization: str, config: SystemConfig,
+              scale: float, accesses_per_epoch: int,
+              params: EngineParams) -> Tuple[object, ...]:
+    return (spec, organization, config, scale, accesses_per_epoch, params)
+
+
+def _disk_key(spec: BenchmarkSpec, organization: str, config: SystemConfig,
+              scale: float, accesses_per_epoch: int,
+              params: EngineParams) -> str:
+    return content_key(spec=spec, organization=organization, config=config,
+                       scale=scale, accesses_per_epoch=accesses_per_epoch,
+                       params=params)
+
+
+def _simulate_task(spec: BenchmarkSpec, organization: str,
+                   config: SystemConfig, scale: float,
+                   accesses_per_epoch: int,
+                   params: EngineParams) -> RunStats:
+    """Worker-side entry point (module-level so the pool can pickle it)."""
+    return simulate(spec, organization, config=config, scale=scale,
+                    accesses_per_epoch=accesses_per_epoch, params=params)
+
+
 def run(spec: BenchmarkSpec, organization: str,
         config: Optional[SystemConfig] = None,
         scale: float = DEFAULT_SCALE,
         accesses_per_epoch: int = DEFAULT_ACCESSES_PER_EPOCH,
-        use_cache: bool = True) -> RunStats:
+        use_cache: bool = True,
+        params: Optional[EngineParams] = None,
+        disk_cache: Optional[ResultCache] = None) -> RunStats:
     """Simulate (or recall) one benchmark under one organization."""
-    key = (spec, organization, config, scale, accesses_per_epoch)
+    resolved = _resolve_config(config)
+    resolved_params = _resolve_params(params)
+    key = _memo_key(spec, organization, resolved, scale, accesses_per_epoch,
+                    resolved_params)
     if use_cache and key in _CACHE:
+        _TELEMETRY.memo_hits += 1
         return _CACHE[key]
-    stats = simulate(spec, organization, config=config, scale=scale,
-                     accesses_per_epoch=accesses_per_epoch)
+    dkey: Optional[str] = None
+    if use_cache and disk_cache is not None:
+        dkey = _disk_key(spec, organization, resolved, scale,
+                         accesses_per_epoch, resolved_params)
+        stats = disk_cache.load(dkey)
+        if stats is not None:
+            _TELEMETRY.disk_hits += 1
+            _CACHE[key] = stats
+            return stats
+    started = time.perf_counter()
+    stats = simulate(spec, organization, config=resolved, scale=scale,
+                     accesses_per_epoch=accesses_per_epoch,
+                     params=resolved_params)
+    _TELEMETRY.simulated += 1
+    _TELEMETRY.wall_seconds += time.perf_counter() - started
     if use_cache:
         _CACHE[key] = stats
+        if disk_cache is not None and dkey is not None:
+            disk_cache.store(dkey, stats)
+            _TELEMETRY.disk_stores += 1
     return stats
 
 
 def run_matrix(specs: Iterable[BenchmarkSpec], organizations: Iterable[str],
                config: Optional[SystemConfig] = None,
                scale: float = DEFAULT_SCALE,
-               accesses_per_epoch: int = DEFAULT_ACCESSES_PER_EPOCH
+               accesses_per_epoch: int = DEFAULT_ACCESSES_PER_EPOCH,
+               params: Optional[EngineParams] = None,
+               n_jobs: Optional[int] = None,
+               cache_dir: Optional[Union[str, Path]] = None
                ) -> Dict[Tuple[str, str], RunStats]:
-    """Run every (benchmark, organization) pair; returns a keyed dict."""
-    results: Dict[Tuple[str, str], RunStats] = {}
-    for spec in specs:
-        for organization in organizations:
-            results[(spec.name, organization)] = run(
-                spec, organization, config=config, scale=scale,
-                accesses_per_epoch=accesses_per_epoch)
-    return results
+    """Run every (benchmark, organization) pair; returns a keyed dict.
+
+    ``n_jobs`` > 1 fans pending simulations out over a process pool
+    (default from the ``REPRO_JOBS`` environment variable, else serial).
+    ``cache_dir`` enables the persistent on-disk result cache; warm
+    entries are recalled without re-simulating.  The returned dict is
+    keyed and iterates in (benchmark, organization) submission order no
+    matter which worker finishes first.
+    """
+    resolved = _resolve_config(config)
+    resolved_params = _resolve_params(params)
+    jobs = n_jobs if n_jobs is not None else default_jobs()
+    root = cache_dir if cache_dir is not None else _DEFAULT_CACHE_DIR
+    disk_cache = ResultCache(root) if root is not None else None
+    started = time.perf_counter()
+
+    pairs: List[Tuple[BenchmarkSpec, str]] = [
+        (spec, organization)
+        for spec in specs for organization in organizations]
+    results: Dict[Tuple[str, str], Optional[RunStats]] = {
+        (spec.name, organization): None for spec, organization in pairs}
+
+    # Resolve the cheap layers (memo, then disk) in-process first; only
+    # genuinely new work is worth a worker.
+    pending: List[Tuple[BenchmarkSpec, str]] = []
+    for spec, organization in pairs:
+        name_key = (spec.name, organization)
+        if results[name_key] is not None:
+            continue  # duplicate pair in the request
+        key = _memo_key(spec, organization, resolved, scale,
+                        accesses_per_epoch, resolved_params)
+        if key in _CACHE:
+            _TELEMETRY.memo_hits += 1
+            results[name_key] = _CACHE[key]
+            continue
+        if disk_cache is not None:
+            dkey = _disk_key(spec, organization, resolved, scale,
+                             accesses_per_epoch, resolved_params)
+            stats = disk_cache.load(dkey)
+            if stats is not None:
+                _TELEMETRY.disk_hits += 1
+                _CACHE[key] = stats
+                results[name_key] = stats
+                continue
+        pending.append((spec, organization))
+
+    if pending and jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = [
+                pool.submit(_simulate_task, spec, organization, resolved,
+                            scale, accesses_per_epoch, resolved_params)
+                for spec, organization in pending]
+            fresh = [future.result() for future in futures]
+        for (spec, organization), stats in zip(pending, fresh):
+            _TELEMETRY.simulated += 1
+            _finish_pair(spec, organization, stats, resolved, scale,
+                         accesses_per_epoch, resolved_params, disk_cache)
+            results[(spec.name, organization)] = stats
+    else:
+        for spec, organization in pending:
+            stats = _simulate_task(spec, organization, resolved, scale,
+                                   accesses_per_epoch, resolved_params)
+            _TELEMETRY.simulated += 1
+            _finish_pair(spec, organization, stats, resolved, scale,
+                         accesses_per_epoch, resolved_params, disk_cache)
+            results[(spec.name, organization)] = stats
+
+    _TELEMETRY.wall_seconds += time.perf_counter() - started
+    # None placeholders are all filled by now; rebuild to narrow the type
+    # and guarantee deterministic (submission-order) iteration.
+    return {name_key: stats for name_key, stats in results.items()
+            if stats is not None}
+
+
+def _finish_pair(spec: BenchmarkSpec, organization: str, stats: RunStats,
+                 config: SystemConfig, scale: float, accesses_per_epoch: int,
+                 params: EngineParams,
+                 disk_cache: Optional[ResultCache]) -> None:
+    """Install one fresh matrix result into the memo and disk layers."""
+    key = _memo_key(spec, organization, config, scale, accesses_per_epoch,
+                    params)
+    _CACHE[key] = stats
+    if disk_cache is not None:
+        disk_cache.store(
+            _disk_key(spec, organization, config, scale, accesses_per_epoch,
+                      params),
+            stats)
+        _TELEMETRY.disk_stores += 1
 
 
 def speedups_vs_baseline(results: Dict[Tuple[str, str], RunStats],
@@ -72,9 +282,20 @@ def speedups_vs_baseline(results: Dict[Tuple[str, str], RunStats],
     """Per-benchmark speedup of each organization over ``baseline``."""
     speedups: Dict[Tuple[str, str], float] = {}
     for bench in benchmarks:
-        base = results[(bench, baseline)].cycles
+        base_stats = results[(bench, baseline)]
         for org in organizations:
-            speedups[(bench, org)] = base / results[(bench, org)].cycles
+            candidate = results[(bench, org)]
+            if candidate.cycles <= 0:
+                raise ValueError(
+                    f"benchmark {bench!r} under {org!r} recorded "
+                    f"{candidate.cycles} cycles; cannot compute its "
+                    f"speedup over {baseline!r}")
+            if base_stats.cycles <= 0:
+                raise ValueError(
+                    f"baseline run {bench!r} under {baseline!r} recorded "
+                    f"{base_stats.cycles} cycles; cannot normalize "
+                    "speedups against it")
+            speedups[(bench, org)] = base_stats.cycles / candidate.cycles
     return speedups
 
 

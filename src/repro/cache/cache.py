@@ -26,7 +26,7 @@ from ..arch.config import CacheConfig
 UNPARTITIONED = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """State of one resident cache line."""
 
@@ -39,7 +39,7 @@ class CacheLine:
         return bool(self.sector_valid >> sector & 1)
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one cache access."""
 
@@ -51,6 +51,14 @@ class AccessResult:
     @property
     def miss(self) -> bool:
         return not self.hit
+
+
+# Shared constant outcomes.  Results are never mutated by callers, so the
+# hot path returns these singletons instead of allocating per access;
+# only evictions carry per-access payload and build fresh objects.
+_HIT = AccessResult(hit=True)
+_MISS = AccessResult(hit=False)
+_SECTOR_MISS = AccessResult(hit=False, sector_miss=True)
 
 
 @dataclass
@@ -107,6 +115,15 @@ class SetAssociativeCache:
         self._line_shift = config.line_size.bit_length() - 1
         self._set_mask = config.num_sets - 1
         self._sets_pow2 = (config.num_sets & (config.num_sets - 1)) == 0
+        # Hot-path constants hoisted out of the config (access() dominates
+        # simulation wall time; attribute chains and bit_length() per probe
+        # are measurable).
+        self._num_sets = config.num_sets
+        self._index_bits = config.num_sets.bit_length() - 1
+        self._associativity = config.associativity
+        self._sectored = config.sectored
+        self._write_back = config.write_back
+        self._write_allocate = config.write_allocate
         if config.sectored:
             self._sector_shift = config.sector_size.bit_length() - 1
 
@@ -119,8 +136,8 @@ class SetAssociativeCache:
     def _index_tag(self, addr: int) -> Tuple[int, int]:
         line = addr >> self._line_shift
         if self._sets_pow2:
-            return line & self._set_mask, line >> self.config.num_sets.bit_length() - 1
-        return line % self.config.num_sets, line // self.config.num_sets
+            return line & self._set_mask, line >> self._index_bits
+        return line % self._num_sets, line // self._num_sets
 
     def _sector_of(self, addr: int) -> int:
         offset = addr & (self.config.line_size - 1)
@@ -170,34 +187,43 @@ class SetAssociativeCache:
                partition: int = UNPARTITIONED,
                allocate_on_miss: bool = True) -> AccessResult:
         """Access byte ``addr``; fill on miss unless ``allocate_on_miss`` is False."""
-        self.stats.accesses += 1
-        index, tag = self._index_tag(addr)
+        stats = self.stats
+        stats.accesses += 1
+        line_no = addr >> self._line_shift
+        if self._sets_pow2:
+            index = line_no & self._set_mask
+            tag = line_no >> self._index_bits
+        else:
+            index = line_no % self._num_sets
+            tag = line_no // self._num_sets
         cache_set = self._sets[index]
         line = cache_set.get(tag)
 
         if line is not None:
             sector_miss = False
-            if self.config.sectored:
+            if self._sectored:
                 sector = self._sector_of(addr)
-                if not line.sector_present(sector):
+                if not line.sector_valid >> sector & 1:
                     sector_miss = True
                     line.sector_valid |= 1 << sector
             cache_set.move_to_end(tag)
-            if is_write and self.config.write_back:
+            if is_write and self._write_back:
                 line.dirty = True
             if sector_miss:
                 # A sector miss costs a memory fetch but not a tag fill.
-                self.stats.misses += 1
-                self.stats.sector_misses += 1
-                return AccessResult(hit=False, sector_miss=True)
-            self.stats.hits += 1
-            return AccessResult(hit=True)
+                stats.misses += 1
+                stats.sector_misses += 1
+                return _SECTOR_MISS
+            stats.hits += 1
+            return _HIT
 
-        self.stats.misses += 1
-        if not allocate_on_miss or (is_write and not self.config.write_allocate):
-            return AccessResult(hit=False)
+        stats.misses += 1
+        if not allocate_on_miss or (is_write and not self._write_allocate):
+            return _MISS
         evicted_dirty, evicted_addr = self._fill(index, tag, is_write, partition,
                                                  addr)
+        if evicted_addr is None:
+            return _MISS
         return AccessResult(hit=False, evicted_dirty=evicted_dirty,
                             evicted_addr=evicted_addr)
 
@@ -233,11 +259,11 @@ class SetAssociativeCache:
                 evicted_dirty = True
             evicted_addr = self._rebuild_addr(index, victim_tag)
         sector_valid = 0
-        if self.config.sectored:
+        if self._sectored:
             sector_valid = 1 << self._sector_of(addr)
         cache_set[tag] = CacheLine(
             tag=tag,
-            dirty=is_write and self.config.write_back,
+            dirty=is_write and self._write_back,
             partition=partition,
             sector_valid=sector_valid)
         self.stats.fills += 1
@@ -247,7 +273,7 @@ class SetAssociativeCache:
                        partition: int) -> Optional[Tuple[int, CacheLine]]:
         """Pick an LRU victim respecting partition way limits, or None."""
         if self._partition_ways is None:
-            if len(cache_set) < self.config.associativity:
+            if len(cache_set) < self._associativity:
                 return None
             tag, line = next(iter(cache_set.items()))
             return tag, line
@@ -277,9 +303,9 @@ class SetAssociativeCache:
 
     def _rebuild_addr(self, index: int, tag: int) -> int:
         if self._sets_pow2:
-            line = tag << self.config.num_sets.bit_length() - 1 | index
+            line = tag << self._index_bits | index
         else:
-            line = tag * self.config.num_sets + index
+            line = tag * self._num_sets + index
         return line << self._line_shift
 
     # -- Flush / invalidate ----------------------------------------------

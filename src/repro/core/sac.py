@@ -158,6 +158,12 @@ class SharingAwareCaching(LLCOrganization):
         self._profiling = True
         self._cycles_since_profile = 0.0
 
+    @property
+    def observe_is_passive(self) -> bool:
+        # Counters only accumulate while the profiling window is open;
+        # outside it the engine may batch epochs.
+        return not self._profiling
+
     def observe_access(self, ctx: "EngineContext", chip: int, addr: int,
                        home: int, hit_stage: Optional[int]) -> None:
         if not self._profiling:

@@ -13,10 +13,11 @@ absolute numbers.  ``fast=True`` additionally reduces the trace density
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..arch.config import SystemConfig
-from ..analysis.runner import run
+from ..analysis.runner import run_matrix
 from ..sim.run import DEFAULT_ACCESSES_PER_EPOCH, DEFAULT_SCALE
 from ..sim.stats import RunStats
 from ..workloads.spec import BenchmarkSpec
@@ -45,16 +46,19 @@ def run_suite(organizations: Iterable[str] = ALL_ORGANIZATIONS,
               specs: Iterable[BenchmarkSpec] = SUITE,
               config: Optional[SystemConfig] = None,
               scale: float = DEFAULT_SCALE,
-              fast: bool = False) -> Dict[Tuple[str, str], RunStats]:
-    """Run (benchmark, organization) pairs through the cached runner."""
-    density = trace_density(fast)
-    results: Dict[Tuple[str, str], RunStats] = {}
-    for spec in specs:
-        for organization in organizations:
-            results[(spec.name, organization)] = run(
-                spec, organization, config=config, scale=scale,
-                accesses_per_epoch=density)
-    return results
+              fast: bool = False,
+              n_jobs: Optional[int] = None,
+              cache_dir: Optional[Union[str, Path]] = None
+              ) -> Dict[Tuple[str, str], RunStats]:
+    """Run (benchmark, organization) pairs through the cached runner.
+
+    Delegates to :func:`repro.analysis.runner.run_matrix`, so the
+    process pool (``n_jobs``, env ``REPRO_JOBS``) and the persistent
+    disk cache (``cache_dir``) reach every experiment.
+    """
+    return run_matrix(list(specs), list(organizations), config=config,
+                      scale=scale, accesses_per_epoch=trace_density(fast),
+                      n_jobs=n_jobs, cache_dir=cache_dir)
 
 
 def group_names() -> Dict[str, List[str]]:

@@ -110,6 +110,18 @@ class LLCOrganization(abc.ABC):
                        home: int, hit_stage: Optional[int]) -> None:
         """Called per access (profiling hooks; default no-op)."""
 
+    @property
+    def observe_is_passive(self) -> bool:
+        """True when :meth:`observe_access` is currently a no-op.
+
+        The engine's batched epoch fast path skips the per-access
+        ``observe_access`` callback entirely, so it may only run while
+        this is True.  Organizations that override ``observe_access``
+        but only act during certain windows (e.g. SAC while profiling)
+        should override this to reflect the current state.
+        """
+        return type(self).observe_access is LLCOrganization.observe_access
+
     def flush_partitions(self) -> List[Tuple[Optional[int], int]]:
         """Partitions that software coherence must flush at kernel end.
 

@@ -104,6 +104,12 @@ class LADMLLC(DynamicLLC):
         # remote_allocate(); nothing to do here.
         pass
 
+    @property
+    def observe_is_passive(self) -> bool:
+        # observe_access is a no-op, but remote_allocate() still forces
+        # the engine's per-access path (the touch filter is stateful).
+        return True
+
     def remote_allocate(self, chip: int, addr: int) -> bool:
         """Whether this remote access may install into the L1.5 partition.
 

@@ -56,6 +56,25 @@ class DramPartition:
             self.stats.reads += 1
             self.stats.read_bytes += num_bytes
 
+    def charge_bulk(self, channel: int, num_bytes: int, count: int,
+                    is_write: bool) -> None:
+        """Account ``count`` requests totalling ``num_bytes`` on ``channel``.
+
+        Equivalent to ``count`` individual :meth:`charge` calls (used by
+        the engine's batched epoch fast path).
+        """
+        if not 0 <= channel < self.config.channels_per_chip:
+            raise IndexError(f"channel {channel} out of range")
+        if num_bytes < 0 or count < 0:
+            raise ValueError("cannot charge negative bytes or counts")
+        self._epoch_channel_bytes[channel] += num_bytes
+        if is_write:
+            self.stats.writes += count
+            self.stats.write_bytes += num_bytes
+        else:
+            self.stats.reads += count
+            self.stats.read_bytes += num_bytes
+
     def epoch_cycles(self) -> float:
         """Cycles needed to drain this epoch's traffic (bottleneck channel)."""
         if not any(self._epoch_channel_bytes):

@@ -9,7 +9,7 @@ round-robin policy is provided for comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 
 @dataclass
@@ -61,6 +61,25 @@ class PageTable:
     def lookup(self, addr: int) -> int | None:
         """Home partition of ``addr`` if allocated, else None (no side effects)."""
         return self._home.get(addr >> self._page_shift)
+
+    def bulk_home(self, pages: Sequence[int],
+                  touch_chips: Sequence[int]) -> List[int]:
+        """Resolve many pages at once, allocating unknown ones.
+
+        ``pages`` are page numbers paired with the chip that (first)
+        touches each; they must be given in first-touch order so that
+        order-sensitive policies (round-robin) allocate exactly as the
+        per-access path would.  Returns the home chip per page.
+        """
+        homes: List[int] = []
+        get = self._home.get
+        allocate = self._allocate
+        for page, chip in zip(pages, touch_chips):
+            home = get(page)
+            if home is None:
+                home = allocate(page, chip)
+            homes.append(home)
+        return homes
 
     def _allocate(self, page: int, requesting_chip: int) -> int:
         if self.policy == "first-touch":

@@ -82,6 +82,23 @@ class InterChipRing:
                 self._epoch_segment.get(segment, 0.0) + num_bytes
             self.stats.hop_bytes += int(num_bytes)
 
+    def charge_bulk(self, src: int, dst: int, num_bytes: float,
+                    messages: int) -> None:
+        """Charge ``messages`` same-route messages totalling ``num_bytes``.
+
+        Equivalent to ``messages`` individual :meth:`charge` calls whose
+        byte counts sum to ``num_bytes`` (used by the engine's batched
+        epoch fast path).
+        """
+        if src == dst or messages == 0:
+            return
+        self.stats.messages += messages
+        self.stats.bytes_sent += int(num_bytes)
+        for segment in self.path(src, dst):
+            self._epoch_segment[segment] = \
+                self._epoch_segment.get(segment, 0.0) + num_bytes
+            self.stats.hop_bytes += int(num_bytes)
+
     def epoch_cycles(self) -> float:
         """Cycles to drain this epoch's traffic (bottleneck segment)."""
         if not self._epoch_segment:

@@ -73,10 +73,23 @@ class EngineParams:
     # Enable dominant-accessor page migration (related-work baseline:
     # a beyond-LLC optimization the paper argues is insufficient).
     page_migration: bool = False
+    # Use the batched epoch fast path when the run has no per-access
+    # side effects (no hardware coherence, migration or profiling); the
+    # engine transparently falls back to the per-access path otherwise.
+    batched: bool = True
 
     def __post_init__(self) -> None:
-        if self.request_bytes <= 0 or self.response_header_bytes < 0:
-            raise ValueError("message sizes must be positive")
+        if self.request_bytes <= 0:
+            raise ValueError(
+                f"request_bytes must be positive, got {self.request_bytes}")
+        if self.response_header_bytes < 0:
+            raise ValueError(
+                "response_header_bytes cannot be negative, got "
+                f"{self.response_header_bytes}")
+        if self.write_data_bytes < 0:
+            raise ValueError(
+                f"write_data_bytes cannot be negative, got "
+                f"{self.write_data_bytes}")
         if self.max_outstanding_per_chip < 1:
             raise ValueError("need at least one outstanding miss")
 
@@ -375,6 +388,40 @@ class SimulationEngine:
     # ------------------------------------------------------------------
 
     def _run_epoch(self, epoch: EpochTrace, kstats: KernelStats) -> None:
+        if self._fast_path_eligible():
+            self._run_epoch_batched(epoch, kstats)
+            self.stats.fast_epochs += 1
+        else:
+            self._run_epoch_serial(epoch, kstats)
+            self.stats.slow_epochs += 1
+
+    def _fast_path_eligible(self) -> bool:
+        """Whether the current epoch can take the batched fast path.
+
+        The fast path precomputes homes, route plans and traffic totals
+        with numpy; it is only safe when no component needs a per-access
+        side effect beyond the functional cache probes themselves:
+        hardware coherence (directory/MESI actions per write), page
+        migration (per-access observation), profiling organizations
+        (SAC's counter updates) and insertion-policy organizations
+        (LADM's per-access ``remote_allocate``) all force the serial
+        per-access path.
+        """
+        if not self.params.batched:
+            return False
+        if self.migration is not None:
+            return False
+        if self.hardware_coherence is not None or self.mesi is not None:
+            return False
+        org = self.organization
+        if org.profiling or not org.observe_is_passive:
+            return False
+        if hasattr(org, "remote_allocate"):
+            return False
+        return True
+
+    def _run_epoch_serial(self, epoch: EpochTrace, kstats: KernelStats
+                          ) -> None:
         chips = epoch.chips.tolist()
         clusters = epoch.clusters.tolist()
         addrs = epoch.addrs.tolist()
@@ -385,6 +432,416 @@ class SimulationEngine:
             self._access(chips[i], clusters[i], addrs[i], writes[i],
                          slices[i], channels[i], kstats)
         self._settle_epoch(epoch, kstats)
+
+    # -- Batched epoch fast path -------------------------------------------
+
+    def _run_epoch_batched(self, epoch: EpochTrace, kstats: KernelStats
+                           ) -> None:
+        """Batched epoch execution.
+
+        Functionally identical to :meth:`_run_epoch_serial`: the same L1
+        and LLC probes run in the same order (the caches are the only
+        sequential state), while page-home resolution, route planning and
+        every resource charge are precomputed or aggregated with numpy.
+        All aggregated quantities are integer byte counts or sums of
+        exactly-representable latencies, so the resulting ``RunStats``
+        are bit-identical to the per-access path for the default
+        parameters (and agree to float round-off for any others).
+        """
+        params = self.params
+        config = self.config
+        num_chips = config.num_chips
+        n = len(epoch)
+        chips_np = epoch.chips
+        writes_np = epoch.writes
+        addrs_np = epoch.addrs
+        slices_np = self._vectorized_slices(addrs_np)
+        channels_np = self._vectorized_channels(addrs_np)
+        homes_np = self._batched_homes(addrs_np, chips_np)
+        pair_np = chips_np * num_chips + homes_np
+
+        org = self.organization
+        num_pairs = num_chips * num_chips
+        plans = [org.plan(p // num_chips, p % num_chips)
+                 for p in range(num_pairs)]
+
+        # Per-(requester, home) pair stage decomposition.
+        st0_chip = [plan.stages[0].chip for plan in plans]
+        st0_part = [plan.stages[0].partition for plan in plans]
+        st0_alloc = [plan.stages[0].allocate for plan in plans]
+        st1 = [(plan.stages[1].chip, plan.stages[1].partition,
+                plan.stages[1].allocate) if len(plan.stages) > 1 else None
+               for plan in plans]
+
+        # Sequential probe loop: the only per-access work left is the
+        # functional cache state itself.  The probe target (chip, slice)
+        # pair is precomputed as an index into a flat bound-method table.
+        llc = self.llc
+        llc_slices = config.chip.llc_slices
+        serve0_np = np.array(st0_chip, dtype=np.int64)[pair_np]
+        probe_fns = [llc[c][s].access for c in range(num_chips)
+                     for s in range(llc_slices)]
+        idx0_l = (serve0_np * llc_slices + slices_np).tolist()
+        chips_l = chips_np.tolist()
+        addrs_l = addrs_np.tolist()
+        writes_l = writes_np.tolist()
+        serve0_l = serve0_np.tolist()
+        l1 = self.l1
+        clusters_l = epoch.clusters.tolist() if l1 is not None else None
+        hit_stage = [-1] * n  # -2: L1 read hit, -1: full miss, 0/1: stage
+        ev_serves: List[int] = []
+        ev_addrs: List[int] = []
+        uniform = (all(s is None for s in st1)
+                   and len(set(st0_part)) == 1 and len(set(st0_alloc)) == 1)
+        if uniform:
+            # Single-stage organizations with one partition/allocation
+            # policy (memory-side, sm-side): the tightest possible loop.
+            part0 = st0_part[0]
+            alloc0 = st0_alloc[0]
+            for i in range(n):
+                addr = addrs_l[i]
+                w = writes_l[i]
+                if l1 is not None:
+                    l1_result = l1[chips_l[i]][clusters_l[i]].access(addr, w)
+                    if l1_result.hit and not w:
+                        hit_stage[i] = -2
+                        continue
+                try:
+                    result = probe_fns[idx0_l[i]](
+                        addr, w, partition=part0, allocate_on_miss=alloc0)
+                except PartitionFullError:
+                    continue
+                if result.hit:
+                    hit_stage[i] = 0
+                elif result.evicted_dirty:
+                    ev_serves.append(serve0_l[i])
+                    ev_addrs.append(result.evicted_addr)
+        else:
+            slices_l = slices_np.tolist()
+            pairs_l = pair_np.tolist()
+            for i in range(n):
+                chip = chips_l[i]
+                addr = addrs_l[i]
+                w = writes_l[i]
+                if l1 is not None:
+                    l1_result = l1[chip][clusters_l[i]].access(addr, w)
+                    if l1_result.hit and not w:
+                        hit_stage[i] = -2
+                        continue
+                sl = slices_l[i]
+                pid = pairs_l[i]
+                try:
+                    result = probe_fns[idx0_l[i]](
+                        addr, w, partition=st0_part[pid],
+                        allocate_on_miss=st0_alloc[pid])
+                except PartitionFullError:
+                    result = None
+                if result is not None:
+                    if result.hit:
+                        hit_stage[i] = 0
+                        continue
+                    if result.evicted_dirty:
+                        ev_serves.append(serve0_l[i])
+                        ev_addrs.append(result.evicted_addr)
+                second = st1[pid]
+                if second is None:
+                    continue
+                serve, part, alloc = second
+                try:
+                    result = llc[serve][sl].access(addr, w, partition=part,
+                                                   allocate_on_miss=alloc)
+                except PartitionFullError:
+                    continue
+                if result.hit:
+                    hit_stage[i] = 1
+                elif result.evicted_dirty:
+                    ev_serves.append(serve)
+                    ev_addrs.append(result.evicted_addr)
+
+        # Everything below is pure accounting over the recorded outcomes.
+        hs = np.array(hit_stage, dtype=np.int64)
+        probed0 = hs != -2
+        kstats.accesses += n
+        kstats.llc_lookups += int(probed0.sum())
+        kstats.llc_hits += int((hs >= 0).sum())
+
+        req_np = params.request_bytes + \
+            params.write_data_bytes * writes_np.astype(np.int64)
+        rsp = self.line_size + params.response_header_bytes
+        dedicated = bool(getattr(org, "dedicated_memory_network", False))
+        total_slices = config.total_llc_slices
+
+        serve0 = serve0_np
+        two_stage = np.array([s is not None for s in st1])[pair_np]
+        serve1 = np.array([s[0] if s is not None else 0 for s in st1],
+                          dtype=np.int64)[pair_np]
+        probed1 = probed0 & two_stage & (hs != 0)
+
+        # Per-slice request counts and LLC service bytes.
+        slice_counts = np.zeros(total_slices, dtype=np.int64)
+        for probed, serve_np in ((probed0, serve0), (probed1, serve1)):
+            if probed.any():
+                idx = serve_np[probed] * llc_slices + slices_np[probed]
+                slice_counts += np.bincount(idx, minlength=total_slices)
+        requests = self.stats.slice_requests
+        for g in np.flatnonzero(slice_counts).tolist():
+            count = int(slice_counts[g])
+            requests[g] += count
+            self._slice_bytes[g // llc_slices][g % llc_slices] += \
+                count * self.line_size
+
+        # Request/response legs of every probed stage.
+        for k, (probed, serve_np) in enumerate(((probed0, serve0),
+                                                (probed1, serve1))):
+            if not probed.any():
+                continue
+            self._charge_local_stages(probed & (serve_np == chips_np),
+                                      chips_np, slices_np, req_np, rsp)
+            self._charge_remote_stages(probed & (serve_np != chips_np),
+                                       chips_np, serve_np, slices_np,
+                                       req_np, rsp,
+                                       skip_crossbar=dedicated and k > 0)
+
+        # Full misses: the last probed chip forwards to the home memory.
+        miss = hs == -1
+        if miss.any():
+            last_np = np.array([plan.stages[-1].chip for plan in plans],
+                               dtype=np.int64)[pair_np]
+            self._charge_memory_legs(miss, last_np, homes_np, channels_np,
+                                     writes_np, req_np, rsp, dedicated)
+
+        # Dirty evictions collected during the probe loop.
+        if ev_addrs:
+            self._charge_eviction_writebacks(ev_serves, ev_addrs)
+
+        # Response origins (relative to the requesting chip).
+        hits = hs >= 0
+        origins = self.stats.responses_by_origin
+        if hits.any():
+            hit_serve = np.where(hs == 1, serve1, serve0)
+            local_hits = int((hits & (hit_serve == chips_np)).sum())
+            origins[ORIGIN_LOCAL_LLC] += local_hits
+            origins[ORIGIN_REMOTE_LLC] += int(hits.sum()) - local_hits
+        if miss.any():
+            local_mem = int((miss & (homes_np == chips_np)).sum())
+            origins[ORIGIN_LOCAL_MEM] += local_mem
+            origins[ORIGIN_REMOTE_MEM] += int(miss.sum()) - local_mem
+
+        # Per-access latency for the MLP bound, grouped by requester chip.
+        self._accumulate_latency(plans, pair_np, chips_np, probed0, probed1,
+                                 miss)
+        self._settle_epoch(epoch, kstats)
+
+    def _batched_homes(self, addrs: np.ndarray,
+                       chips: np.ndarray) -> np.ndarray:
+        """Vectorized first-touch home resolution for one epoch.
+
+        Unique pages are resolved (and allocated) through the page table
+        in order of first touch, so round-robin allocation assigns the
+        same homes as the per-access path.
+        """
+        pages = addrs >> np.int64(self._page_shift)
+        uniq, first_idx, inverse = np.unique(
+            pages, return_index=True, return_inverse=True)
+        order = np.argsort(first_idx, kind="stable")
+        homes = self.page_table.bulk_home(
+            uniq[order].tolist(), chips[first_idx[order]].tolist())
+        homes_by_uniq = np.empty(len(uniq), dtype=np.int64)
+        homes_by_uniq[order] = homes
+        return homes_by_uniq[inverse]
+
+    def _charge_local_stages(self, sel: np.ndarray, chips_np: np.ndarray,
+                             slices_np: np.ndarray, req_np: np.ndarray,
+                             rsp: int) -> None:
+        """Aggregate same-chip stage legs onto the local crossbars."""
+        if not sel.any():
+            return
+        llc_slices = self.config.chip.llc_slices
+        idx = chips_np[sel] * llc_slices + slices_np[sel]
+        total = self.config.total_llc_slices
+        counts = np.bincount(idx, minlength=total)
+        req_sums = np.bincount(idx, weights=req_np[sel], minlength=total)
+        for g in np.flatnonzero(counts).tolist():
+            xbar = self.crossbars[g // llc_slices]
+            port = xbar.llc_port(g % llc_slices)
+            xbar.charge_request(port, int(req_sums[g]))
+            xbar.charge_response(port, rsp * int(counts[g]))
+
+    def _charge_remote_stages(self, sel: np.ndarray, chips_np: np.ndarray,
+                              serve_np: np.ndarray, slices_np: np.ndarray,
+                              req_np: np.ndarray, rsp: int,
+                              skip_crossbar: bool) -> None:
+        """Aggregate cross-chip stage legs onto the ring and crossbars."""
+        if not sel.any():
+            return
+        num_chips = self.config.num_chips
+        num_pairs = num_chips * num_chips
+        pairs = chips_np[sel] * num_chips + serve_np[sel]
+        counts = np.bincount(pairs, minlength=num_pairs)
+        req_sums = np.bincount(pairs, weights=req_np[sel],
+                               minlength=num_pairs)
+        for p in np.flatnonzero(counts).tolist():
+            src, dst = divmod(p, num_chips)
+            messages = int(counts[p])
+            req_total = int(req_sums[p])
+            rsp_total = rsp * messages
+            self.ring.charge_bulk(src, dst, req_total, messages)
+            self.ring.charge_bulk(dst, src, rsp_total, messages)
+            self.stats.inter_chip_bytes += req_total + rsp_total
+        if skip_crossbar:
+            return
+        ip = self.config.chip.noc.inter_chip_ports
+        links = slices_np[sel] % ip
+        self._charge_xbar_ports(chips_np[sel] * ip + links, ip, True,
+                                req_np[sel], rsp)
+        llc_slices = self.config.chip.llc_slices
+        self._charge_xbar_ports(serve_np[sel] * llc_slices + slices_np[sel],
+                                llc_slices, False, req_np[sel], rsp)
+
+    def _charge_xbar_ports(self, idx: np.ndarray, ports_per_chip: int,
+                           inter_chip: bool, req_sel: np.ndarray,
+                           rsp: int) -> None:
+        """Charge grouped request/response bytes to crossbar ports.
+
+        ``idx`` encodes ``chip * ports_per_chip + port``; ``inter_chip``
+        selects the inter-chip port bank instead of the LLC ports.
+        """
+        nbins = self.config.num_chips * ports_per_chip
+        counts = np.bincount(idx, minlength=nbins)
+        req_sums = np.bincount(idx, weights=req_sel, minlength=nbins)
+        for g in np.flatnonzero(counts).tolist():
+            xbar = self.crossbars[g // ports_per_chip]
+            port = g % ports_per_chip
+            port = xbar.inter_chip_port(port) if inter_chip else \
+                xbar.llc_port(port)
+            xbar.charge_request(port, int(req_sums[g]))
+            xbar.charge_response(port, rsp * int(counts[g]))
+
+    def _charge_memory_legs(self, miss: np.ndarray, last_np: np.ndarray,
+                            homes_np: np.ndarray, channels_np: np.ndarray,
+                            writes_np: np.ndarray, req_np: np.ndarray,
+                            rsp: int, dedicated: bool) -> None:
+        """Aggregate the LLC-miss -> home-DRAM legs."""
+        config = self.config
+        num_chips = config.num_chips
+        tot_np = req_np + rsp
+        channels_per_chip = config.chip.memory.channels_per_chip
+        nbins = num_chips * channels_per_chip
+        didx = homes_np * channels_per_chip + channels_np
+        for is_write, sel in ((True, miss & writes_np),
+                              (False, miss & ~writes_np)):
+            if not sel.any():
+                continue
+            counts = np.bincount(didx[sel], minlength=nbins)
+            sums = np.bincount(didx[sel], weights=tot_np[sel],
+                               minlength=nbins)
+            for g in np.flatnonzero(counts).tolist():
+                self.dram[g // channels_per_chip].charge_bulk(
+                    g % channels_per_chip, int(sums[g]), int(counts[g]),
+                    is_write)
+        self.stats.dram_bytes += int(tot_np[miss].sum())
+        remote = miss & (last_np != homes_np)
+        if not remote.any():
+            return
+        num_pairs = num_chips * num_chips
+        pairs = last_np[remote] * num_chips + homes_np[remote]
+        counts = np.bincount(pairs, minlength=num_pairs)
+        req_sums = np.bincount(pairs, weights=req_np[remote],
+                               minlength=num_pairs)
+        for p in np.flatnonzero(counts).tolist():
+            last, home = divmod(p, num_chips)
+            messages = int(counts[p])
+            req_total = int(req_sums[p])
+            rsp_total = rsp * messages
+            self.ring.charge_bulk(last, home, req_total, messages)
+            self.ring.charge_bulk(home, last, rsp_total, messages)
+            self.stats.inter_chip_bytes += req_total + rsp_total
+        if dedicated:
+            return
+        ip = config.chip.noc.inter_chip_ports
+        links = channels_np[remote] % ip
+        for side in (last_np, homes_np):
+            self._charge_xbar_ports(side[remote] * ip + links, ip, True,
+                                    req_np[remote], rsp)
+
+    def _charge_eviction_writebacks(self, serves: List[int],
+                                    addrs: List[int]) -> None:
+        """Aggregate dirty-eviction write-backs collected by the fast path."""
+        num_chips = self.config.num_chips
+        wb = self.line_size + self.params.response_header_bytes
+        serves_np = np.array(serves, dtype=np.int64)
+        addrs_np = np.array(addrs, dtype=np.int64)
+        channels = self._vectorized_channels(addrs_np)
+        lookup = self.page_table.lookup
+        homes = []
+        for addr, serve in zip(addrs, serves):
+            home = lookup(addr)
+            homes.append(serve if home is None else home)
+        homes_np = np.array(homes, dtype=np.int64)
+        channels_per_chip = self.config.chip.memory.channels_per_chip
+        didx = homes_np * channels_per_chip + channels
+        counts = np.bincount(didx,
+                             minlength=num_chips * channels_per_chip)
+        for g in np.flatnonzero(counts).tolist():
+            self.dram[g // channels_per_chip].charge_bulk(
+                g % channels_per_chip, wb * int(counts[g]), int(counts[g]),
+                is_write=True)
+        self.stats.dram_bytes += wb * len(addrs)
+        remote = homes_np != serves_np
+        if not remote.any():
+            return
+        pairs = serves_np[remote] * num_chips + homes_np[remote]
+        counts = np.bincount(pairs, minlength=num_chips * num_chips)
+        for p in np.flatnonzero(counts).tolist():
+            src, dst = divmod(p, num_chips)
+            total = wb * int(counts[p])
+            self.ring.charge_bulk(src, dst, total, int(counts[p]))
+            self.stats.inter_chip_bytes += total
+
+    def _accumulate_latency(self, plans: List, pair_np: np.ndarray,
+                            chips_np: np.ndarray, probed0: np.ndarray,
+                            probed1: np.ndarray, miss: np.ndarray) -> None:
+        """Accumulate the per-access latency sums used by the MLP bound.
+
+        Per-pair leg latencies are computed with the same scalar
+        expressions as :meth:`_charge_leg`/:meth:`_charge_memory_leg` and
+        summed per requesting chip in access order, so the result matches
+        the serial path exactly.
+        """
+        params = self.params
+        num_chips = self.config.num_chips
+        hops = self.ring.hops
+
+        def leg_latency(src: int, dst: int) -> float:
+            if src == dst:
+                return 2 * params.latency_noc
+            return 2 * params.latency_noc + \
+                hops(src, dst) * params.latency_ring_hop
+
+        leg0 = []
+        leg1 = []
+        mem = []
+        for p, plan in enumerate(plans):
+            requester, home = divmod(p, num_chips)
+            leg0.append(leg_latency(requester, plan.stages[0].chip))
+            leg1.append(leg_latency(requester, plan.stages[1].chip)
+                        if len(plan.stages) > 1 else 0.0)
+            last = plan.stages[-1].chip
+            mem_latency = params.latency_dram
+            if last != home:
+                mem_latency += 2 * params.latency_noc + \
+                    hops(last, home) * params.latency_ring_hop
+            mem.append(mem_latency)
+        lat = np.zeros(len(pair_np))
+        lat[probed0] += np.array(leg0)[pair_np[probed0]]
+        lat[probed0] += params.latency_llc
+        lat[probed1] += np.array(leg1)[pair_np[probed1]]
+        lat[probed1] += params.latency_llc
+        lat[miss] += np.array(mem)[pair_np[miss]]
+        sums = np.bincount(chips_np, weights=lat, minlength=num_chips)
+        for chip in range(num_chips):
+            if sums[chip]:
+                self._latency_sum[chip] += float(sums[chip])
 
     def _vectorized_slices(self, addrs: np.ndarray) -> np.ndarray:
         return _hash_mod(addrs // self.line_size, self.mapping.seed,
@@ -552,14 +1009,21 @@ class SimulationEngine:
     def _charge_leg(self, src: int, dst: int, slice_index: int,
                     req_bytes: int, rsp_bytes: int,
                     skip_crossbar: bool) -> float:
-        """Charge the SM->LLC request/response leg; returns its latency."""
+        """Charge the SM->LLC request/response leg; returns its latency.
+
+        Both the local and the remote leg are a request+response pair:
+        the request crosses the crossbar to the LLC port and the response
+        crosses back (Figure 6 paths 1-2), so both directions pay one
+        ``latency_noc`` crossbar traversal each.  Remote legs additionally
+        pay the ring hops between the chips.
+        """
         params = self.params
         if src == dst:
             xbar = self.crossbars[src]
             port = xbar.llc_port(slice_index)
             xbar.charge_request(port, req_bytes)
             xbar.charge_response(port, rsp_bytes)
-            return params.latency_noc
+            return 2 * params.latency_noc
         hops = self.ring.hops(src, dst)
         self.ring.charge(src, dst, req_bytes)
         self.ring.charge(dst, src, rsp_bytes)

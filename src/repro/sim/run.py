@@ -16,6 +16,7 @@ unchanged.  ``scale=1.0`` runs the full-size system.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, Optional, Union
 
 from ..arch.config import SystemConfig
@@ -39,6 +40,23 @@ ORGANIZATIONS = ("memory-side", "sm-side", "static", "dynamic", "sac")
 
 #: Additional related-work organizations accepted by make_organization.
 EXTRA_ORGANIZATIONS = ("ladm",)
+
+#: Count of :func:`simulate` invocations in this process.  Tests and the
+#: runner's cache-effectiveness assertions hook this to prove that warm
+#: caches do not re-simulate (the count is per-process: workers in a
+#: parallel ``run_matrix`` pool increment their own copies).
+_SIMULATE_CALLS = 0
+
+
+def simulate_calls() -> int:
+    """Number of times ``simulate`` ran in this process."""
+    return _SIMULATE_CALLS
+
+
+def reset_simulate_calls() -> None:
+    """Reset the ``simulate`` call counter (for tests)."""
+    global _SIMULATE_CALLS
+    _SIMULATE_CALLS = 0
 
 
 def make_organization(name: str, config: SystemConfig,
@@ -108,6 +126,8 @@ def simulate(spec: BenchmarkSpec,
     ignored and the caller is responsible for matching the scaled
     config).
     """
+    global _SIMULATE_CALLS
+    _SIMULATE_CALLS += 1
     base = config or baseline()
     run_config = scaled_config(base, scale)
     if isinstance(organization, str):
@@ -124,4 +144,7 @@ def simulate(spec: BenchmarkSpec,
         accesses_per_epoch_per_chip=accesses_per_epoch,
         scale=scale)
     engine = SimulationEngine(run_config, org, params=params)
-    return engine.run(generator.kernels(), benchmark=spec.name)
+    started = time.perf_counter()
+    stats = engine.run(generator.kernels(), benchmark=spec.name)
+    stats.wall_seconds = time.perf_counter() - started
+    return stats

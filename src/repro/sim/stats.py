@@ -74,6 +74,12 @@ class RunStats:
     # "llc_slice", "crossbar", "inter_chip", "dram", "latency").
     bottleneck_cycles: Dict[str, float] = field(default_factory=dict)
     kernels: List[KernelStats] = field(default_factory=list)
+    # -- Run telemetry (excluded from comparable_dict): -------------------
+    # Host wall-clock of the simulation (set by ``repro.sim.run.simulate``)
+    # and how many epochs took the batched vs the per-access path.
+    wall_seconds: float = 0.0
+    fast_epochs: int = 0
+    slow_epochs: int = 0
 
     @property
     def llc_hit_rate(self) -> float:
@@ -120,6 +126,21 @@ class RunStats:
             return None
         return max(self.bottleneck_cycles, key=self.bottleneck_cycles.get)
 
+    @property
+    def accesses_per_second(self) -> float:
+        """Simulation throughput (host wall-clock accesses/sec)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.accesses / self.wall_seconds
+
+    def bottleneck_summary(self) -> str:
+        """Human-readable bottleneck digest, e.g. ``"dram 62% / compute 38%"``."""
+        fractions = self.bottleneck_fractions()
+        if not fractions:
+            return "none"
+        ranked = sorted(fractions.items(), key=lambda kv: -kv[1])
+        return " / ".join(f"{name} {frac:.0%}" for name, frac in ranked)
+
     def summary(self) -> Dict[str, object]:
         """Flat digest of the run (for reports and CSV export)."""
         return {
@@ -135,14 +156,67 @@ class RunStats:
             "flush_cycles": self.flush_cycles,
             "llc_remote_fraction": self.llc_remote_fraction,
             "dominant_bottleneck": self.dominant_bottleneck(),
+            "bottleneck_summary": self.bottleneck_summary(),
             "kernels": len(self.kernels),
+            "wall_seconds": self.wall_seconds,
+            "accesses_per_second": self.accesses_per_second,
+            "fast_epochs": self.fast_epochs,
+            "slow_epochs": self.slow_epochs,
+        }
+
+    def comparable_dict(self) -> Dict[str, object]:
+        """Every simulated (physics) field, excluding host telemetry.
+
+        Two runs of the same workload through different execution paths
+        (batched vs per-access, serial vs parallel) must produce equal
+        ``comparable_dict()``s; wall-clock and path counters are
+        legitimately different and therefore excluded.
+        """
+        return {
+            "benchmark": self.benchmark,
+            "organization": self.organization,
+            "cycles": self.cycles,
+            "accesses": self.accesses,
+            "llc_hits": self.llc_hits,
+            "llc_lookups": self.llc_lookups,
+            "responses_by_origin": dict(self.responses_by_origin),
+            "inter_chip_bytes": self.inter_chip_bytes,
+            "dram_bytes": self.dram_bytes,
+            "coherence_bytes": self.coherence_bytes,
+            "coherence_invalidations": self.coherence_invalidations,
+            "flush_cycles": self.flush_cycles,
+            "llc_local_fraction": self.llc_local_fraction,
+            "llc_remote_fraction": self.llc_remote_fraction,
+            "slice_requests": list(self.slice_requests),
+            "bottleneck_cycles": dict(self.bottleneck_cycles),
+            "kernels": [
+                {
+                    "name": k.name,
+                    "cycles": k.cycles,
+                    "accesses": k.accesses,
+                    "llc_hits": k.llc_hits,
+                    "llc_lookups": k.llc_lookups,
+                    "organization": k.organization,
+                    "reconfigured": k.reconfigured,
+                    "reconfig_cycles": k.reconfig_cycles,
+                    "epoch_cycles": list(k.epoch_cycles),
+                }
+                for k in self.kernels],
         }
 
 
 def speedup(baseline: RunStats, candidate: RunStats) -> float:
     """Speedup of ``candidate`` over ``baseline`` (cycles ratio)."""
     if candidate.cycles <= 0:
-        raise ValueError("candidate run has no cycles")
+        raise ValueError(
+            f"candidate run {candidate.benchmark!r} under "
+            f"{candidate.organization!r} recorded no cycles; "
+            "cannot compute a speedup")
+    if baseline.cycles <= 0:
+        raise ValueError(
+            f"baseline run {baseline.benchmark!r} under "
+            f"{baseline.organization!r} recorded no cycles; "
+            "cannot compute a speedup")
     return baseline.cycles / candidate.cycles
 
 

@@ -1,0 +1,91 @@
+"""Unit tests for the persistent on-disk result cache."""
+
+import pickle
+
+from repro.analysis.diskcache import (
+    SCHEMA_VERSION,
+    ResultCache,
+    content_key,
+)
+from repro.arch import baseline
+from repro.sim.engine import EngineParams
+from repro.sim.stats import KernelStats, RunStats
+
+
+def sample_stats():
+    stats = RunStats(benchmark="b", organization="memory-side",
+                     cycles=123.0, accesses=100, llc_hits=40,
+                     llc_lookups=100)
+    stats.merge_kernel(KernelStats(name="k", cycles=10.0, accesses=10))
+    return stats
+
+
+class TestContentKey:
+    def test_key_is_stable_across_equal_values(self):
+        a = content_key(config=baseline(), scale=1 / 16,
+                        params=EngineParams())
+        b = content_key(config=baseline(), scale=1 / 16,
+                        params=EngineParams())
+        assert a == b
+
+    def test_key_changes_with_any_field(self):
+        base = content_key(config=baseline(), scale=1 / 16,
+                           params=EngineParams())
+        assert content_key(config=baseline(), scale=1 / 8,
+                           params=EngineParams()) != base
+        assert content_key(config=baseline(), scale=1 / 16,
+                           params=EngineParams(batched=False)) != base
+
+    def test_float_encoding_distinguishes_close_values(self):
+        assert content_key(x=0.1) != content_key(x=0.1 + 1e-12)
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = content_key(x=1)
+        assert cache.load(key) is None
+        cache.store(key, sample_stats())
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert loaded.comparable_dict() == sample_stats().comparable_dict()
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        key = content_key(x=2)
+        ResultCache(tmp_path).store(key, sample_stats())
+        assert ResultCache(tmp_path).load(key) is not None
+
+    def test_stale_schema_versions_are_evicted(self, tmp_path):
+        old = tmp_path / f"v{SCHEMA_VERSION - 1}"
+        old.mkdir(parents=True)
+        (old / "stale.pkl").write_bytes(b"junk")
+        cache = ResultCache(tmp_path)
+        cache.store(content_key(x=3), sample_stats())
+        assert not old.exists()
+        assert cache.version_dir.exists()
+
+    def test_corrupt_payload_is_a_miss_and_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = content_key(x=4)
+        cache.store(key, sample_stats())
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        assert cache.load(key) is None
+        assert not path.exists()
+
+    def test_wrong_payload_type_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = content_key(x=5)
+        cache.store(key, sample_stats())
+        path = cache._path(key)
+        path.write_bytes(pickle.dumps({"not": "runstats"}))
+        assert cache.load(key) is None
+
+    def test_clear_empties_current_version(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(content_key(x=6), sample_stats())
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.load(content_key(x=6)) is None

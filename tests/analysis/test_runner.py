@@ -72,3 +72,105 @@ class TestMatrix:
     def test_hmean_speedup(self):
         speedups = {("a", "x"): 2.0, ("b", "x"): 2.0}
         assert hmean_speedup(speedups, ["a", "b"], "x") == pytest.approx(2.0)
+
+
+class TestConfigKeyAliasing:
+    def test_none_and_explicit_baseline_share_one_entry(self):
+        # Regression: the cache key must be built from the *resolved*
+        # config, so config=None and an equal explicit baseline() hit
+        # the same entry instead of simulating twice.
+        from repro.arch import baseline
+        spec = tiny_spec()
+        first = run(spec, "memory-side", accesses_per_epoch=256)
+        assert cache_size() == 1
+        second = run(spec, "memory-side", config=baseline(),
+                     accesses_per_epoch=256)
+        assert cache_size() == 1
+        assert second is first
+
+
+class TestZeroCycleErrors:
+    def _results_with_zero_cycles(self, zero_org):
+        from repro.sim.stats import RunStats
+        results = {}
+        for org in ("memory-side", "sm-side"):
+            cycles = 0.0 if org == zero_org else 100.0
+            results[("a", org)] = RunStats(benchmark="a", organization=org,
+                                           cycles=cycles)
+        return results
+
+    def test_zero_cycle_candidate_names_the_run(self):
+        results = self._results_with_zero_cycles("sm-side")
+        with pytest.raises(ValueError, match="'a' under 'sm-side'"):
+            speedups_vs_baseline(results, ["a"], ["memory-side", "sm-side"])
+
+    def test_zero_cycle_baseline_names_the_run(self):
+        results = self._results_with_zero_cycles("memory-side")
+        with pytest.raises(ValueError,
+                           match="baseline run 'a' under 'memory-side'"):
+            speedups_vs_baseline(results, ["a"], ["sm-side"])
+
+    def test_stats_speedup_names_both_sides(self):
+        from repro.sim.stats import RunStats, speedup
+        good = RunStats(benchmark="b", organization="sac", cycles=10.0)
+        bad = RunStats(benchmark="b", organization="static", cycles=0.0)
+        with pytest.raises(ValueError, match="candidate run 'b'"):
+            speedup(good, bad)
+        with pytest.raises(ValueError, match="baseline run 'b'"):
+            speedup(bad, good)
+
+
+class TestDiskCacheIntegration:
+    def test_warm_disk_cache_skips_simulation(self, tmp_path):
+        from repro.sim.run import reset_simulate_calls, simulate_calls
+        specs = [tiny_spec("warm-a"), tiny_spec("warm-b")]
+        orgs = ["memory-side", "sm-side"]
+        cold = run_matrix(specs, orgs, accesses_per_epoch=256,
+                          cache_dir=tmp_path)
+        clear_cache()  # drop the in-process memo; only the disk remains
+        reset_simulate_calls()
+        warm = run_matrix(specs, orgs, accesses_per_epoch=256,
+                          cache_dir=tmp_path)
+        assert simulate_calls() == 0
+        assert set(warm) == set(cold)
+        for key in cold:
+            assert warm[key].comparable_dict() == cold[key].comparable_dict()
+
+    def test_telemetry_counts_layers(self, tmp_path):
+        from repro.analysis import reset_telemetry, telemetry
+        reset_telemetry()
+        specs = [tiny_spec("tele")]
+        run_matrix(specs, ["memory-side"], accesses_per_epoch=256,
+                   cache_dir=tmp_path)
+        assert telemetry().simulated == 1
+        assert telemetry().disk_stores == 1
+        run_matrix(specs, ["memory-side"], accesses_per_epoch=256,
+                   cache_dir=tmp_path)
+        assert telemetry().memo_hits == 1
+        clear_cache()
+        run_matrix(specs, ["memory-side"], accesses_per_epoch=256,
+                   cache_dir=tmp_path)
+        assert telemetry().disk_hits == 1
+        assert telemetry().simulated == 1
+
+
+class TestParallelMatrix:
+    def test_two_workers_match_serial_and_order(self, tmp_path):
+        specs = [tiny_spec("par-a"), tiny_spec("par-b")]
+        orgs = ["memory-side", "sm-side"]
+        serial = run_matrix(specs, orgs, accesses_per_epoch=256)
+        clear_cache()
+        parallel = run_matrix(specs, orgs, accesses_per_epoch=256,
+                              n_jobs=2, cache_dir=tmp_path)
+        # Deterministic (submission-order) iteration, identical physics.
+        assert list(parallel) == list(serial)
+        for key in serial:
+            assert parallel[key].comparable_dict() == \
+                serial[key].comparable_dict()
+        # The pool populated both cache layers: a repeat is all memo hits.
+        from repro.analysis import reset_telemetry, telemetry
+        reset_telemetry()
+        run_matrix(specs, orgs, accesses_per_epoch=256, n_jobs=2,
+                   cache_dir=tmp_path)
+        assert telemetry().simulated == 0
+        assert telemetry().memo_hits == len(serial)

@@ -1,0 +1,97 @@
+"""Regression tests for the batched epoch fast path.
+
+The batched path must be *bit-identical* to the per-access path: same
+functional cache decisions, same resource charges, same latencies.  The
+tests compare ``RunStats.comparable_dict()`` (which excludes host-side
+telemetry such as wall clock and path counters) across several specs and
+every organization, and pin the fallback rules for configurations that
+need per-access side effects.
+"""
+
+import pytest
+
+from repro.arch import baseline, with_coherence
+from repro.sim import EngineParams
+from repro.sim.run import simulate
+from repro.workloads import BenchmarkSpec, KernelSpec, PhaseSpec
+
+SCALE = 1.0 / 64
+DENSITY = 512
+
+ORGS = ("memory-side", "sm-side", "static", "dynamic", "sac")
+
+
+def spec(name, weight_true, weight_false, weight_private, epochs=2,
+         write_fraction=0.25, preference="sm-side", seed=11):
+    phase = PhaseSpec(weight_true=weight_true, weight_false=weight_false,
+                      weight_private=weight_private,
+                      write_fraction=write_fraction)
+    return BenchmarkSpec(
+        name=name, suite="test", num_ctas=16, footprint_mb=8,
+        true_shared_mb=2, false_shared_mb=2, preference=preference,
+        kernels=(KernelSpec(name="k", phase=phase, epochs=epochs),),
+        seed=seed)
+
+
+SPECS = (
+    spec("shared-heavy", 0.6, 0.2, 0.2, epochs=3),
+    spec("private-heavy", 0.1, 0.1, 0.8, preference="memory-side", seed=5),
+    spec("false-sharing", 0.2, 0.6, 0.2, write_fraction=0.4, seed=23),
+)
+
+
+def both_paths(bench, organization, config=None, params_kwargs=None):
+    kwargs = params_kwargs or {}
+    serial = simulate(bench, organization, config=config, scale=SCALE,
+                      accesses_per_epoch=DENSITY,
+                      params=EngineParams(batched=False, **kwargs))
+    batched = simulate(bench, organization, config=config, scale=SCALE,
+                       accesses_per_epoch=DENSITY,
+                       params=EngineParams(batched=True, **kwargs))
+    return serial, batched
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("bench", SPECS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("organization", ORGS)
+    def test_batched_matches_serial(self, bench, organization):
+        serial, batched = both_paths(bench, organization)
+        assert batched.comparable_dict() == serial.comparable_dict()
+
+    def test_batched_path_actually_ran(self):
+        _, batched = both_paths(SPECS[0], "memory-side")
+        assert batched.fast_epochs > 0
+        assert batched.slow_epochs == 0
+
+    def test_serial_flag_forces_slow_path(self):
+        serial, _ = both_paths(SPECS[0], "memory-side")
+        assert serial.fast_epochs == 0
+        assert serial.slow_epochs > 0
+
+    def test_with_l1_modeled(self):
+        serial, batched = both_paths(SPECS[0], "memory-side",
+                                     params_kwargs={"model_l1": True})
+        assert batched.fast_epochs > 0
+        assert batched.comparable_dict() == serial.comparable_dict()
+
+
+class TestFallbacks:
+    def test_sac_profiles_serial_then_batches(self):
+        # SAC's profiling window needs per-access counter updates, so the
+        # head of each kernel runs serial while the tail batches.
+        _, batched = both_paths(SPECS[0], "sac")
+        assert batched.slow_epochs > 0
+        assert batched.fast_epochs > 0
+
+    def test_hardware_coherence_falls_back(self):
+        config = with_coherence(baseline(), "hardware")
+        serial, batched = both_paths(SPECS[0], "sm-side", config=config)
+        assert batched.fast_epochs == 0
+        assert batched.slow_epochs > 0
+        assert batched.comparable_dict() == serial.comparable_dict()
+
+    def test_ladm_falls_back(self):
+        # LADM's second-touch insertion filter is per-access state.
+        serial, batched = both_paths(SPECS[0], "ladm")
+        assert batched.fast_epochs == 0
+        assert batched.comparable_dict() == serial.comparable_dict()
