@@ -16,9 +16,13 @@ from .replacement import (
     TreePLRUPolicy,
     make_policy,
 )
+from .vector import BatchResult, VectorBank, VectorCache
 from .waycache import WayOrganizedCache, make_cache
 
 __all__ = [
+    "BatchResult",
+    "VectorBank",
+    "VectorCache",
     "UNPARTITIONED",
     "AccessResult",
     "CacheLine",

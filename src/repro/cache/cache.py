@@ -112,6 +112,10 @@ class SetAssociativeCache:
             OrderedDict() for _ in range(config.num_sets)]
         # ways allocated per partition id; None means unpartitioned.
         self._partition_ways: Optional[Dict[int, int]] = None
+        # Per-set partition occupancy counters, maintained incrementally
+        # while partitioned (non-None exactly when _partition_ways is) so
+        # victim selection never rescans the set per candidate.
+        self._part_occ: Optional[List[Dict[int, int]]] = None
         self._line_shift = config.line_size.bit_length() - 1
         self._set_mask = config.num_sets - 1
         self._sets_pow2 = (config.num_sets & (config.num_sets - 1)) == 0
@@ -155,6 +159,7 @@ class SetAssociativeCache:
         """
         if ways_by_partition is None:
             self._partition_ways = None
+            self._part_occ = None
             return
         total = sum(ways_by_partition.values())
         if total != self.config.associativity:
@@ -164,6 +169,25 @@ class SetAssociativeCache:
         if any(w < 0 for w in ways_by_partition.values()):
             raise ValueError("partition way counts cannot be negative")
         self._partition_ways = dict(ways_by_partition)
+        self._recount_partitions()
+
+    def _recount_partitions(self) -> None:
+        """Rebuild the per-set partition occupancy counters from scratch."""
+        occupancy: List[Dict[int, int]] = []
+        for cache_set in self._sets:
+            counts: Dict[int, int] = {}
+            for line in cache_set.values():
+                counts[line.partition] = counts.get(line.partition, 0) + 1
+            occupancy.append(counts)
+        self._part_occ = occupancy
+
+    def _drop_line_partition(self, index: int, partition: int) -> None:
+        counts = self._part_occ[index]
+        remaining = counts[partition] - 1
+        if remaining:
+            counts[partition] = remaining
+        else:
+            del counts[partition]
 
     @property
     def partition_ways(self) -> Optional[Dict[int, int]]:
@@ -179,7 +203,7 @@ class SetAssociativeCache:
         line = self._sets[index].get(tag)
         if line is None:
             return False
-        if self.config.sectored:
+        if self._sectored:
             return line.sector_present(self._sector_of(addr))
         return True
 
@@ -233,9 +257,9 @@ class SetAssociativeCache:
         index, tag = self._index_tag(addr)
         if tag in self._sets[index]:
             line = self._sets[index][tag]
-            if self.config.sectored:
+            if self._sectored:
                 line.sector_valid |= 1 << self._sector_of(addr)
-            if is_write and self.config.write_back:
+            if is_write and self._write_back:
                 line.dirty = True
             self._sets[index].move_to_end(tag)
             return AccessResult(hit=True)
@@ -247,12 +271,14 @@ class SetAssociativeCache:
     def _fill(self, index: int, tag: int, is_write: bool,
               partition: int, addr: int) -> Tuple[bool, Optional[int]]:
         cache_set = self._sets[index]
-        victim_info = self._select_victim(cache_set, partition)
+        victim_info = self._select_victim(index, cache_set, partition)
         evicted_dirty = False
         evicted_addr: Optional[int] = None
         if victim_info is not None:
             victim_tag, victim = victim_info
             del cache_set[victim_tag]
+            if self._part_occ is not None:
+                self._drop_line_partition(index, victim.partition)
             self.stats.evictions += 1
             if victim.dirty:
                 self.stats.dirty_evictions += 1
@@ -266,10 +292,14 @@ class SetAssociativeCache:
             dirty=is_write and self._write_back,
             partition=partition,
             sector_valid=sector_valid)
+        if self._part_occ is not None:
+            counts = self._part_occ[index]
+            counts[partition] = counts.get(partition, 0) + 1
         self.stats.fills += 1
         return evicted_dirty, evicted_addr
 
-    def _select_victim(self, cache_set: "OrderedDict[int, CacheLine]",
+    def _select_victim(self, index: int,
+                       cache_set: "OrderedDict[int, CacheLine]",
                        partition: int) -> Optional[Tuple[int, CacheLine]]:
         """Pick an LRU victim respecting partition way limits, or None."""
         if self._partition_ways is None:
@@ -282,7 +312,8 @@ class SetAssociativeCache:
             # A partition with zero ways may not allocate; evict nothing and
             # let the caller treat the fill as a bypass.
             raise PartitionFullError(partition)
-        occupancy = sum(1 for l in cache_set.values() if l.partition == partition)
+        occ_counts = self._part_occ[index]
+        occupancy = occ_counts.get(partition, 0)
         if occupancy < limit and len(cache_set) < self.config.associativity:
             return None
         # Prefer evicting the LRU line of the same partition; if the
@@ -292,12 +323,12 @@ class SetAssociativeCache:
             for tag, line in cache_set.items():
                 if line.partition == partition:
                     return tag, line
-        for tag, line in cache_set.items():
-            other = line.partition
-            other_limit = self._partition_ways.get(other, 0)
-            other_occ = sum(1 for l in cache_set.values() if l.partition == other)
-            if other_occ > other_limit:
-                return tag, line
+        ways = self._partition_ways
+        over = {p for p, occ in occ_counts.items() if occ > ways.get(p, 0)}
+        if over:
+            for tag, line in cache_set.items():
+                if line.partition in over:
+                    return tag, line
         tag, line = next(iter(cache_set.items()))
         return tag, line
 
@@ -322,18 +353,26 @@ class SetAssociativeCache:
             invalidated += len(cache_set)
             dirty += sum(1 for line in cache_set.values() if line.dirty)
             cache_set.clear()
+        if self._part_occ is not None:
+            for counts in self._part_occ:
+                counts.clear()
         return invalidated, dirty
 
     def invalidate(self, addr: int) -> bool:
         """Invalidate one line; returns True if it was present."""
         index, tag = self._index_tag(addr)
-        return self._sets[index].pop(tag, None) is not None
+        line = self._sets[index].pop(tag, None)
+        if line is None:
+            return False
+        if self._part_occ is not None:
+            self._drop_line_partition(index, line.partition)
+        return True
 
     def invalidate_partition(self, partition: int) -> Tuple[int, int]:
         """Invalidate every line belonging to ``partition``."""
         invalidated = 0
         dirty = 0
-        for cache_set in self._sets:
+        for index, cache_set in enumerate(self._sets):
             victims = [tag for tag, line in cache_set.items()
                        if line.partition == partition]
             for tag in victims:
@@ -341,6 +380,8 @@ class SetAssociativeCache:
                 invalidated += 1
                 if line.dirty:
                     dirty += 1
+            if victims and self._part_occ is not None:
+                self._part_occ[index].pop(partition, None)
         return invalidated, dirty
 
     # -- Introspection ----------------------------------------------------
@@ -366,6 +407,9 @@ class SetAssociativeCache:
         """Clear contents and statistics."""
         for cache_set in self._sets:
             cache_set.clear()
+        if self._part_occ is not None:
+            for counts in self._part_occ:
+                counts.clear()
         self.stats.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,743 @@
+"""Vectorized set-associative cache backend (structure-of-arrays).
+
+:class:`VectorCache` keeps the functional LRU tag state of one cache in
+numpy arrays shaped ``num_sets x associativity`` (tags, dirty bits and a
+per-set occupancy count, with resident ways packed at the low slots in
+LRU -> MRU order) and resolves a whole batch of accesses at once with
+:meth:`VectorCache.access_many`: accesses are grouped by set and each
+group's hits, misses, dirty evictions and final LRU state are derived
+with an LRU stack-distance computation instead of one Python probe per
+access.  :class:`VectorBank` stacks many slices into one shared array so
+the simulation engine can resolve an entire epoch across every (chip,
+slice) pair with a single kernel invocation.
+
+The batch kernel is *bit-identical* to :class:`SetAssociativeCache` for
+the configurations it covers (true-LRU, non-sectored, write-allocate,
+unpartitioned): same per-access hit/miss outcomes, same eviction
+addresses and dirty bits, same ``CacheStats``.  Everything it does not
+cover — way partitioning, sectored lines, no-allocate probes, scalar
+``access``/``fill`` calls — transparently *demotes* the cache to an
+internal :class:`SetAssociativeCache` delegate that shares the same
+``CacheStats`` object, so behaviour off the fast path is the OrderedDict
+model itself, not a reimplementation.  A later batch call *promotes* the
+state back into array form when it is safe to do so.
+
+How the kernel works (per set, over the batch's accesses in order):
+
+* Every access ``j`` gets a link ``pi_j``: the within-set rank of the
+  previous access to the same tag, or ``-(depth+1)`` if the tag's first
+  touch finds it resident at LRU-depth ``depth`` (0 = MRU) in the
+  pre-batch state, or ``-(A+1)`` if it is absent.  An access is the
+  *first touch since* rank ``r`` of its tag exactly when ``pi_j <= r``.
+* LRU depth of a line last touched at rank ``r`` equals the number of
+  distinct tags touched since ``r`` — i.e. the number of later accesses
+  with ``pi_j <= r``.  Hence access ``j`` hits iff
+  ``max(0, -pi_j - 1) + #{i in (pi_j, j) : pi_i <= pi_j} < A``.
+* A line last touched at rank ``r`` (and not re-touched, or whose next
+  touch misses) is evicted by the access at which the running count of
+  ``pi_i <= r`` (``i > r``) reaches ``A``; pre-batch lines at depth
+  ``d`` are evicted when the count of ``pi_i < -(d+1)`` reaches
+  ``A - d``, unless their first touch happens earlier.  The evicting
+  access is always a miss, and the evicted line's dirty bit follows the
+  write history of its tag's access chain (seeded from the pre-batch
+  dirty bit when the first touch hits).
+* Survivors — untouched pre-batch lines below every touched line, then
+  tag chains ordered by last-touch rank — are packed back into the
+  arrays in LRU -> MRU order.
+
+Groups are bucketed by size so the ``O(m * M)`` dominance windows pay
+for the bucket's maximum group size ``M`` rather than the batch's; very
+large groups are resolved in sequential rank chunks, which composes
+exactly because the kernel is equivalent to replaying the chunk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..arch.config import CacheConfig
+from .cache import (
+    UNPARTITIONED,
+    AccessResult,
+    CacheLine,
+    CacheStats,
+    PartitionFullError,
+    SetAssociativeCache,
+)
+
+#: Group-size bucket upper bounds for the stack-distance kernel; groups
+#: larger than the last edge are resolved in rank chunks of that size.
+_BUCKET_EDGES = (2, 4, 8, 16, 48)
+
+
+class BatchResult(NamedTuple):
+    """Per-access outcomes of one batch, in stream order."""
+
+    hits: np.ndarray          # bool (m,)
+    evicted_addr: np.ndarray  # int64 (m,); -1 where nothing was evicted
+    evicted_dirty: np.ndarray  # bool (m,); True only where evicted_addr >= 0
+
+
+class _Geometry(NamedTuple):
+    """Address-splitting constants shared by a bank's caches."""
+
+    num_sets: int
+    associativity: int
+    line_shift: int
+    sets_pow2: bool
+    index_bits: int
+    set_mask: int
+    write_back: bool
+
+    def split(self, addrs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        lines = addrs >> np.int64(self.line_shift)
+        if self.sets_pow2:
+            return lines & np.int64(self.set_mask), \
+                lines >> np.int64(self.index_bits)
+        return lines % np.int64(self.num_sets), \
+            lines // np.int64(self.num_sets)
+
+    def rebuild(self, sets: np.ndarray, tags: np.ndarray) -> np.ndarray:
+        if self.sets_pow2:
+            lines = (tags << np.int64(self.index_bits)) | sets
+        else:
+            lines = tags * np.int64(self.num_sets) + sets
+        return lines << np.int64(self.line_shift)
+
+
+def _geometry_of(config: CacheConfig) -> _Geometry:
+    num_sets = config.num_sets
+    return _Geometry(
+        num_sets=num_sets,
+        associativity=config.associativity,
+        line_shift=config.line_size.bit_length() - 1,
+        sets_pow2=(num_sets & (num_sets - 1)) == 0,
+        index_bits=num_sets.bit_length() - 1,
+        set_mask=num_sets - 1,
+        write_back=config.write_back)
+
+
+def _batch_resolve(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
+                   geo: _Geometry, rows: np.ndarray, tg: np.ndarray,
+                   wr: np.ndarray) -> BatchResult:
+    """Resolve a batch against packed LRU rows, updating state in place.
+
+    ``tags``/``dirty`` are ``(R, A)`` arrays and ``count`` is ``(R,)``;
+    row ``r`` holds ``count[r]`` resident lines at slots ``0..count-1``
+    in LRU -> MRU order.  ``rows``/``tg``/``wr`` give each access's row,
+    tag and write flag in stream order.
+    """
+    m = rows.shape[0]
+    hits = np.zeros(m, dtype=bool)
+    ev_addr = np.full(m, -1, dtype=np.int64)
+    ev_dirty = np.zeros(m, dtype=bool)
+    if m == 0:
+        return BatchResult(hits, ev_addr, ev_dirty)
+
+    # Per-row access counts -> within-row rank of every access.
+    row_counts = np.bincount(rows, minlength=tags.shape[0])
+    active = np.flatnonzero(row_counts)
+    lut = np.zeros(tags.shape[0], dtype=np.int64)
+    lut[active] = np.arange(active.size)
+    g = lut[rows]
+    counts = row_counts[active]
+    # Group ids almost always fit int16, where numpy's stable sort is a
+    # radix sort (~8x faster than the int64 mergesort).
+    if active.size <= 32767:
+        order = np.argsort(g.astype(np.int16), kind="stable")
+    else:
+        order = np.argsort(g, kind="stable")
+    starts = np.zeros(active.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=starts[1:])
+    rank = np.empty(m, dtype=np.int64)
+    rank[order] = np.arange(m) - np.repeat(starts, counts)
+
+    gsize = counts[g]
+    lo = 0
+    for hi in _BUCKET_EDGES:
+        sel = (gsize > lo) & (gsize <= hi)
+        lo = hi
+        if sel.any():
+            _solve_groups(tags, dirty, count, geo, rows, tg, wr, rank,
+                          np.flatnonzero(sel), 0, hits, ev_addr, ev_dirty)
+    chunk = _BUCKET_EDGES[-1]
+    big = gsize > chunk
+    if big.any():
+        idx_big = np.flatnonzero(big)
+        rank_big = rank[idx_big]
+        for start in range(0, int(rank_big.max()) + 1, chunk):
+            sub = idx_big[(rank_big >= start) & (rank_big < start + chunk)]
+            if sub.size:
+                _solve_groups(tags, dirty, count, geo, rows, tg, wr, rank,
+                              sub, start, hits, ev_addr, ev_dirty)
+    return BatchResult(hits, ev_addr, ev_dirty)
+
+
+def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
+                  geo: _Geometry, rows: np.ndarray, tg: np.ndarray,
+                  wr: np.ndarray, rank: np.ndarray, idx: np.ndarray,
+                  rank_offset: int, hits: np.ndarray, ev_addr: np.ndarray,
+                  ev_dirty: np.ndarray) -> None:
+    """Stack-distance resolution for one bucket of set groups.
+
+    ``idx`` selects the bucket's accesses (in stream order); every group
+    touched by ``idx`` must appear with *all* of its accesses of rank
+    ``rank_offset`` onward that fall in this call (chunked callers pass
+    consecutive rank windows in order).
+    """
+    A = geo.associativity
+    srows = rows[idx]
+    row_hits = np.bincount(srows, minlength=tags.shape[0])
+    rows_l = np.flatnonzero(row_hits)          # row id per local group
+    gcount = row_hits[rows_l]                  # real accesses per group
+    lut = np.zeros(tags.shape[0], dtype=np.int64)
+    lut[rows_l] = np.arange(rows_l.size)
+    gl = lut[srows]
+    ngroups = rows_l.size
+    mwidth = int(gcount.max())
+    rl = rank[idx] - rank_offset
+    stg = tg[idx]
+    ml = idx.size
+
+    # Same-tag chains: previous/next access of each tag, via a stable
+    # sort on (group, tag).  Small keys take two int16 radix passes
+    # (LSD: sort by tag, then stably by group); larger tags fall back to
+    # one composite-key mergesort or a full lexsort.
+    tmax = int(stg.max())
+    if tmax <= 32767 and ngroups <= 32767:
+        s16 = stg.astype(np.int16)
+        g16 = gl.astype(np.int16)
+        p1 = np.argsort(s16, kind="stable")
+        o2 = p1[np.argsort(g16[p1], kind="stable")]
+        g2 = g16[o2]
+        t2 = s16[o2]
+    else:
+        if tmax < (1 << 44) and ngroups < (1 << 19):
+            o2 = np.argsort((gl << np.int64(44)) | stg, kind="stable")
+        else:
+            o2 = np.lexsort((stg, gl))
+        g2 = gl[o2]
+        t2 = stg[o2]
+    same = (g2[1:] == g2[:-1]) & (t2[1:] == t2[:-1])
+    succ = o2[1:][same]
+    pred = o2[:-1][same]
+    pi = np.full(ml, -1, dtype=np.int64)
+    pi[succ] = rl[pred]
+    nxt = np.full(ml, -1, dtype=np.int64)
+    nxt[pred] = succ
+
+    # First touches: find the tag in the pre-batch state; depth d (0 =
+    # MRU) encodes as pi = -(d+1), absence as pi = -(A+1).
+    first = np.flatnonzero(pi < 0)
+    frows = rows_l[gl[first]]
+    fcount = count[frows]
+    slot_ok = np.arange(A, dtype=np.int64)[None, :] < fcount[:, None]
+    eq = (tags[frows] == stg[first][:, None]) & slot_ok
+    way = np.argmax(eq, axis=1)
+    found = eq[np.arange(first.size), way]
+    depth = fcount - 1 - way
+    pi[first] = np.where(found, -(depth + 1), -(A + 1))
+    init_dirty = dirty[frows, way] & found
+
+    # First-touch rank per pre-batch (group, way); sentinel = untouched.
+    untouched_rank = mwidth + 1
+    first_rank = np.full((ngroups, A), untouched_rank, dtype=np.int64)
+    ffi = first[found]
+    first_rank[gl[ffi], way[found]] = rl[ffi]
+
+    # Rank-indexed pi and access-id tables per group (padded columns get
+    # a pi larger than any comparison bound, so they never contribute).
+    # The pi values span [-(A+1), mwidth), so the dominance windows run
+    # on the narrowest integer type that holds the pad sentinel: the
+    # windows are pure memory traffic and shrink 8x vs int64.
+    pad = mwidth + A + 2
+    if pad <= 127:
+        dt = np.int8
+    elif pad <= 32767:
+        dt = np.int16
+    else:
+        dt = np.int64
+    pi_s = pi.astype(dt)
+    rl_s = rl.astype(dt)
+    pi_tab = np.full((ngroups, mwidth), pad, dtype=dt)
+    acc_tab = np.zeros((ngroups, mwidth), dtype=np.int64)
+    pi_tab[gl, rl] = pi_s
+    acc_tab[gl, rl] = idx
+    cols = np.arange(mwidth, dtype=dt)
+
+    # Hits: stack depth at access j = base(pi_j) + dominance count, but
+    # the count is bounded by the reuse window, so most accesses are
+    # decided by inspection: a window shorter than A - base always hits
+    # (absent tags, base = A, always miss).  Only the remainder pays for
+    # a dominance window.
+    base = np.maximum(-pi - 1, 0)
+    width = rl - np.maximum(pi + 1, 0)
+    hitb = base < A
+    need = np.flatnonzero(hitb & (base + width >= A))
+    if need.size:
+        pic = pi_s[need][:, None]
+        dom = ((cols > pic) & (cols < rl_s[need][:, None])
+               & (pi_tab[gl[need]] <= pic)).sum(axis=1)
+        hitb[need] = base[need] + dom < A
+    hits[idx] = hitb
+
+    # Chain-final instances: last touch of a tag, or a touch whose next
+    # same-tag access misses (a fresh instance is filled at that point).
+    nxt_hit = np.zeros(ml, dtype=bool)
+    has_nxt = nxt >= 0
+    nxt_hit[has_nxt] = hitb[nxt[has_nxt]]
+    final = np.flatnonzero(~nxt_hit)
+    gfin = gl[final]
+    rfin = rl[final]
+    # Per-group cumulative histogram of pi values: H[g, t + A + 1] =
+    # #{i in g : pi_i <= t}.  Because pi_i < i always, exactly r + 1
+    # accesses at ranks <= r satisfy pi_i <= r, so the count of distinct
+    # tags touched *after* rank r is H[g, r + A + 1] - (r + 1): every
+    # eviction verdict is an O(1) lookup, and the rank scan that places
+    # the eviction runs only over lines that really go.
+    W = mwidth + A + 1
+    H = np.bincount(gl * W + (pi + (A + 1)),
+                    minlength=ngroups * W).reshape(ngroups, W)
+    np.cumsum(H, axis=1, out=H)
+    evicted = H[gfin, rfin + A + 1] - (rfin + 1) >= A
+    when = np.zeros(final.size, dtype=np.int64)
+    scan = np.flatnonzero(evicted)
+    if scan.size:
+        fsc = final[scan]
+        rfs = rl_s[fsc][:, None]
+        distinct = (cols > rfs) & (pi_tab[gl[fsc]] <= rfs)
+        reached = np.cumsum(distinct, axis=1, dtype=dt) >= A
+        when[scan] = np.argmax(reached, axis=1)
+    evr = final[evicted]
+
+    # Dirty bits travel along each tag's chain of consecutive touches of
+    # one instance: segment boundaries at first touches and at misses;
+    # first-touch *hits* inherit the pre-batch line's dirty bit.
+    w_eff = wr[idx] & geo.write_back
+    wseed = w_eff.copy()
+    wseed[first] |= init_dirty & hitb[first]
+    chain_head = np.ones(ml, dtype=bool)
+    chain_head[succ] = False
+    seg_start = chain_head[o2] | ~hitb[o2]
+    seg = np.cumsum(seg_start, dtype=np.int32)
+    running = np.maximum.accumulate(seg * 2 + wseed[o2])
+    dirty_at = np.empty(ml, dtype=bool)
+    dirty_at[o2] = running - seg * 2 >= 1
+
+    if evr.size:
+        targets = acc_tab[gfin[evicted], when[evicted]]
+        sets_e = rows_l[gfin[evicted]] % np.int64(geo.num_sets)
+        ev_addr[targets] = geo.rebuild(sets_e, stg[evr])
+        ev_dirty[targets] = dirty_at[evr]
+
+    # Pre-batch lines: line at depth d is evicted when the count of
+    # accesses with pi < -(d+1) (first touches of deeper-or-absent tags)
+    # reaches A - d, unless its own first touch comes earlier.  The
+    # histogram answers "does the count get there at all" for every
+    # (group, slot) at once; only lines that really go pay a rank scan.
+    cnt0 = count[rows_l]
+    slots_a = np.arange(A, dtype=np.int64)
+    depth_tab = cnt0[:, None] - 1 - slots_a[None, :]
+    live = slots_a[None, :] < cnt0[:, None]
+    vq = np.where(live, A - depth_tab - 1, 0)
+    pot = live & (H[np.arange(ngroups)[:, None], vq] >= A - depth_tab)
+    init_evicted = np.zeros((ngroups, A), dtype=bool)
+    gp, sp = np.nonzero(pot)
+    if gp.size:
+        depth_p = cnt0[gp] - 1 - sp
+        # Only accesses with pi <= -2 (first touches of deeper-or-absent
+        # tags) can push an init line out, so the rank scan runs over a
+        # per-group table compacted to just those columns: code -pi at
+        # column j, with the rank remembered for the answer.
+        gn, rn = np.nonzero(pi_tab <= np.array(-2, dtype=dt))
+        nneg = np.bincount(gn, minlength=ngroups)
+        nwidth = int(nneg.max()) if gn.size else 1
+        offs_n = np.zeros(ngroups, dtype=np.int64)
+        np.cumsum(nneg[:-1], out=offs_n[1:])
+        jn = np.arange(gn.size) - offs_n[gn]
+        code_tab = np.zeros((ngroups, nwidth), dtype=dt)
+        code_tab[gn, jn] = -pi_tab[gn, rn]
+        rank_n = np.zeros((ngroups, nwidth), dtype=np.int64)
+        rank_n[gn, jn] = rn
+        deeper = code_tab[gp] >= (depth_p + 2).astype(dt)[:, None]
+        reached4 = np.cumsum(deeper, axis=1, dtype=dt) >= \
+            (A - depth_p).astype(dt)[:, None]
+        when4 = rank_n[gp, np.argmax(reached4, axis=1)]
+        gone = when4 < first_rank[gp, sp]
+        if gone.any():
+            gp_e = gp[gone]
+            sp_e = sp[gone]
+            targets = acc_tab[gp_e, when4[gone]]
+            rows_e = rows_l[gp_e]
+            ev_addr[targets] = geo.rebuild(
+                rows_e % np.int64(geo.num_sets), tags[rows_e, sp_e])
+            ev_dirty[targets] = dirty[rows_e, sp_e]
+            init_evicted[gp_e, sp_e] = True
+
+    # Survivors: untouched, un-evicted pre-batch lines (still below all
+    # touched lines, in their original depth order), then chain-final
+    # instances without an eviction, ordered by last-touch rank.  Both
+    # partial orders fall out of row-major ``np.nonzero`` scans over
+    # (group, slot) / (group, rank) tables, so no sort is needed.
+    live = np.arange(A, dtype=np.int64)[None, :] < cnt0[:, None]
+    keep = live & (first_rank > mwidth) & ~init_evicted
+    gi, si = np.nonzero(keep)
+    fin_keep = final[~evicted]
+    fin_tab = np.zeros((ngroups, mwidth), dtype=bool)
+    fin_tab[gl[fin_keep], rl[fin_keep]] = True
+    loc_tab = np.zeros((ngroups, mwidth), dtype=np.int32)
+    loc_tab[gl, rl] = np.arange(ml, dtype=np.int32)
+    gi2, ri2 = np.nonzero(fin_tab)
+    loc_f = loc_tab[gi2, ri2]
+    ninit = np.bincount(gi, minlength=ngroups)
+    nreal = np.bincount(gi2, minlength=ngroups)
+    offs_i = np.zeros(ngroups, dtype=np.int64)
+    np.cumsum(ninit[:-1], out=offs_i[1:])
+    offs_r = np.zeros(ngroups, dtype=np.int64)
+    np.cumsum(nreal[:-1], out=offs_r[1:])
+    rows_i = rows_l[gi]
+    slot_i = np.arange(gi.size) - offs_i[gi]
+    t_init = tags[rows_i, si]          # advanced indexing copies, so the
+    d_init = dirty[rows_i, si]         # compacting writes cannot alias
+    tags[rows_i, slot_i] = t_init
+    dirty[rows_i, slot_i] = d_init
+    rows_r = rows_l[gi2]
+    slot_r = ninit[gi2] + np.arange(gi2.size) - offs_r[gi2]
+    tags[rows_r, slot_r] = stg[loc_f]
+    dirty[rows_r, slot_r] = dirty_at[loc_f]
+    count[rows_l] = ninit + nreal
+
+
+class VectorCache:
+    """Drop-in :class:`SetAssociativeCache` with a vectorized batch path.
+
+    Scalar operations and unsupported configurations are served by an
+    internal :class:`SetAssociativeCache` delegate (sharing this cache's
+    ``stats``), created on first need; batch calls promote the state
+    back into array form when every resident line is unpartitioned.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache",
+                 _state: Optional[Tuple[np.ndarray, np.ndarray,
+                                        np.ndarray]] = None) -> None:
+        if config.replacement != "lru":
+            raise ValueError(
+                f"VectorCache requires LRU replacement, "
+                f"got {config.replacement!r}")
+        if config.sectored:
+            raise ValueError("VectorCache does not model sectored lines")
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        self._geo = _geometry_of(config)
+        if _state is None:
+            num_sets, assoc = config.num_sets, config.associativity
+            self._tags = np.zeros((num_sets, assoc), dtype=np.int64)
+            self._dirty = np.zeros((num_sets, assoc), dtype=bool)
+            self._count = np.zeros(num_sets, dtype=np.int64)
+        else:
+            self._tags, self._dirty, self._count = _state
+        self._delegate: Optional[SetAssociativeCache] = None
+
+    # -- Address helpers -------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        return addr >> self._geo.line_shift << self._geo.line_shift
+
+    # -- Delegation ------------------------------------------------------
+
+    def _demote(self) -> SetAssociativeCache:
+        """Materialize the OrderedDict delegate from the array state."""
+        if self._delegate is None:
+            delegate = SetAssociativeCache(self.config, self.name)
+            delegate.stats = self.stats
+            for index in range(self._geo.num_sets):
+                cache_set = delegate._sets[index]
+                for slot in range(int(self._count[index])):
+                    tag = int(self._tags[index, slot])
+                    cache_set[tag] = CacheLine(
+                        tag=tag, dirty=bool(self._dirty[index, slot]))
+            self._delegate = delegate
+            # Route subsequent scalar probes straight to the delegate.
+            self.access = delegate.access  # type: ignore[method-assign]
+        return self._delegate
+
+    def _promote(self) -> bool:
+        """Fold the delegate back into array state; False if unsafe."""
+        delegate = self._delegate
+        if delegate is None:
+            return True
+        if delegate._partition_ways is not None:
+            return False
+        for cache_set in delegate._sets:
+            for line in cache_set.values():
+                if line.partition != UNPARTITIONED:
+                    return False
+        for index, cache_set in enumerate(delegate._sets):
+            for slot, line in enumerate(cache_set.values()):
+                self._tags[index, slot] = line.tag
+                self._dirty[index, slot] = line.dirty
+            self._count[index] = len(cache_set)
+        self._delegate = None
+        self.__dict__.pop("access", None)
+        return True
+
+    def _batch_ready(self) -> bool:
+        """Whether the array kernel may serve the next batch."""
+        if not self.config.write_allocate:
+            return False
+        return self._promote()
+
+    # -- Scalar operations (delegated) -----------------------------------
+
+    def access(self, addr: int, is_write: bool = False,
+               partition: int = UNPARTITIONED,
+               allocate_on_miss: bool = True) -> AccessResult:
+        return self._demote().access(addr, is_write, partition=partition,
+                                     allocate_on_miss=allocate_on_miss)
+
+    def fill(self, addr: int, is_write: bool = False,
+             partition: int = UNPARTITIONED) -> AccessResult:
+        return self._demote().fill(addr, is_write, partition=partition)
+
+    # -- Batch operations -------------------------------------------------
+
+    def access_many(self, addrs: Sequence[int], writes: Sequence[bool],
+                    partition: int = UNPARTITIONED,
+                    allocate_on_miss: bool = True) -> BatchResult:
+        """Resolve a whole access stream; outcomes are in stream order.
+
+        Equivalent to calling :meth:`access` per element (a raised
+        ``PartitionFullError`` records a miss with no eviction, as the
+        engine's probe loop does).
+        """
+        addrs_np = np.ascontiguousarray(addrs, dtype=np.int64)
+        writes_np = np.ascontiguousarray(writes, dtype=bool)
+        if (partition == UNPARTITIONED and allocate_on_miss
+                and self._batch_ready()):
+            sets, tg = self._geo.split(addrs_np)
+            result = _batch_resolve(self._tags, self._dirty, self._count,
+                                    self._geo, sets, tg, writes_np)
+            n = addrs_np.shape[0]
+            nhits = int(result.hits.sum())
+            nev = int((result.evicted_addr >= 0).sum())
+            stats = self.stats
+            stats.accesses += n
+            stats.hits += nhits
+            stats.misses += n - nhits
+            stats.fills += n - nhits
+            stats.evictions += nev
+            stats.dirty_evictions += int(result.evicted_dirty.sum())
+            return result
+        return self._access_many_scalar(addrs_np, writes_np, partition,
+                                        allocate_on_miss)
+
+    def _access_many_scalar(self, addrs: np.ndarray, writes: np.ndarray,
+                            partition: int,
+                            allocate_on_miss: bool) -> BatchResult:
+        n = addrs.shape[0]
+        hits = np.zeros(n, dtype=bool)
+        ev_addr = np.full(n, -1, dtype=np.int64)
+        ev_dirty = np.zeros(n, dtype=bool)
+        addrs_l = addrs.tolist()
+        writes_l = writes.tolist()
+        for i in range(n):
+            try:
+                result = self.access(addrs_l[i], writes_l[i],
+                                     partition=partition,
+                                     allocate_on_miss=allocate_on_miss)
+            except PartitionFullError:
+                continue
+            hits[i] = result.hit
+            if result.evicted_addr is not None:
+                ev_addr[i] = result.evicted_addr
+                ev_dirty[i] = result.evicted_dirty
+        return BatchResult(hits, ev_addr, ev_dirty)
+
+    # -- Partitioning ----------------------------------------------------
+
+    def set_partition(self, ways_by_partition: Optional[Dict[int, int]]
+                      ) -> None:
+        if ways_by_partition is None:
+            if self._delegate is not None:
+                self._delegate.set_partition(None)
+            return
+        self._demote().set_partition(ways_by_partition)
+
+    @property
+    def partition_ways(self) -> Optional[Dict[int, int]]:
+        if self._delegate is None:
+            return None
+        return self._delegate.partition_ways
+
+    # -- Core queries ------------------------------------------------------
+
+    def probe(self, addr: int) -> bool:
+        if self._delegate is not None:
+            return self._delegate.probe(addr)
+        sets, tg = self._geo.split(np.asarray([addr], dtype=np.int64))
+        index = int(sets[0])
+        resident = self._tags[index, :int(self._count[index])]
+        return bool((resident == int(tg[0])).any())
+
+    # -- Flush / invalidate ----------------------------------------------
+
+    def flush(self) -> Tuple[int, int]:
+        if self._delegate is not None:
+            return self._delegate.flush()
+        invalidated = int(self._count.sum())
+        live = np.arange(self._geo.associativity)[None, :] < \
+            self._count[:, None]
+        dirty = int((self._dirty & live).sum())
+        self._count[:] = 0
+        return invalidated, dirty
+
+    def invalidate(self, addr: int) -> bool:
+        if self._delegate is not None:
+            return self._delegate.invalidate(addr)
+        sets, tg = self._geo.split(np.asarray([addr], dtype=np.int64))
+        index = int(sets[0])
+        cnt = int(self._count[index])
+        resident = self._tags[index, :cnt]
+        matches = np.flatnonzero(resident == int(tg[0]))
+        if matches.size == 0:
+            return False
+        slot = int(matches[0])
+        self._tags[index, slot:cnt - 1] = self._tags[index, slot + 1:cnt]
+        self._dirty[index, slot:cnt - 1] = self._dirty[index, slot + 1:cnt]
+        self._count[index] = cnt - 1
+        return True
+
+    def invalidate_partition(self, partition: int) -> Tuple[int, int]:
+        if self._delegate is not None:
+            return self._delegate.invalidate_partition(partition)
+        if partition != UNPARTITIONED:
+            return 0, 0
+        return self.flush()
+
+    # -- Introspection ----------------------------------------------------
+
+    def occupancy(self) -> int:
+        if self._delegate is not None:
+            return self._delegate.occupancy()
+        return int(self._count.sum())
+
+    def occupancy_by_partition(self) -> Dict[int, int]:
+        if self._delegate is not None:
+            return self._delegate.occupancy_by_partition()
+        total = int(self._count.sum())
+        return {UNPARTITIONED: total} if total else {}
+
+    def resident_lines(self) -> Iterator[Tuple[int, CacheLine]]:
+        if self._delegate is not None:
+            yield from self._delegate.resident_lines()
+            return
+        geo = self._geo
+        for index in range(geo.num_sets):
+            for slot in range(int(self._count[index])):
+                tag = int(self._tags[index, slot])
+                if geo.sets_pow2:
+                    line = tag << geo.index_bits | index
+                else:
+                    line = tag * geo.num_sets + index
+                yield line << geo.line_shift, CacheLine(
+                    tag=tag, dirty=bool(self._dirty[index, slot]))
+
+    def dirty_addrs(self) -> Optional[np.ndarray]:
+        """Line addresses of every dirty resident line (array mode only)."""
+        if self._delegate is not None:
+            return None
+        live = np.arange(self._geo.associativity)[None, :] < \
+            self._count[:, None]
+        sets, slots = np.nonzero(self._dirty & live)
+        return self._geo.rebuild(sets, self._tags[sets, slots])
+
+    def resident_addrs(self) -> Optional[np.ndarray]:
+        """Line addresses of every resident line (array mode only)."""
+        if self._delegate is not None:
+            return None
+        counts = self._count
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        sets = np.repeat(np.arange(self._geo.num_sets, dtype=np.int64),
+                         counts)
+        offs = np.zeros(self._geo.num_sets, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offs[1:])
+        slots = np.arange(total) - offs[sets]
+        return self._geo.rebuild(sets, self._tags[sets, slots])
+
+    def reset(self) -> None:
+        if self._delegate is not None:
+            self._delegate.reset()
+        else:
+            self._count[:] = 0
+            self.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"VectorCache(name={self.name!r}, "
+                f"size={self.config.size_bytes}, "
+                f"ways={self.config.associativity}, "
+                f"occupancy={self.occupancy()}, "
+                f"delegated={self._delegate is not None})")
+
+
+class VectorBank:
+    """A stack of :class:`VectorCache` slices sharing one array store.
+
+    The engine groups an epoch's accesses by flat cache index and
+    resolves them against the shared ``(C, S, A)`` arrays with a single
+    kernel invocation; each cache's ``stats`` are updated from the batch
+    outcome, exactly as per-cache calls would have.
+    """
+
+    def __init__(self, config: CacheConfig, names: Sequence[str]) -> None:
+        num = len(names)
+        num_sets, assoc = config.num_sets, config.associativity
+        self.config = config
+        self.tags = np.zeros((num, num_sets, assoc), dtype=np.int64)
+        self.dirty = np.zeros((num, num_sets, assoc), dtype=bool)
+        self.count = np.zeros((num, num_sets), dtype=np.int64)
+        self.caches = [
+            VectorCache(config, name,
+                        _state=(self.tags[i], self.dirty[i], self.count[i]))
+            for i, name in enumerate(names)]
+        self._geo = self.caches[0]._geo if num else _geometry_of(config)
+
+    def access_many_grouped(self, cache_idx: np.ndarray, addrs: np.ndarray,
+                            writes: np.ndarray) -> Optional[BatchResult]:
+        """Resolve one epoch across every cache of the bank at once.
+
+        ``cache_idx`` maps each access to its flat cache index.  Returns
+        None (caller falls back to per-access probes) when any cache
+        cannot take the batch path — partitioned lines, no-write-allocate
+        configs — so behaviour always matches the scalar model.
+        """
+        for cache in self.caches:
+            if not cache._batch_ready():
+                return None
+        geo = self._geo
+        sets, tg = geo.split(addrs)
+        rows = cache_idx * np.int64(geo.num_sets) + sets
+        result = _batch_resolve(
+            self.tags.reshape(-1, geo.associativity),
+            self.dirty.reshape(-1, geo.associativity),
+            self.count.reshape(-1), geo, rows, tg, writes)
+        num = len(self.caches)
+        acc = np.bincount(cache_idx, minlength=num)
+        hit = np.bincount(cache_idx[result.hits], minlength=num)
+        ev = np.bincount(cache_idx[result.evicted_addr >= 0], minlength=num)
+        dev = np.bincount(cache_idx[result.evicted_dirty], minlength=num)
+        for i, cache in enumerate(self.caches):
+            stats = cache.stats
+            n = int(acc[i])
+            nhits = int(hit[i])
+            stats.accesses += n
+            stats.hits += nhits
+            stats.misses += n - nhits
+            stats.fills += n - nhits
+            stats.evictions += int(ev[i])
+            stats.dirty_evictions += int(dev[i])
+        return result

@@ -25,12 +25,18 @@ sharers in a directory and invalidates replicas on writes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..arch.config import SystemConfig
-from ..cache.cache import PartitionFullError, SetAssociativeCache
+from ..cache.cache import (
+    UNPARTITIONED,
+    PartitionFullError,
+    SetAssociativeCache,
+)
+from ..cache.vector import VectorBank
 from ..cache.waycache import make_cache
 from ..coherence.hardware import HardwareCoherence
 from ..coherence.software import SoftwareCoherence
@@ -77,6 +83,11 @@ class EngineParams:
     # side effects (no hardware coherence, migration or profiling); the
     # engine transparently falls back to the per-access path otherwise.
     batched: bool = True
+    # Back the LLC with the vectorized tag store so uniform batched
+    # epochs resolve every probe with one stack-distance kernel call;
+    # partitioned/sectored/scalar paths transparently use the
+    # OrderedDict model either way.
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.request_bytes <= 0:
@@ -112,10 +123,22 @@ class SimulationEngine:
             line_size=self.line_size,
             slices_per_chip=chip_cfg.llc_slices,
             channels_per_chip=chip_cfg.memory.channels_per_chip)
-        self.llc: List[List[SetAssociativeCache]] = [
-            [make_cache(chip_cfg.llc_slice, name=f"llc{c}.{s}")
-             for s in range(chip_cfg.llc_slices)]
-            for c in range(config.num_chips)]
+        llc_cfg = chip_cfg.llc_slice
+        self._llc_bank: Optional[VectorBank] = None
+        if (self.params.vectorized and llc_cfg.replacement == "lru"
+                and not llc_cfg.sectored):
+            self._llc_bank = VectorBank(
+                llc_cfg, [f"llc{c}.{s}" for c in range(config.num_chips)
+                          for s in range(chip_cfg.llc_slices)])
+            flat = self._llc_bank.caches
+            self.llc = [flat[c * chip_cfg.llc_slices:
+                             (c + 1) * chip_cfg.llc_slices]
+                        for c in range(config.num_chips)]
+        else:
+            self.llc = [
+                [make_cache(llc_cfg, name=f"llc{c}.{s}")
+                 for s in range(chip_cfg.llc_slices)]
+                for c in range(config.num_chips)]
         self.crossbars = [Crossbar(chip_cfg.noc, chip=c)
                           for c in range(config.num_chips)]
         self.ring = InterChipRing(config.inter_chip, config.num_chips)
@@ -202,13 +225,33 @@ class SimulationEngine:
             list(range(self.config.num_chips))
         coherence_cfg = self.config.coherence
         dram_bw = self.config.chip.memory.chip_bw()
+        home_of = self.page_table._home.get
+        shift = self.page_table._page_shift
+        # A full flush with no coherence directory to notify can drain
+        # array-backed caches wholesale: home the dirty lines by unique
+        # page (pages interleave across a chip's slices, so uniquing at
+        # the chip level collapses the per-slice duplicates too).
+        batch_ok = (partition is None and not dirty_only
+                    and self.hardware_coherence is None
+                    and self.mesi is None)
         # Chips flush concurrently: the run is delayed by the slowest one.
         worst_cycles = 0.0
         for chip in chip_list:
             dirty_bytes_by_home: Dict[int, int] = {}
             invalidated = 0
             dirty = 0
+            drained_chip = []
             for cache in self.llc[chip]:
+                drained = None
+                if batch_ok:
+                    getter = getattr(cache, "dirty_addrs", None)
+                    drained = getter() if getter is not None else None
+                if drained is not None:
+                    drained_chip.append(drained)
+                    lines, dirties = cache.flush()
+                    invalidated += lines
+                    dirty += dirties
+                    continue
                 victims = []
                 for line_addr, line in list(cache.resident_lines()):
                     if partition is not None and line.partition != partition:
@@ -238,6 +281,18 @@ class SimulationEngine:
                     lines, dirties = cache.invalidate_partition(partition)
                 invalidated += lines
                 dirty += dirties
+            if drained_chip:
+                all_dirty = np.concatenate(drained_chip)
+                if all_dirty.size:
+                    pages, counts = np.unique(all_dirty >> shift,
+                                              return_counts=True)
+                    for page, n in zip(pages.tolist(), counts.tolist()):
+                        home = home_of(page)
+                        if home is None:
+                            home = chip
+                        dirty_bytes_by_home[home] = \
+                            dirty_bytes_by_home.get(home, 0) \
+                            + self.line_size * n
             writeback = sum(dirty_bytes_by_home.values())
             remote_wb = sum(b for home, b in dirty_bytes_by_home.items()
                             if home != chip)
@@ -473,26 +528,151 @@ class SimulationEngine:
                 plan.stages[1].allocate) if len(plan.stages) > 1 else None
                for plan in plans]
 
-        # Sequential probe loop: the only per-access work left is the
-        # functional cache state itself.  The probe target (chip, slice)
-        # pair is precomputed as an index into a flat bound-method table.
+        # Cache probes: the only sequentially-stateful work in the epoch.
+        # Uniform single-stage epochs over the vectorized tag store are
+        # resolved with one grouped stack-distance kernel call; everything
+        # else runs the per-access loop over a flat bound-method table.
         llc = self.llc
         llc_slices = config.chip.llc_slices
         serve0_np = np.array(st0_chip, dtype=np.int64)[pair_np]
+        idx0_np = serve0_np * llc_slices + slices_np
+        l1 = self.l1
+        uniform = (all(s is None for s in st1)
+                   and len(set(st0_part)) == 1 and len(set(st0_alloc)) == 1)
+        batch = None
+        probe_start = perf_counter()
+        if (uniform and l1 is None and self._llc_bank is not None
+                and st0_part[0] == UNPARTITIONED and st0_alloc[0]):
+            batch = self._llc_bank.access_many_grouped(
+                idx0_np, addrs_np, writes_np)
+        if batch is not None:
+            hs = np.where(batch.hits, np.int64(0), np.int64(-1))
+            self.stats.vector_epochs += 1
+        else:
+            hs, ev_serves, ev_addrs = self._probe_loop(
+                epoch, uniform, idx0_np, serve0_np, addrs_np, writes_np,
+                chips_np, slices_np, pair_np, st0_part, st0_alloc, st1)
+        self.stats.probe_seconds += perf_counter() - probe_start
+
+        # Everything below is pure accounting over the recorded outcomes.
+        probed0 = hs != -2
+        kstats.accesses += n
+        kstats.llc_lookups += int(probed0.sum())
+        kstats.llc_hits += int((hs >= 0).sum())
+        req_np = params.request_bytes + \
+            params.write_data_bytes * writes_np.astype(np.int64)
+        rsp = self.line_size + params.response_header_bytes
+        dedicated = bool(getattr(org, "dedicated_memory_network", False))
+        total_slices = config.total_llc_slices
+
+        serve0 = serve0_np
+        two_stage = np.array([s is not None for s in st1])[pair_np]
+        serve1 = np.array([s[0] if s is not None else 0 for s in st1],
+                          dtype=np.int64)[pair_np]
+        probed1 = probed0 & two_stage & (hs != 0)
+
+        # Per-slice request counts and LLC service bytes.
+        slice_counts = np.zeros(total_slices, dtype=np.int64)
+        for probed, serve_np in ((probed0, serve0), (probed1, serve1)):
+            if probed.any():
+                idx = serve_np[probed] * llc_slices + slices_np[probed]
+                slice_counts += np.bincount(idx, minlength=total_slices)
+        requests = self.stats.slice_requests
+        for g in np.flatnonzero(slice_counts).tolist():
+            count = int(slice_counts[g])
+            requests[g] += count
+            self._slice_bytes[g // llc_slices][g % llc_slices] += \
+                count * self.line_size
+
+        # Request/response legs of every probed stage.
+        for k, (probed, serve_np) in enumerate(((probed0, serve0),
+                                                (probed1, serve1))):
+            if not probed.any():
+                continue
+            pidx = np.flatnonzero(probed)
+            chips_s = chips_np.take(pidx)
+            serve_s = serve_np.take(pidx)
+            slices_s = slices_np.take(pidx)
+            req_s = req_np.take(pidx)
+            local = serve_s == chips_s
+            lidx = np.flatnonzero(local)
+            if lidx.size:
+                self._charge_local_stages(chips_s.take(lidx),
+                                          slices_s.take(lidx),
+                                          req_s.take(lidx), rsp)
+            ridx = np.flatnonzero(~local)
+            if ridx.size:
+                self._charge_remote_stages(chips_s.take(ridx),
+                                           serve_s.take(ridx),
+                                           slices_s.take(ridx),
+                                           req_s.take(ridx), rsp,
+                                           skip_crossbar=dedicated and k > 0)
+
+        # Full misses: the last probed chip forwards to the home memory.
+        miss = hs == -1
+        if miss.any():
+            last_np = np.array([plan.stages[-1].chip for plan in plans],
+                               dtype=np.int64)[pair_np]
+            self._charge_memory_legs(miss, last_np, homes_np, channels_np,
+                                     writes_np, req_np, rsp, dedicated)
+
+        # Dirty evictions collected during the probe phase.
+        if batch is not None:
+            dirty_sel = batch.evicted_dirty
+            if dirty_sel.any():
+                self._charge_eviction_writebacks(
+                    serve0_np[dirty_sel], batch.evicted_addr[dirty_sel])
+        elif ev_addrs:
+            self._charge_eviction_writebacks(ev_serves, ev_addrs)
+
+        # Response origins (relative to the requesting chip).
+        hits = hs >= 0
+        origins = self.stats.responses_by_origin
+        if hits.any():
+            hit_serve = np.where(hs == 1, serve1, serve0)
+            local_hits = int((hits & (hit_serve == chips_np)).sum())
+            origins[ORIGIN_LOCAL_LLC] += local_hits
+            origins[ORIGIN_REMOTE_LLC] += int(hits.sum()) - local_hits
+        if miss.any():
+            local_mem = int((miss & (homes_np == chips_np)).sum())
+            origins[ORIGIN_LOCAL_MEM] += local_mem
+            origins[ORIGIN_REMOTE_MEM] += int(miss.sum()) - local_mem
+
+        # Per-access latency for the MLP bound, grouped by requester chip.
+        self._accumulate_latency(plans, pair_np, chips_np, probed0, probed1,
+                                 miss)
+        self._settle_epoch(epoch, kstats)
+
+    def _probe_loop(self, epoch: EpochTrace, uniform: bool,
+                    idx0_np: np.ndarray, serve0_np: np.ndarray,
+                    addrs_np: np.ndarray, writes_np: np.ndarray,
+                    chips_np: np.ndarray, slices_np: np.ndarray,
+                    pair_np: np.ndarray, st0_part: List[int],
+                    st0_alloc: List[bool], st1: List
+                    ) -> Tuple[np.ndarray, List[int], List[int]]:
+        """Per-access probe loop of the batched path.
+
+        The probe target (chip, slice) pair is precomputed as an index
+        into a flat bound-method table.  Returns the per-access hit
+        stage (-2: L1 read hit, -1: full miss, 0/1: LLC stage) plus the
+        (serving chip, address) pairs of every dirty eviction.
+        """
+        llc = self.llc
+        num_chips = self.config.num_chips
+        llc_slices = self.config.chip.llc_slices
+        n = len(epoch)
         probe_fns = [llc[c][s].access for c in range(num_chips)
                      for s in range(llc_slices)]
-        idx0_l = (serve0_np * llc_slices + slices_np).tolist()
+        idx0_l = idx0_np.tolist()
         chips_l = chips_np.tolist()
         addrs_l = addrs_np.tolist()
         writes_l = writes_np.tolist()
         serve0_l = serve0_np.tolist()
         l1 = self.l1
         clusters_l = epoch.clusters.tolist() if l1 is not None else None
-        hit_stage = [-1] * n  # -2: L1 read hit, -1: full miss, 0/1: stage
+        hit_stage = [-1] * n
         ev_serves: List[int] = []
         ev_addrs: List[int] = []
-        uniform = (all(s is None for s in st1)
-                   and len(set(st0_part)) == 1 and len(set(st0_alloc)) == 1)
         if uniform:
             # Single-stage organizations with one partition/allocation
             # policy (memory-side, sm-side): the tightest possible loop.
@@ -558,79 +738,7 @@ class SimulationEngine:
                     ev_serves.append(serve)
                     ev_addrs.append(result.evicted_addr)
 
-        # Everything below is pure accounting over the recorded outcomes.
-        hs = np.array(hit_stage, dtype=np.int64)
-        probed0 = hs != -2
-        kstats.accesses += n
-        kstats.llc_lookups += int(probed0.sum())
-        kstats.llc_hits += int((hs >= 0).sum())
-
-        req_np = params.request_bytes + \
-            params.write_data_bytes * writes_np.astype(np.int64)
-        rsp = self.line_size + params.response_header_bytes
-        dedicated = bool(getattr(org, "dedicated_memory_network", False))
-        total_slices = config.total_llc_slices
-
-        serve0 = serve0_np
-        two_stage = np.array([s is not None for s in st1])[pair_np]
-        serve1 = np.array([s[0] if s is not None else 0 for s in st1],
-                          dtype=np.int64)[pair_np]
-        probed1 = probed0 & two_stage & (hs != 0)
-
-        # Per-slice request counts and LLC service bytes.
-        slice_counts = np.zeros(total_slices, dtype=np.int64)
-        for probed, serve_np in ((probed0, serve0), (probed1, serve1)):
-            if probed.any():
-                idx = serve_np[probed] * llc_slices + slices_np[probed]
-                slice_counts += np.bincount(idx, minlength=total_slices)
-        requests = self.stats.slice_requests
-        for g in np.flatnonzero(slice_counts).tolist():
-            count = int(slice_counts[g])
-            requests[g] += count
-            self._slice_bytes[g // llc_slices][g % llc_slices] += \
-                count * self.line_size
-
-        # Request/response legs of every probed stage.
-        for k, (probed, serve_np) in enumerate(((probed0, serve0),
-                                                (probed1, serve1))):
-            if not probed.any():
-                continue
-            self._charge_local_stages(probed & (serve_np == chips_np),
-                                      chips_np, slices_np, req_np, rsp)
-            self._charge_remote_stages(probed & (serve_np != chips_np),
-                                       chips_np, serve_np, slices_np,
-                                       req_np, rsp,
-                                       skip_crossbar=dedicated and k > 0)
-
-        # Full misses: the last probed chip forwards to the home memory.
-        miss = hs == -1
-        if miss.any():
-            last_np = np.array([plan.stages[-1].chip for plan in plans],
-                               dtype=np.int64)[pair_np]
-            self._charge_memory_legs(miss, last_np, homes_np, channels_np,
-                                     writes_np, req_np, rsp, dedicated)
-
-        # Dirty evictions collected during the probe loop.
-        if ev_addrs:
-            self._charge_eviction_writebacks(ev_serves, ev_addrs)
-
-        # Response origins (relative to the requesting chip).
-        hits = hs >= 0
-        origins = self.stats.responses_by_origin
-        if hits.any():
-            hit_serve = np.where(hs == 1, serve1, serve0)
-            local_hits = int((hits & (hit_serve == chips_np)).sum())
-            origins[ORIGIN_LOCAL_LLC] += local_hits
-            origins[ORIGIN_REMOTE_LLC] += int(hits.sum()) - local_hits
-        if miss.any():
-            local_mem = int((miss & (homes_np == chips_np)).sum())
-            origins[ORIGIN_LOCAL_MEM] += local_mem
-            origins[ORIGIN_REMOTE_MEM] += int(miss.sum()) - local_mem
-
-        # Per-access latency for the MLP bound, grouped by requester chip.
-        self._accumulate_latency(plans, pair_np, chips_np, probed0, probed1,
-                                 miss)
-        self._settle_epoch(epoch, kstats)
+        return np.array(hit_stage, dtype=np.int64), ev_serves, ev_addrs
 
     def _batched_homes(self, addrs: np.ndarray,
                        chips: np.ndarray) -> np.ndarray:
@@ -650,35 +758,39 @@ class SimulationEngine:
         homes_by_uniq[order] = homes
         return homes_by_uniq[inverse]
 
-    def _charge_local_stages(self, sel: np.ndarray, chips_np: np.ndarray,
-                             slices_np: np.ndarray, req_np: np.ndarray,
+    def _charge_local_stages(self, chips_s: np.ndarray,
+                             slices_s: np.ndarray, req_s: np.ndarray,
                              rsp: int) -> None:
-        """Aggregate same-chip stage legs onto the local crossbars."""
-        if not sel.any():
-            return
+        """Aggregate same-chip stage legs onto the local crossbars.
+
+        All array arguments are pre-compacted to the selected accesses
+        (one ``flatnonzero``/``take`` at the call site instead of a
+        boolean re-mask per array here).
+        """
         llc_slices = self.config.chip.llc_slices
-        idx = chips_np[sel] * llc_slices + slices_np[sel]
+        idx = chips_s * llc_slices + slices_s
         total = self.config.total_llc_slices
         counts = np.bincount(idx, minlength=total)
-        req_sums = np.bincount(idx, weights=req_np[sel], minlength=total)
+        req_sums = np.bincount(idx, weights=req_s, minlength=total)
         for g in np.flatnonzero(counts).tolist():
             xbar = self.crossbars[g // llc_slices]
             port = xbar.llc_port(g % llc_slices)
             xbar.charge_request(port, int(req_sums[g]))
             xbar.charge_response(port, rsp * int(counts[g]))
 
-    def _charge_remote_stages(self, sel: np.ndarray, chips_np: np.ndarray,
-                              serve_np: np.ndarray, slices_np: np.ndarray,
-                              req_np: np.ndarray, rsp: int,
+    def _charge_remote_stages(self, chips_s: np.ndarray,
+                              serve_s: np.ndarray, slices_s: np.ndarray,
+                              req_s: np.ndarray, rsp: int,
                               skip_crossbar: bool) -> None:
-        """Aggregate cross-chip stage legs onto the ring and crossbars."""
-        if not sel.any():
-            return
+        """Aggregate cross-chip stage legs onto the ring and crossbars.
+
+        Arguments are pre-compacted like :meth:`_charge_local_stages`.
+        """
         num_chips = self.config.num_chips
         num_pairs = num_chips * num_chips
-        pairs = chips_np[sel] * num_chips + serve_np[sel]
+        pairs = chips_s * num_chips + serve_s
         counts = np.bincount(pairs, minlength=num_pairs)
-        req_sums = np.bincount(pairs, weights=req_np[sel],
+        req_sums = np.bincount(pairs, weights=req_s,
                                minlength=num_pairs)
         for p in np.flatnonzero(counts).tolist():
             src, dst = divmod(p, num_chips)
@@ -691,12 +803,12 @@ class SimulationEngine:
         if skip_crossbar:
             return
         ip = self.config.chip.noc.inter_chip_ports
-        links = slices_np[sel] % ip
-        self._charge_xbar_ports(chips_np[sel] * ip + links, ip, True,
-                                req_np[sel], rsp)
+        links = slices_s % ip
+        self._charge_xbar_ports(chips_s * ip + links, ip, True,
+                                req_s, rsp)
         llc_slices = self.config.chip.llc_slices
-        self._charge_xbar_ports(serve_np[sel] * llc_slices + slices_np[sel],
-                                llc_slices, False, req_np[sel], rsp)
+        self._charge_xbar_ports(serve_s * llc_slices + slices_s,
+                                llc_slices, False, req_s, rsp)
 
     def _charge_xbar_ports(self, idx: np.ndarray, ports_per_chip: int,
                            inter_chip: bool, req_sel: np.ndarray,
@@ -724,29 +836,39 @@ class SimulationEngine:
         """Aggregate the LLC-miss -> home-DRAM legs."""
         config = self.config
         num_chips = config.num_chips
-        tot_np = req_np + rsp
+        midx = np.flatnonzero(miss)
+        last_s = last_np.take(midx)
+        homes_s = homes_np.take(midx)
+        channels_s = channels_np.take(midx)
+        writes_s = writes_np.take(midx)
+        req_s = req_np.take(midx)
+        tot_s = req_s + rsp
         channels_per_chip = config.chip.memory.channels_per_chip
         nbins = num_chips * channels_per_chip
-        didx = homes_np * channels_per_chip + channels_np
-        for is_write, sel in ((True, miss & writes_np),
-                              (False, miss & ~writes_np)):
-            if not sel.any():
+        didx = homes_s * channels_per_chip + channels_s
+        for is_write, ix in ((True, np.flatnonzero(writes_s)),
+                             (False, np.flatnonzero(~writes_s))):
+            if not ix.size:
                 continue
-            counts = np.bincount(didx[sel], minlength=nbins)
-            sums = np.bincount(didx[sel], weights=tot_np[sel],
+            d = didx.take(ix)
+            counts = np.bincount(d, minlength=nbins)
+            sums = np.bincount(d, weights=tot_s.take(ix),
                                minlength=nbins)
             for g in np.flatnonzero(counts).tolist():
                 self.dram[g // channels_per_chip].charge_bulk(
                     g % channels_per_chip, int(sums[g]), int(counts[g]),
                     is_write)
-        self.stats.dram_bytes += int(tot_np[miss].sum())
-        remote = miss & (last_np != homes_np)
-        if not remote.any():
+        self.stats.dram_bytes += int(tot_s.sum())
+        ridx = np.flatnonzero(last_s != homes_s)
+        if not ridx.size:
             return
+        last_r = last_s.take(ridx)
+        homes_r = homes_s.take(ridx)
+        req_r = req_s.take(ridx)
         num_pairs = num_chips * num_chips
-        pairs = last_np[remote] * num_chips + homes_np[remote]
+        pairs = last_r * num_chips + homes_r
         counts = np.bincount(pairs, minlength=num_pairs)
-        req_sums = np.bincount(pairs, weights=req_np[remote],
+        req_sums = np.bincount(pairs, weights=req_r,
                                minlength=num_pairs)
         for p in np.flatnonzero(counts).tolist():
             last, home = divmod(p, num_chips)
@@ -759,25 +881,28 @@ class SimulationEngine:
         if dedicated:
             return
         ip = config.chip.noc.inter_chip_ports
-        links = channels_np[remote] % ip
-        for side in (last_np, homes_np):
-            self._charge_xbar_ports(side[remote] * ip + links, ip, True,
-                                    req_np[remote], rsp)
+        links = channels_s.take(ridx) % ip
+        for side_r in (last_r, homes_r):
+            self._charge_xbar_ports(side_r * ip + links, ip, True,
+                                    req_r, rsp)
 
     def _charge_eviction_writebacks(self, serves: List[int],
                                     addrs: List[int]) -> None:
         """Aggregate dirty-eviction write-backs collected by the fast path."""
         num_chips = self.config.num_chips
         wb = self.line_size + self.params.response_header_bytes
-        serves_np = np.array(serves, dtype=np.int64)
-        addrs_np = np.array(addrs, dtype=np.int64)
+        serves_np = np.asarray(serves, dtype=np.int64)
+        addrs_np = np.asarray(addrs, dtype=np.int64)
         channels = self._vectorized_channels(addrs_np)
-        lookup = self.page_table.lookup
-        homes = []
-        for addr, serve in zip(addrs, serves):
-            home = lookup(addr)
-            homes.append(serve if home is None else home)
-        homes_np = np.array(homes, dtype=np.int64)
+        home_of = self.page_table._home.get
+        shift = self.page_table._page_shift
+        pages, inverse = np.unique(addrs_np >> shift, return_inverse=True)
+        page_home = np.empty(pages.size, dtype=np.int64)
+        for i, page in enumerate(pages.tolist()):
+            home = home_of(page)
+            page_home[i] = -1 if home is None else home
+        homes_np = page_home[inverse]
+        homes_np = np.where(homes_np < 0, serves_np, homes_np)
         channels_per_chip = self.config.chip.memory.channels_per_chip
         didx = homes_np * channels_per_chip + channels
         counts = np.bincount(didx,
@@ -832,12 +957,17 @@ class SimulationEngine:
                 mem_latency += 2 * params.latency_noc + \
                     hops(last, home) * params.latency_ring_hop
             mem.append(mem_latency)
-        lat = np.zeros(len(pair_np))
-        lat[probed0] += np.array(leg0)[pair_np[probed0]]
-        lat[probed0] += params.latency_llc
-        lat[probed1] += np.array(leg1)[pair_np[probed1]]
-        lat[probed1] += params.latency_llc
-        lat[miss] += np.array(mem)[pair_np[miss]]
+        # Full-length gathers from the tiny per-pair tables, zeroed by the
+        # stage masks, add in the same per-element order as the masked
+        # scatter-adds they replace (leg first, then the LLC latency).
+        lat = np.array(leg0)[pair_np] * probed0
+        lat += params.latency_llc * probed0
+        if probed1.any():
+            lat += np.array(leg1)[pair_np] * probed1
+            lat += params.latency_llc * probed1
+        midx = np.flatnonzero(miss)
+        if midx.size:
+            lat[midx] += np.array(mem)[pair_np.take(midx)]
         sums = np.bincount(chips_np, weights=lat, minlength=num_chips)
         for chip in range(num_chips):
             if sums[chip]:
@@ -1162,14 +1292,32 @@ class SimulationEngine:
         """Sample the local/remote composition of the LLC (Figure 9)."""
         local = 0
         remote = 0
+        lookup = self.page_table.lookup
+        shift = self.page_table._page_shift
         for chip in range(self.config.num_chips):
             for cache in self.llc[chip]:
-                for line_addr, _line in cache.resident_lines():
-                    home = self.page_table.lookup(line_addr)
+                addrs = None
+                native = getattr(cache, "resident_addrs", None)
+                if native is not None:
+                    addrs = native()
+                if addrs is None:
+                    for line_addr, _line in cache.resident_lines():
+                        home = lookup(line_addr)
+                        if home is None or home == chip:
+                            local += 1
+                        else:
+                            remote += 1
+                    continue
+                if not len(addrs):
+                    continue
+                pages, counts = np.unique(addrs >> shift,
+                                          return_counts=True)
+                for page, count in zip(pages.tolist(), counts.tolist()):
+                    home = lookup(page << shift)
                     if home is None or home == chip:
-                        local += 1
+                        local += count
                     else:
-                        remote += 1
+                        remote += count
         total = local + remote
         if total == 0 or weight <= 0:
             return

@@ -80,6 +80,10 @@ class RunStats:
     wall_seconds: float = 0.0
     fast_epochs: int = 0
     slow_epochs: int = 0
+    # Wall-clock spent in the cache-probe phase of batched epochs and how
+    # many of those epochs resolved via the vectorized tag-store kernel.
+    probe_seconds: float = 0.0
+    vector_epochs: int = 0
 
     @property
     def llc_hit_rate(self) -> float:
@@ -162,6 +166,8 @@ class RunStats:
             "accesses_per_second": self.accesses_per_second,
             "fast_epochs": self.fast_epochs,
             "slow_epochs": self.slow_epochs,
+            "vector_epochs": self.vector_epochs,
+            "probe_seconds": self.probe_seconds,
         }
 
     def comparable_dict(self) -> Dict[str, object]:

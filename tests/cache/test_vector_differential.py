@@ -1,0 +1,265 @@
+"""Differential tests: VectorCache vs the OrderedDict reference model.
+
+Random address streams over a matrix of geometries (pow2 and non-pow2
+set counts, associativities, write mixes, write-back and write-through)
+run through both :class:`SetAssociativeCache` and the vectorized
+backend; every per-access outcome (hit/miss, eviction address, eviction
+dirty bit), the final ``CacheStats`` and the final resident state
+(including LRU order) must be identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import CacheConfig
+from repro.cache.cache import (
+    UNPARTITIONED,
+    PartitionFullError,
+    SetAssociativeCache,
+)
+from repro.cache.vector import BatchResult, VectorBank, VectorCache
+
+LINE = 128
+
+#: (num_sets, associativity) geometry matrix; 48 and 12 are non-pow2.
+GEOMETRIES = [(64, 4), (64, 16), (48, 8), (12, 3), (16, 2), (1, 8)]
+
+WRITE_FRACS = [0.0, 0.3, 1.0]
+
+
+def make_config(num_sets, assoc, **kwargs):
+    return CacheConfig(size_bytes=num_sets * assoc * LINE,
+                       associativity=assoc, line_size=LINE, **kwargs)
+
+
+def random_stream(rng, num_sets, assoc, n, write_frac, base=0):
+    """A stream hot enough to hit and crowded enough to evict."""
+    footprint = max(2, int(num_sets * assoc * 2.5))
+    lines = rng.integers(0, footprint, size=n)
+    offsets = rng.integers(0, LINE, size=n)
+    addrs = base + lines * LINE + offsets
+    writes = rng.random(n) < write_frac
+    return addrs.astype(np.int64), writes
+
+
+def reference_outcomes(cache, addrs, writes, partition=UNPARTITIONED,
+                       allocate_on_miss=True):
+    """Per-access outcomes from the scalar model, as BatchResult arrays."""
+    n = len(addrs)
+    hits = np.zeros(n, dtype=bool)
+    ev_addr = np.full(n, -1, dtype=np.int64)
+    ev_dirty = np.zeros(n, dtype=bool)
+    for i in range(n):
+        try:
+            result = cache.access(int(addrs[i]), bool(writes[i]),
+                                  partition=partition,
+                                  allocate_on_miss=allocate_on_miss)
+        except PartitionFullError:
+            continue
+        hits[i] = result.hit
+        if result.evicted_addr is not None:
+            ev_addr[i] = result.evicted_addr
+            ev_dirty[i] = result.evicted_dirty
+    return BatchResult(hits, ev_addr, ev_dirty)
+
+
+def final_state(cache):
+    """Resident lines as (addr, tag, dirty) in set-order, LRU -> MRU."""
+    return [(addr, line.tag, line.dirty)
+            for addr, line in cache.resident_lines()]
+
+
+def assert_identical(ref_out, vec_out, ref_cache, vec_cache):
+    np.testing.assert_array_equal(ref_out.hits, vec_out.hits)
+    np.testing.assert_array_equal(ref_out.evicted_addr, vec_out.evicted_addr)
+    np.testing.assert_array_equal(ref_out.evicted_dirty,
+                                  vec_out.evicted_dirty)
+    assert ref_cache.stats == vec_cache.stats
+    assert final_state(ref_cache) == final_state(vec_cache)
+
+
+@pytest.mark.parametrize("num_sets,assoc", GEOMETRIES)
+@pytest.mark.parametrize("write_frac", WRITE_FRACS)
+def test_vector_matches_reference(num_sets, assoc, write_frac):
+    rng = np.random.default_rng(num_sets * 1000 + assoc * 10
+                                + int(write_frac * 10))
+    config = make_config(num_sets, assoc)
+    ref = SetAssociativeCache(config, "ref")
+    vec = VectorCache(config, "vec")
+    # Several batches so later ones start from warm pre-batch state.
+    for n in (257, 64, 1, 503, 1024):
+        addrs, writes = random_stream(rng, num_sets, assoc, n, write_frac)
+        ref_out = reference_outcomes(ref, addrs, writes)
+        vec_out = vec.access_many(addrs, writes)
+        assert_identical(ref_out, vec_out, ref, vec)
+
+
+def test_vector_matches_reference_write_through():
+    rng = np.random.default_rng(7)
+    config = make_config(48, 8, write_back=False)
+    ref = SetAssociativeCache(config, "ref")
+    vec = VectorCache(config, "vec")
+    for n in (300, 300):
+        addrs, writes = random_stream(rng, 48, 8, n, 0.5)
+        assert_identical(reference_outcomes(ref, addrs, writes),
+                         vec.access_many(addrs, writes), ref, vec)
+
+
+def test_single_set_chunked_groups():
+    """One set forces every access into one group -> rank-chunked path."""
+    rng = np.random.default_rng(11)
+    config = make_config(1, 8)
+    ref = SetAssociativeCache(config, "ref")
+    vec = VectorCache(config, "vec")
+    addrs, writes = random_stream(rng, 1, 8, 700, 0.4)
+    assert_identical(reference_outcomes(ref, addrs, writes),
+                     vec.access_many(addrs, writes), ref, vec)
+
+
+def test_huge_tags_use_lexsort_path():
+    """Tags above the composite-key range still resolve identically."""
+    rng = np.random.default_rng(13)
+    config = make_config(64, 4)
+    ref = SetAssociativeCache(config, "ref")
+    vec = VectorCache(config, "vec")
+    addrs, writes = random_stream(rng, 64, 4, 400, 0.3, base=1 << 58)
+    assert_identical(reference_outcomes(ref, addrs, writes),
+                     vec.access_many(addrs, writes), ref, vec)
+
+
+def test_scalar_interludes_promote_and_demote():
+    """Scalar calls demote to the delegate; batches promote back."""
+    rng = np.random.default_rng(17)
+    config = make_config(16, 4)
+    ref = SetAssociativeCache(config, "ref")
+    vec = VectorCache(config, "vec")
+    for round_ in range(4):
+        addrs, writes = random_stream(rng, 16, 4, 200, 0.3)
+        assert_identical(reference_outcomes(ref, addrs, writes),
+                         vec.access_many(addrs, writes), ref, vec)
+        # Scalar interlude (forces a demotion mid-stream).
+        addrs, writes = random_stream(rng, 16, 4, 50, 0.3)
+        for i in range(len(addrs)):
+            ref_r = ref.access(int(addrs[i]), bool(writes[i]))
+            vec_r = vec.access(int(addrs[i]), bool(writes[i]))
+            assert ref_r.hit == vec_r.hit
+            assert ref_r.evicted_addr == vec_r.evicted_addr
+            assert ref_r.evicted_dirty == vec_r.evicted_dirty
+        assert vec._delegate is not None
+        assert ref.stats == vec.stats
+    assert vec._batch_ready()
+    assert vec._delegate is None
+    assert final_state(ref) == final_state(vec)
+
+
+def test_partitioned_cache_falls_back_to_scalar():
+    """Partitioned configs take the delegate path inside access_many."""
+    rng = np.random.default_rng(19)
+    config = make_config(16, 4)
+    ref = SetAssociativeCache(config, "ref")
+    vec = VectorCache(config, "vec")
+    ways = {0: 2, 1: 2}
+    ref.set_partition(ways)
+    vec.set_partition(ways)
+    for partition in (0, 1, 0):
+        addrs, writes = random_stream(rng, 16, 4, 150, 0.4)
+        ref_out = reference_outcomes(ref, addrs, writes, partition=partition)
+        vec_out = vec.access_many(addrs, writes, partition=partition)
+        np.testing.assert_array_equal(ref_out.hits, vec_out.hits)
+        np.testing.assert_array_equal(ref_out.evicted_addr,
+                                      vec_out.evicted_addr)
+        assert ref.stats == vec.stats
+    # Unpartitioning alone is not enough to promote: resident lines still
+    # carry partition ids, so the batch path must keep the delegate.
+    ref.set_partition(None)
+    vec.set_partition(None)
+    addrs, writes = random_stream(rng, 16, 4, 150, 0.4)
+    assert_identical(reference_outcomes(ref, addrs, writes),
+                     vec.access_many(addrs, writes), ref, vec)
+
+
+def test_zero_way_partition_records_miss_without_eviction():
+    config = make_config(8, 2)
+    vec = VectorCache(config, "vec")
+    vec.set_partition({0: 2, 7: 0})
+    out = vec.access_many(np.arange(4, dtype=np.int64) * LINE,
+                          np.zeros(4, dtype=bool), partition=7)
+    assert not out.hits.any()
+    assert (out.evicted_addr == -1).all()
+    assert vec.stats.accesses == 4
+    assert vec.stats.fills == 0
+
+
+def test_bank_grouped_matches_per_cache_reference():
+    """One grouped kernel call over many slices == per-slice serial runs."""
+    rng = np.random.default_rng(23)
+    num_caches = 6
+    config = make_config(48, 8)
+    bank = VectorBank(config, [f"slice{i}" for i in range(num_caches)])
+    refs = [SetAssociativeCache(config, f"ref{i}")
+            for i in range(num_caches)]
+    for _ in range(3):
+        n = 1500
+        addrs, writes = random_stream(rng, 48, 8, n, 0.3)
+        cache_idx = rng.integers(0, num_caches, size=n).astype(np.int64)
+        out = bank.access_many_grouped(cache_idx, addrs, writes)
+        assert out is not None
+        for i in range(num_caches):
+            sel = cache_idx == i
+            ref_out = reference_outcomes(refs[i], addrs[sel], writes[sel])
+            np.testing.assert_array_equal(ref_out.hits, out.hits[sel])
+            np.testing.assert_array_equal(ref_out.evicted_addr,
+                                          out.evicted_addr[sel])
+            np.testing.assert_array_equal(ref_out.evicted_dirty,
+                                          out.evicted_dirty[sel])
+            assert refs[i].stats == bank.caches[i].stats
+            assert final_state(refs[i]) == final_state(bank.caches[i])
+
+
+def test_bank_grouped_declines_when_partitioned():
+    config = make_config(16, 4)
+    bank = VectorBank(config, ["a", "b"])
+    bank.caches[1].set_partition({0: 2, 1: 2})
+    cache_idx = np.zeros(4, dtype=np.int64)
+    addrs = np.arange(4, dtype=np.int64) * LINE
+    assert bank.access_many_grouped(cache_idx, addrs,
+                                    np.zeros(4, dtype=bool)) is None
+
+
+def test_flush_invalidate_probe_native_paths():
+    rng = np.random.default_rng(29)
+    config = make_config(12, 3)
+    ref = SetAssociativeCache(config, "ref")
+    vec = VectorCache(config, "vec")
+    addrs, writes = random_stream(rng, 12, 3, 200, 0.5)
+    reference_outcomes(ref, addrs, writes)
+    vec.access_many(addrs, writes)
+    for addr in addrs[:40]:
+        assert ref.probe(int(addr)) == vec.probe(int(addr))
+    assert ref.occupancy() == vec.occupancy()
+    for addr in addrs[:20]:
+        assert ref.invalidate(int(addr)) == vec.invalidate(int(addr))
+    assert final_state(ref) == final_state(vec)
+    ref_addrs = sorted(a for a, _t, _d in final_state(vec))
+    got = vec.resident_addrs()
+    assert got is not None
+    assert sorted(got.tolist()) == ref_addrs
+    assert ref.flush() == vec.flush()
+    assert ref.occupancy() == vec.occupancy() == 0
+
+
+def test_vector_cache_rejects_unsupported_configs():
+    with pytest.raises(ValueError):
+        VectorCache(make_config(16, 4, sectored=True))
+    with pytest.raises(ValueError):
+        VectorCache(make_config(16, 4, replacement="srrip"))
+
+
+def test_no_write_allocate_uses_scalar_path():
+    rng = np.random.default_rng(31)
+    config = make_config(16, 4, write_allocate=False)
+    ref = SetAssociativeCache(config, "ref")
+    vec = VectorCache(config, "vec")
+    addrs, writes = random_stream(rng, 16, 4, 300, 0.6)
+    assert_identical(reference_outcomes(ref, addrs, writes),
+                     vec.access_many(addrs, writes), ref, vec)

@@ -75,6 +75,60 @@ class TestBitIdentical:
         assert batched.comparable_dict() == serial.comparable_dict()
 
 
+class TestVectorizedProbe:
+    """The vectorized tag-store kernel vs the bound-method probe loop."""
+
+    @pytest.mark.parametrize("bench", SPECS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("organization", ("memory-side", "sm-side"))
+    def test_vector_kernel_matches_loop_and_serial(self, bench,
+                                                   organization):
+        serial = simulate(bench, organization, scale=SCALE,
+                          accesses_per_epoch=DENSITY,
+                          params=EngineParams(batched=False))
+        loop = simulate(bench, organization, scale=SCALE,
+                        accesses_per_epoch=DENSITY,
+                        params=EngineParams(batched=True, vectorized=False))
+        vec = simulate(bench, organization, scale=SCALE,
+                       accesses_per_epoch=DENSITY,
+                       params=EngineParams(batched=True, vectorized=True))
+        # Uniform single-stage organizations resolve every batched epoch
+        # through the grouped stack-distance kernel.
+        assert vec.vector_epochs > 0
+        assert loop.vector_epochs == 0
+        assert vec.comparable_dict() == loop.comparable_dict()
+        assert vec.comparable_dict() == serial.comparable_dict()
+
+    @pytest.mark.parametrize("organization", ("static", "dynamic"))
+    def test_partitioned_orgs_take_probe_loop(self, organization):
+        # Way-partitioned organizations demote the vector caches to their
+        # scalar delegates; results stay identical to vectorized=False.
+        loop = simulate(SPECS[0], organization, scale=SCALE,
+                        accesses_per_epoch=DENSITY,
+                        params=EngineParams(batched=True, vectorized=False))
+        vec = simulate(SPECS[0], organization, scale=SCALE,
+                       accesses_per_epoch=DENSITY,
+                       params=EngineParams(batched=True, vectorized=True))
+        assert vec.vector_epochs == 0
+        assert vec.comparable_dict() == loop.comparable_dict()
+
+    def test_l1_modeling_takes_probe_loop(self):
+        # An L1 between the SMs and the LLC serializes the probe order,
+        # so the batch path declines and the loop runs instead.
+        vec = simulate(SPECS[0], "memory-side", scale=SCALE,
+                       accesses_per_epoch=DENSITY,
+                       params=EngineParams(batched=True, vectorized=True,
+                                           model_l1=True))
+        assert vec.fast_epochs > 0
+        assert vec.vector_epochs == 0
+
+    def test_probe_seconds_recorded(self):
+        vec = simulate(SPECS[0], "memory-side", scale=SCALE,
+                       accesses_per_epoch=DENSITY,
+                       params=EngineParams(batched=True, vectorized=True))
+        assert vec.probe_seconds > 0.0
+        assert "probe_seconds" not in vec.comparable_dict()
+
+
 class TestFallbacks:
     def test_sac_profiles_serial_then_batches(self):
         # SAC's profiling window needs per-access counter updates, so the
