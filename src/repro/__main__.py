@@ -12,12 +12,13 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from typing import List, Optional
 import time
 
 from .experiments import REGISTRY
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate a table/figure of the SAC paper "

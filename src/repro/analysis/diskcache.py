@@ -33,11 +33,33 @@ import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
-from ..sim.stats import RunStats
+from ..sim.engine import EngineParams
+from ..sim.stats import KernelStats, RunStats
 
 #: Bump whenever the timing model or the RunStats schema changes in a way
 #: that makes previously stored results wrong or unreadable.
 SCHEMA_VERSION = 1
+
+
+def schema_token() -> str:
+    """Fingerprint of the result/parameter schema, folded into every key.
+
+    Derived from ``SCHEMA_VERSION`` plus the *field lists* of the
+    dataclasses whose shape determines what a stored payload means:
+    :class:`RunStats`, :class:`KernelStats` and :class:`EngineParams`.
+    Adding, removing or renaming a field changes the token, so stored
+    results from a different code shape miss automatically even when
+    nobody remembered to bump ``SCHEMA_VERSION``.  Field lists are taken
+    in declaration order (a reordering is deliberately *not* a schema
+    change for pickled payloads, but declaration order is deterministic,
+    so the token is stable across processes either way).
+    """
+    parts = [f"schema_version={SCHEMA_VERSION}"]
+    for cls in (RunStats, KernelStats, EngineParams):
+        names = ",".join(f.name for f in dataclasses.fields(cls))
+        parts.append(f"{cls.__qualname__}({names})")
+    return hashlib.sha256(
+        ";".join(parts).encode("utf-8")).hexdigest()[:16]
 
 #: Default cache root (relative to the working directory), overridable
 #: with the ``REPRO_CACHE_DIR`` environment variable.
@@ -78,10 +100,16 @@ def _encode(value: object) -> object:
 
 
 def content_key(**parts: object) -> str:
-    """sha256 hex digest of the structural encoding of ``parts``."""
+    """sha256 hex digest of the structural encoding of ``parts``.
+
+    The current :func:`schema_token` is folded into every key, so a
+    change to the ``RunStats``/``KernelStats``/``EngineParams`` field
+    lists invalidates old entries even without a ``SCHEMA_VERSION`` bump.
+    """
+    encoded = {name: _encode(value) for name, value in sorted(parts.items())}
+    encoded["__schema__"] = schema_token()
     payload = json.dumps(
-        {name: _encode(value) for name, value in sorted(parts.items())},
-        sort_keys=True, separators=(",", ":"))
+        encoded, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

@@ -177,6 +177,8 @@ class MemoryConfig:
                  "channel bandwidth must be positive")
         _require(self.page_size > 0 and (self.page_size & (self.page_size - 1)) == 0,
                  "page size must be a positive power of two")
+        _require(bool(self.interface.strip()),
+                 "memory interface label cannot be empty")
 
     def chip_bw(self) -> float:
         """Total DRAM bandwidth of one chip's partition (bytes/cycle)."""
@@ -203,6 +205,10 @@ class CoherenceConfig:
     def __post_init__(self) -> None:
         _require(self.protocol in ("software", "hardware", "hardware-mesi"),
                  f"unsupported coherence protocol: {self.protocol!r}")
+        _require(self.flush_cycles_per_line >= 0,
+                 "flush cost per line cannot be negative")
+        _require(self.invalidation_message_bytes >= 0,
+                 "invalidation message size cannot be negative")
 
 
 @dataclass(frozen=True)
@@ -222,6 +228,9 @@ class SACConfig:
         _require(self.profile_window_cycles > 0, "profiling window must be positive")
         _require(self.theta >= 0.0, "theta cannot be negative")
         _require(self.crd_sets > 0 and self.crd_ways > 0, "CRD must be non-empty")
+        _require(0 < self.crd_tag_bits <= 64,
+                 "CRD tag bits must be in (0, 64]")
+        _require(self.drain_cycles >= 0, "drain cycles cannot be negative")
         if self.reprofile_interval_cycles is not None:
             _require(self.reprofile_interval_cycles > self.profile_window_cycles,
                      "re-profiling interval must exceed the profiling window")
@@ -248,6 +257,8 @@ class ChipConfig:
         _require(self.num_sms % self.sms_per_cluster == 0,
                  "SM count must divide evenly into clusters")
         _require(self.llc_slices > 0, "need at least one LLC slice")
+        _require(self.llc_slice_bw_bytes_per_cycle > 0,
+                 "LLC slice bandwidth must be positive")
         _require(self.llc_slice.line_size == self.l1.line_size,
                  "L1 and LLC must share a line size")
         _require(self.noc.sm_ports == self.num_sms // self.sms_per_cluster,

@@ -140,7 +140,7 @@ def _batch_resolve(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
     row_counts = np.bincount(rows, minlength=tags.shape[0])
     active = np.flatnonzero(row_counts)
     lut = np.zeros(tags.shape[0], dtype=np.int64)
-    lut[active] = np.arange(active.size)
+    lut[active] = np.arange(active.size, dtype=np.int64)
     g = lut[rows]
     counts = row_counts[active]
     # Group ids almost always fit int16, where numpy's stable sort is a
@@ -152,7 +152,7 @@ def _batch_resolve(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
     starts = np.zeros(active.size, dtype=np.int64)
     np.cumsum(counts[:-1], out=starts[1:])
     rank = np.empty(m, dtype=np.int64)
-    rank[order] = np.arange(m) - np.repeat(starts, counts)
+    rank[order] = np.arange(m, dtype=np.int64) - np.repeat(starts, counts)
 
     gsize = counts[g]
     lo = 0
@@ -193,7 +193,7 @@ def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
     rows_l = np.flatnonzero(row_hits)          # row id per local group
     gcount = row_hits[rows_l]                  # real accesses per group
     lut = np.zeros(tags.shape[0], dtype=np.int64)
-    lut[rows_l] = np.arange(rows_l.size)
+    lut[rows_l] = np.arange(rows_l.size, dtype=np.int64)
     gl = lut[srows]
     ngroups = rows_l.size
     mwidth = int(gcount.max())
@@ -236,7 +236,7 @@ def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
     slot_ok = np.arange(A, dtype=np.int64)[None, :] < fcount[:, None]
     eq = (tags[frows] == stg[first][:, None]) & slot_ok
     way = np.argmax(eq, axis=1)
-    found = eq[np.arange(first.size), way]
+    found = eq[np.arange(first.size, dtype=np.int64), way]
     depth = fcount - 1 - way
     pi[first] = np.where(found, -(depth + 1), -(A + 1))
     init_dirty = dirty[frows, way] & found
@@ -342,7 +342,8 @@ def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
     depth_tab = cnt0[:, None] - 1 - slots_a[None, :]
     live = slots_a[None, :] < cnt0[:, None]
     vq = np.where(live, A - depth_tab - 1, 0)
-    pot = live & (H[np.arange(ngroups)[:, None], vq] >= A - depth_tab)
+    pot = live & (H[np.arange(ngroups, dtype=np.int64)[:, None], vq]
+                  >= A - depth_tab)
     init_evicted = np.zeros((ngroups, A), dtype=bool)
     gp, sp = np.nonzero(pot)
     if gp.size:
@@ -356,7 +357,7 @@ def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
         nwidth = int(nneg.max()) if gn.size else 1
         offs_n = np.zeros(ngroups, dtype=np.int64)
         np.cumsum(nneg[:-1], out=offs_n[1:])
-        jn = np.arange(gn.size) - offs_n[gn]
+        jn = np.arange(gn.size, dtype=np.int64) - offs_n[gn]
         code_tab = np.zeros((ngroups, nwidth), dtype=dt)
         code_tab[gn, jn] = -pi_tab[gn, rn]
         rank_n = np.zeros((ngroups, nwidth), dtype=np.int64)
@@ -398,13 +399,13 @@ def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
     offs_r = np.zeros(ngroups, dtype=np.int64)
     np.cumsum(nreal[:-1], out=offs_r[1:])
     rows_i = rows_l[gi]
-    slot_i = np.arange(gi.size) - offs_i[gi]
+    slot_i = np.arange(gi.size, dtype=np.int64) - offs_i[gi]
     t_init = tags[rows_i, si]          # advanced indexing copies, so the
     d_init = dirty[rows_i, si]         # compacting writes cannot alias
     tags[rows_i, slot_i] = t_init
     dirty[rows_i, slot_i] = d_init
     rows_r = rows_l[gi2]
-    slot_r = ninit[gi2] + np.arange(gi2.size) - offs_r[gi2]
+    slot_r = ninit[gi2] + np.arange(gi2.size, dtype=np.int64) - offs_r[gi2]
     tags[rows_r, slot_r] = stg[loc_f]
     dirty[rows_r, slot_r] = dirty_at[loc_f]
     count[rows_l] = ninit + nreal
@@ -543,7 +544,10 @@ class VectorCache:
         ev_dirty = np.zeros(n, dtype=bool)
         addrs_l = addrs.tolist()
         writes_l = writes.tolist()
-        for i in range(n):
+        # Scalar fallback for configurations the array kernel does not
+        # cover (partitions, no-allocate); semantics come from the
+        # OrderedDict delegate, one probe at a time by design.
+        for i in range(n):  # repro: noqa(hot-loop)
             try:
                 result = self.access(addrs_l[i], writes_l[i],
                                      partition=partition,
@@ -588,7 +592,8 @@ class VectorCache:
         if self._delegate is not None:
             return self._delegate.flush()
         invalidated = int(self._count.sum())
-        live = np.arange(self._geo.associativity)[None, :] < \
+        live = np.arange(self._geo.associativity,
+                         dtype=np.int64)[None, :] < \
             self._count[:, None]
         dirty = int((self._dirty & live).sum())
         self._count[:] = 0
@@ -649,7 +654,8 @@ class VectorCache:
         """Line addresses of every dirty resident line (array mode only)."""
         if self._delegate is not None:
             return None
-        live = np.arange(self._geo.associativity)[None, :] < \
+        live = np.arange(self._geo.associativity,
+                         dtype=np.int64)[None, :] < \
             self._count[:, None]
         sets, slots = np.nonzero(self._dirty & live)
         return self._geo.rebuild(sets, self._tags[sets, slots])
@@ -666,7 +672,7 @@ class VectorCache:
                          counts)
         offs = np.zeros(self._geo.num_sets, dtype=np.int64)
         np.cumsum(counts[:-1], out=offs[1:])
-        slots = np.arange(total) - offs[sets]
+        slots = np.arange(total, dtype=np.int64) - offs[sets]
         return self._geo.rebuild(sets, self._tags[sets, slots])
 
     def reset(self) -> None:

@@ -11,7 +11,7 @@ variant from a :class:`~repro.arch.config.CacheConfig`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
 
 from ..arch.config import CacheConfig
 from .cache import (
@@ -21,6 +21,9 @@ from .cache import (
     CacheStats,
     PartitionFullError,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cache import SetAssociativeCache
 from .replacement import ReplacementPolicy, make_policy
 
 
@@ -287,7 +290,8 @@ class WayOrganizedCache:
                 f"occupancy={self.occupancy()})")
 
 
-def make_cache(config: CacheConfig, name: str = "cache"):
+def make_cache(config: CacheConfig, name: str = "cache"
+               ) -> Union["SetAssociativeCache", WayOrganizedCache]:
     """Build the right cache variant for ``config.replacement``."""
     if config.replacement == "lru":
         from .cache import SetAssociativeCache

@@ -23,7 +23,7 @@ sectored), totalling 620 / 812 bytes per chip.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Callable, List, Optional
 
 from ..arch.config import SACConfig
 from .crd import ChipRequestDirectory
@@ -81,7 +81,7 @@ class ProfilingCounters:
     def __init__(self, sac: SACConfig, num_chips: int, slices_per_chip: int,
                  llc_num_sets: int, line_size: int, sectored: bool = False,
                  sectors_per_line: int = 4,
-                 set_index_fn=None) -> None:
+                 set_index_fn: Optional[Callable[[int], int]] = None) -> None:
         self.num_chips = num_chips
         self.slices_per_chip = slices_per_chip
         self.chips = [ChipCounters(chip=c, slices_per_chip=slices_per_chip)

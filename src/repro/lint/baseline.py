@@ -1,0 +1,82 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON document mapping finding fingerprints (see
+:meth:`repro.lint.core.Finding.fingerprint`) to a short human-readable
+record including a required ``justification`` string, so every
+grandfathered finding carries its one-line reason in the committed
+file.  Findings whose fingerprint appears in the baseline are reported
+separately and do not fail the run; baselined entries that no longer
+match anything are reported as stale so the file shrinks over time
+instead of accreting.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from .core import Finding
+
+_FORMAT = "repro.lint-baseline/1"
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> entry map backing the baseline file."""
+
+    entries: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.is_file():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("format") != _FORMAT:
+            raise ValueError(
+                f"{path}: unsupported baseline format "
+                f"{payload.get('format')!r} (expected {_FORMAT!r})")
+        entries = payload.get("findings", {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"{path}: 'findings' must be an object")
+        return cls(entries=dict(entries))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "format": _FORMAT,
+            "findings": {
+                fp: self.entries[fp] for fp in sorted(self.entries)
+            },
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False)
+                        + "\n", encoding="utf-8")
+
+    # -- Queries ---------------------------------------------------------
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def stale_fingerprints(self, findings: Iterable[Finding]) -> List[str]:
+        """Baseline entries that matched nothing in this run."""
+        seen = {finding.fingerprint() for finding in findings}
+        return sorted(fp for fp in self.entries if fp not in seen)
+
+    # -- Construction -----------------------------------------------------
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding],
+                      justification: str) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            baseline.entries[finding.fingerprint()] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": str(finding.line),
+                "message": finding.message,
+                "justification": justification,
+            }
+        return baseline

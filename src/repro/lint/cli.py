@@ -1,0 +1,157 @@
+"""``python -m repro.lint`` — the analyzer's command-line front end.
+
+Exit status: 0 when no new error-severity findings (and no parse
+errors), 1 when new findings exist, 2 on usage errors.  Baselined and
+``noqa``-suppressed findings never fail the run; stale baseline entries
+are reported so the committed file can shrink.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from . import rules as _rules  # noqa: F401  (imports populate REGISTRY)
+from .baseline import Baseline
+from .core import REGISTRY
+from .runner import Report, run
+
+#: Default baseline filename, looked up in the current directory.
+DEFAULT_BASELINE = "lint_baseline.json"
+
+
+def _default_paths() -> List[Path]:
+    """``src/repro`` when run from the repo root, else the package dir."""
+    candidate = Path("src") / "repro"
+    if candidate.is_dir():
+        return [candidate]
+    return [Path(__file__).resolve().parent.parent]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Project-specific static analyzer for the repro "
+                    "simulator core.")
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to analyze (default: src/repro)")
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help=f"baseline file of grandfathered findings (default: "
+             f"./{DEFAULT_BASELINE} when present)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding as new")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0")
+    parser.add_argument(
+        "--justification", default="grandfathered", metavar="TEXT",
+        help="justification recorded for entries written by "
+             "--update-baseline")
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="RULE",
+        help="run only this rule (repeatable)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="describe every registered rule and exit")
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print findings hidden by inline noqa comments")
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the summary line")
+    return parser
+
+
+def _list_rules() -> str:
+    chunks = []
+    for rule in REGISTRY.instantiate():
+        chunks.append(f"{rule.name} [{rule.severity}]\n"
+                      f"    {rule.description}\n"
+                      f"    contract: {rule.contract}")
+    return "\n".join(chunks)
+
+
+def _render_report(report: Report, show_suppressed: bool,
+                   quiet: bool) -> str:
+    lines: List[str] = []
+    if not quiet:
+        for finding in report.new:
+            lines.append(finding.render())
+        for finding in report.baselined:
+            lines.append(f"{finding.render()} (baselined)")
+        if show_suppressed:
+            for finding in report.suppressed:
+                lines.append(f"{finding.render()} (noqa)")
+        for fp in report.stale_baseline:
+            lines.append(f"stale baseline entry {fp}: no longer matches "
+                         f"anything (remove it)")
+        for error in report.parse_errors:
+            lines.append(f"parse error: {error}")
+    lines.append(
+        f"repro.lint: {report.files_checked} files, "
+        f"{len(report.new)} new finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed, "
+        f"{len(report.stale_baseline)} stale baseline entr"
+        f"{'y' if len(report.stale_baseline) == 1 else 'ies'}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    selected = None
+    if args.select:
+        known = set(REGISTRY.names())
+        unknown = sorted(set(args.select) - known)
+        if unknown:
+            parser.error(f"unknown rule(s): {', '.join(unknown)}; "
+                         f"choose from {', '.join(sorted(known))}")
+        selected = [cls() for name, cls in sorted(REGISTRY.rules.items())
+                    if name in set(args.select)]
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        default = Path(DEFAULT_BASELINE)
+        baseline_path = default if default.is_file() else None
+    baseline = Baseline()
+    if baseline_path is not None and not args.no_baseline \
+            and not args.update_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"repro.lint: {exc}", file=sys.stderr)
+            return 2
+
+    paths = list(args.paths) if args.paths else _default_paths()
+    try:
+        report = run(paths, baseline=baseline, rules=selected,
+                     root=Path.cwd())
+    except FileNotFoundError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        target = args.baseline if args.baseline is not None \
+            else Path(DEFAULT_BASELINE)
+        Baseline.from_findings(report.new + report.baselined,
+                               args.justification).save(target)
+        print(f"repro.lint: wrote {len(report.new) + len(report.baselined)} "
+              f"finding(s) to {target}")
+        return 0
+
+    print(_render_report(report, args.show_suppressed, args.quiet))
+    return 1 if report.failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Shared AST helpers for the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence, Set
+
+from ..source import SourceFile
+
+
+def module_matches(source: SourceFile, suffixes: Sequence[str]) -> bool:
+    """Whether ``source`` is one of the modules named by ``suffixes``.
+
+    Matching is by posix path suffix (``sim/engine.py``), so it works
+    for the repo layout, for installed packages and for test fixtures
+    that mirror the tail of the real path.
+    """
+    rel = source.relpath
+    return any(rel == suffix or rel.endswith("/" + suffix)
+               for suffix in suffixes)
+
+
+def collect_names(node: ast.AST) -> Set[str]:
+    """Every bare identifier and attribute name appearing under ``node``."""
+    names: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            names.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            names.add(child.attr)
+    return names
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call's target, e.g. ``np.zeros``."""
+    return dotted_name(node.func)
+
+
+def enclosing_functions(source: SourceFile,
+                        node: ast.AST) -> Iterator[ast.FunctionDef]:
+    """Innermost-first chain of function defs containing ``node``."""
+    for ancestor in source.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield ancestor  # type: ignore[misc]
+
+
+def enclosing_class(source: SourceFile,
+                    node: ast.AST) -> Optional[ast.ClassDef]:
+    """Nearest class definition containing ``node``, if any."""
+    for ancestor in source.ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor
+    return None

@@ -1,0 +1,72 @@
+"""Rule ``bare-except`` — no silent swallowing of exceptions.
+
+:class:`repro.cache.vector.VectorCache` transparently demotes to its
+scalar ``SetAssociativeCache`` delegate when a configuration leaves the
+fast path; a ``try: ... except: pass`` around a kernel call would turn
+a genuine kernel bug into a silent (and slow, and possibly wrong)
+demotion that no differential test can distinguish from a legitimate
+fallback.  Flags, anywhere in ``src/repro``:
+
+* bare ``except:`` handlers (they also swallow ``KeyboardInterrupt``);
+* ``except Exception``/``except BaseException`` handlers whose body
+  does nothing (only ``pass``/``continue``/``...``) — catching broadly
+  is sometimes right, *silently* is not: at minimum re-raise, return a
+  sentinel the caller checks, or record why discarding is safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, Rule, Severity, register
+from ..source import SourceFile
+from ._common import dotted_name
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _broad_names(node: ast.expr) -> bool:
+    """Whether the handler type includes Exception/BaseException."""
+    if isinstance(node, ast.Tuple):
+        return any(_broad_names(elt) for elt in node.elts)
+    name = dotted_name(node)
+    return name in _BROAD or (name is not None
+                              and name.split(".")[-1] in _BROAD)
+
+
+def _body_is_silent(body: list) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass) or isinstance(stmt, ast.Continue):
+            continue
+        if isinstance(stmt, ast.Expr) and \
+                isinstance(stmt.value, ast.Constant) and \
+                stmt.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+@register
+class BareExceptRule(Rule):
+    name = "bare-except"
+    severity = Severity.ERROR
+    description = ("bare except, or except Exception whose body "
+                   "silently discards the error")
+    contract = ("a kernel bug must surface as a failure, never as a "
+                "silent demotion of VectorCache to the scalar delegate")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in source.walk():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    source, node.lineno, node.col_offset,
+                    "bare 'except:' swallows everything including "
+                    "KeyboardInterrupt; name the exceptions you expect")
+            elif _broad_names(node.type) and _body_is_silent(node.body):
+                yield self.finding(
+                    source, node.lineno, node.col_offset,
+                    "'except Exception' with a do-nothing body silently "
+                    "discards errors; handle, log or re-raise")

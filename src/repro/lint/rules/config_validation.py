@@ -1,0 +1,118 @@
+"""Rule ``config-validation`` — every config field has a validator.
+
+The engine trusts its configuration dataclasses
+(:class:`repro.sim.engine.EngineParams` and the geometry/config classes
+of :mod:`repro.arch.config`): a negative latency or a zero bandwidth
+does not crash, it silently produces wrong timing.  Every field of the
+designated frozen dataclasses must therefore be *touched* (read as
+``self.<field>``) inside ``__post_init__`` — the conventional place for
+``_require``-style validation in this codebase.
+
+Exemptions, because they validate themselves elsewhere:
+
+* ``bool``-annotated fields (two-valued; nothing to validate);
+* fields annotated with another config dataclass defined in the same
+  module (nested configs run their own ``__post_init__``).
+
+Anything else that is deliberately unvalidated takes an inline
+``# repro: noqa(config-validation)`` on the field's line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..core import Finding, Rule, Severity, register
+from ..source import SourceFile
+from ._common import module_matches
+
+#: Modules whose frozen dataclasses are subject to the rule.
+CONFIG_MODULES = (
+    "repro/arch/config.py",
+    "repro/sim/engine.py",
+)
+
+
+def _is_frozen_dataclass(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        if isinstance(deco, ast.Call):
+            name = deco.func
+            if isinstance(name, ast.Name) and name.id == "dataclass" or \
+                    isinstance(name, ast.Attribute) and \
+                    name.attr == "dataclass":
+                for kw in deco.keywords:
+                    if kw.arg == "frozen" and \
+                            isinstance(kw.value, ast.Constant) and \
+                            kw.value.value is True:
+                        return True
+    return False
+
+
+def _annotation_names(annotation: Optional[ast.expr]) -> Set[str]:
+    """Bare identifiers appearing in an annotation expression."""
+    if annotation is None:
+        return set()
+    return {node.id for node in ast.walk(annotation)
+            if isinstance(node, ast.Name)}
+
+
+def _post_init_reads(cls: ast.ClassDef) -> Optional[Set[str]]:
+    """Names read as ``self.<name>`` inside ``__post_init__``, if defined."""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and \
+                stmt.name == "__post_init__":
+            reads: Set[str] = set()
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Attribute) and \
+                        isinstance(node.value, ast.Name) and \
+                        node.value.id == "self":
+                    reads.add(node.attr)
+            return reads
+    return None
+
+
+@register
+class ConfigValidationRule(Rule):
+    name = "config-validation"
+    severity = Severity.ERROR
+    description = ("config dataclass field never touched by "
+                   "__post_init__ validation")
+    contract = ("a mis-set EngineParams/geometry field must fail loudly "
+                "at construction, not silently skew the timing model")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not module_matches(source, CONFIG_MODULES):
+            return
+        classes: List[ast.ClassDef] = [
+            node for node in ast.walk(source.tree)
+            if isinstance(node, ast.ClassDef) and _is_frozen_dataclass(node)]
+        local_dataclasses = {cls.name for cls in classes}
+        for cls in classes:
+            fields = [stmt for stmt in cls.body
+                      if isinstance(stmt, ast.AnnAssign)
+                      and isinstance(stmt.target, ast.Name)]
+            if not fields:
+                continue
+            reads = _post_init_reads(cls)
+            if reads is None:
+                yield self.finding(
+                    source, cls.lineno, cls.col_offset,
+                    f"frozen config dataclass {cls.name} has no "
+                    f"__post_init__; add one validating its fields")
+                continue
+            for field in fields:
+                assert isinstance(field.target, ast.Name)
+                name = field.target.id
+                ann_names = _annotation_names(field.annotation)
+                if "bool" in ann_names:
+                    continue
+                if ann_names & local_dataclasses:
+                    continue  # nested config validates itself
+                if name not in reads:
+                    yield self.finding(
+                        source, field.lineno, field.col_offset,
+                        f"{cls.name}.{name} is never read in "
+                        f"__post_init__; validate it (or suppress with "
+                        f"'# repro: noqa(config-validation)' if it truly "
+                        f"cannot be invalid)")

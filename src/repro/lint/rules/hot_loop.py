@@ -1,0 +1,109 @@
+"""Rule ``hot-loop`` — no per-access Python loops in hot-path modules.
+
+PR 1/PR 2 replaced per-access Python loops in the engine and the LLC
+probe path with numpy kernels; simulation throughput depends on those
+loops never creeping back.  This rule flags ``for``/``while`` loops in
+the designated hot-path modules whose iterable (or loop condition)
+mentions a per-access trace array — ``addrs``/``writes``/``chips``/
+``clusters``/``slices``/``channels``/``homes``/``pairs`` and their
+``_np``/``_l``/``_s``/``_r`` spellings, ``epoch.<field>`` attributes,
+or the conventional batch length ``n``/``range(len(...))`` forms.
+
+Loops over *grouped* quantities (unique pages, nonzero bincount bins,
+chips, slices) are inherently bounded by the machine geometry, not the
+access count, and are not flagged.  The deliberate per-access loops —
+the serial reference path, the sequential probe loop, the scalar
+fallback — carry inline ``# repro: noqa(hot-loop)`` suppressions with
+their justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..core import Finding, Rule, Severity, register
+from ..source import SourceFile
+from ._common import module_matches
+
+#: Modules whose loops are subject to this rule.
+HOT_MODULES = (
+    "repro/sim/engine.py",
+    "repro/cache/vector.py",
+    "repro/cache/cache.py",
+)
+
+#: Per-access array spellings used across the engine and cache kernels.
+#: Deliberately plural-only: ``chip``/``addr``/``slice`` are scalar loop
+#: variables all over the geometry-bounded accounting loops.
+_ACCESS_ARRAY_RE = re.compile(
+    r"^(addrs|writes|chips|clusters|slices|channels|homes|pairs"
+    r"|hit_stages|accesses)(_np|_l|_s|_r|_e|_big)?$")
+
+#: Bare batch-length names that only ever mean "number of accesses".
+_LENGTH_NAMES = frozenset({"n", "num_accesses"})
+
+#: ``epoch.<attr>`` attributes that are per-access arrays.
+_EPOCH_ARRAYS = frozenset({"addrs", "writes", "chips", "clusters"})
+
+
+def _mentions_access_array(expr: ast.AST) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            if _ACCESS_ARRAY_RE.match(node.id):
+                return True
+        elif isinstance(node, ast.Attribute):
+            if node.attr in _EPOCH_ARRAYS and \
+                    isinstance(node.value, ast.Name) and \
+                    node.value.id in ("epoch", "trace"):
+                return True
+        elif isinstance(node, ast.Call):
+            # range(n) / range(len(<access array>)): the canonical
+            # per-access index loops.
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "range":
+                for arg in node.args:
+                    if isinstance(arg, ast.Name) and \
+                            arg.id in _LENGTH_NAMES:
+                        return True
+    return False
+
+
+@register
+class HotLoopRule(Rule):
+    name = "hot-loop"
+    severity = Severity.ERROR
+    description = ("Python for/while loop over a per-access trace array "
+                   "in a hot-path module")
+    contract = ("the engine's batched path and the vectorized LLC probe "
+                "kernel resolve whole epochs with numpy; per-access "
+                "Python loops belong only to the serial reference path "
+                "and must be explicitly justified")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not module_matches(source, HOT_MODULES):
+            return
+        for node in source.walk():
+            if isinstance(node, ast.For):
+                suspects = [(node.iter, "iterable")]
+            elif isinstance(node, ast.While):
+                suspects = [(node.test, "condition")]
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                suspects = [(gen.iter, "comprehension iterable")
+                            for gen in node.generators]
+            else:
+                continue
+            for expr, subject in suspects:
+                # Iterating a literal tuple/list of arrays walks a fixed
+                # handful of objects, not the accesses inside them.
+                if isinstance(expr, (ast.Tuple, ast.List)):
+                    continue
+                if _mentions_access_array(expr):
+                    yield self.finding(
+                        source, node.lineno, node.col_offset,
+                        f"per-access Python loop ({subject} touches a "
+                        f"trace/access array); vectorize it or justify "
+                        f"with '# repro: noqa(hot-loop)'")
+                    break

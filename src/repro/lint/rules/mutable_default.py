@@ -1,0 +1,61 @@
+"""Rule ``mutable-default`` — no mutable default arguments.
+
+A mutable default (``def f(x, acc=[])``) is evaluated once at function
+definition and shared across calls; in a simulator that reuses engine
+and analysis objects across a run matrix, state bleeding between calls
+corrupts results silently.  Flags list/dict/set displays and
+``list()``/``dict()``/``set()``/``bytearray()`` calls (and
+``collections`` equivalents) used as parameter defaults anywhere in
+``src/repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, Rule, Severity, register
+from ..source import SourceFile
+from ._common import call_name
+
+#: Calls that construct a fresh mutable object.
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "collections.OrderedDict", "collections.defaultdict",
+    "collections.deque", "OrderedDict", "defaultdict", "deque",
+})
+
+
+def _is_mutable(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return call_name(node) in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    name = "mutable-default"
+    severity = Severity.ERROR
+    description = "mutable default argument shared across calls"
+    contract = ("no hidden state bleeds between runs of a matrix; every "
+                "call starts from the arguments it was given")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in source.walk():
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable(default):
+                    where = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        source, default.lineno, default.col_offset,
+                        f"mutable default argument in {where}(); use None "
+                        f"and construct inside the function (or "
+                        f"dataclasses.field(default_factory=...))")

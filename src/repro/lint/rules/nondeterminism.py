@@ -1,0 +1,123 @@
+"""Rule ``nondeterminism`` — seeded RNGs and order-stable cache keys.
+
+The content-addressed result cache (:mod:`repro.analysis.diskcache`)
+assumes that identical inputs always re-derive identical keys and that
+simulations are replayable; both break if nondeterminism leaks in.
+Two checks:
+
+* **Global RNG use** (all of ``src/repro``): calls through the global
+  ``random.*`` module functions or the legacy ``np.random.*`` global
+  state are flagged — they draw from interpreter-wide hidden state.
+  Explicitly seeded constructions (``np.random.default_rng(seed)``,
+  ``random.Random(seed)``, ``np.random.Generator(...)``,
+  ``np.random.SeedSequence(...)``) are the sanctioned idiom; calling
+  ``default_rng()``/``Random()`` with *no* seed is flagged too.
+* **Iteration-order dependence in key construction** (diskcache
+  module only): iterating ``.items()``/``.keys()``/``.values()`` or a
+  set without an enclosing ``sorted(...)`` (or a ``json.dumps(...,
+  sort_keys=True)``) makes the key depend on dict/set order and is
+  flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..core import Finding, Rule, Severity, register
+from ..source import SourceFile
+from ._common import call_name, module_matches
+
+#: Module whose key construction must be iteration-order independent.
+KEY_MODULES = ("repro/analysis/diskcache.py",)
+
+#: Seeded-RNG constructors: fine *with* at least one argument.
+_SEEDED_CTORS = frozenset({
+    "np.random.default_rng", "numpy.random.default_rng",
+    "random.Random",
+})
+
+#: Always-acceptable RNG machinery (explicit-state types).
+_EXPLICIT_STATE = frozenset({
+    "np.random.Generator", "numpy.random.Generator",
+    "np.random.SeedSequence", "numpy.random.SeedSequence",
+    "np.random.PCG64", "numpy.random.PCG64",
+})
+
+
+def _sorted_ancestor(source: SourceFile, node: ast.AST) -> bool:
+    """Whether ``node`` sits inside sorted(...) or a sort_keys dump."""
+    current: Optional[ast.AST] = node
+    for ancestor in source.ancestors(node):
+        if isinstance(ancestor, ast.Call):
+            name = call_name(ancestor)
+            if name == "sorted":
+                return True
+            if name is not None and name.endswith("dumps") and any(
+                    kw.arg == "sort_keys"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in ancestor.keywords):
+                return True
+        current = ancestor
+    return False
+
+
+@register
+class NondeterminismRule(Rule):
+    name = "nondeterminism"
+    severity = Severity.ERROR
+    description = ("unseeded/global RNG use, or iteration-order-dependent "
+                   "dict/set use in cache-key construction")
+    contract = ("simulations replay identically and the on-disk result "
+                "cache re-derives identical keys for identical inputs")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        in_key_module = module_matches(source, KEY_MODULES)
+        for node in source.walk():
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is None:
+                    continue
+                if name in _SEEDED_CTORS:
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            source, node.lineno, node.col_offset,
+                            f"{name}() without a seed draws entropy from "
+                            f"the OS; pass an explicit seed")
+                    continue
+                if name in _EXPLICIT_STATE:
+                    continue
+                if name.startswith(("np.random.", "numpy.random.")):
+                    yield self.finding(
+                        source, node.lineno, node.col_offset,
+                        f"{name}(...) uses numpy's *global* RNG state; "
+                        f"thread an explicitly seeded "
+                        f"np.random.default_rng(seed) through instead")
+                elif name.startswith("random.") and \
+                        name.count(".") == 1:
+                    yield self.finding(
+                        source, node.lineno, node.col_offset,
+                        f"{name}(...) uses the interpreter-global RNG; "
+                        f"use a seeded random.Random(seed) instance")
+            if in_key_module:
+                yield from self._check_key_order(source, node)
+
+    def _check_key_order(self, source: SourceFile,
+                         node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in ("items", "keys", "values") and \
+                not node.args and not node.keywords:
+            if not _sorted_ancestor(source, node):
+                yield self.finding(
+                    source, node.lineno, node.col_offset,
+                    f".{node.func.attr}() iterated outside sorted(...) in "
+                    f"cache-key construction; dict order must not reach "
+                    f"the key")
+        elif isinstance(node, (ast.Set, ast.SetComp)):
+            if not _sorted_ancestor(source, node):
+                yield self.finding(
+                    source, node.lineno, node.col_offset,
+                    "set constructed in cache-key construction; set "
+                    "iteration order must not reach the key (sort it)")

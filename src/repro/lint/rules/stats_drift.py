@@ -1,0 +1,130 @@
+"""Rule ``stats-drift`` — every stats field is comparable or telemetry.
+
+``RunStats.comparable_dict()`` is the equality contract between the
+batched, serial and parallel execution paths: differential tests
+compare it across paths, and the on-disk result cache keys embed its
+field list.  A ``RunStats``/``KernelStats`` field added without a
+decision — include it in ``comparable_dict()`` (it is simulated
+physics) or list it in the ``TELEMETRY_FIELDS`` exclusion registry (it
+is host-side telemetry) — would silently escape both the differential
+tests and the cache-key schema token.
+
+The rule parses the stats module's AST: it collects the annotated
+fields of each stats dataclass, the string keys used anywhere inside
+its ``comparable_dict`` method, and the string constants in the
+module-level ``TELEMETRY_FIELDS`` registry, then requires every field
+to appear in exactly one of the two places (fields in *both* are also
+flagged — a field cannot be physics and telemetry at once).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..core import Finding, Rule, Severity, register
+from ..source import SourceFile
+from ._common import module_matches
+
+#: Module holding the stats dataclasses.
+STATS_MODULES = ("repro/sim/stats.py",)
+
+#: Dataclasses subject to the contract.  ``KernelStats`` fields appear
+#: as keys of the per-kernel sub-dicts inside ``RunStats.comparable_dict``.
+STATS_CLASSES = ("RunStats", "KernelStats")
+
+#: Name of the module-level telemetry exclusion registry.
+REGISTRY_NAME = "TELEMETRY_FIELDS"
+
+
+def _annotated_fields(cls: ast.ClassDef) -> List[ast.AnnAssign]:
+    out = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and \
+                isinstance(stmt.target, ast.Name):
+            out.append(stmt)
+    return out
+
+
+def _string_keys(node: ast.AST) -> Set[str]:
+    """Every string constant used as a dict key under ``node``."""
+    keys: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Dict):
+            for key in child.keys:
+                if isinstance(key, ast.Constant) and \
+                        isinstance(key.value, str):
+                    keys.add(key.value)
+    return keys
+
+
+def _registry_strings(tree: ast.AST) -> Optional[Set[str]]:
+    """String constants in the ``TELEMETRY_FIELDS`` assignment, if any."""
+    for node in ast.walk(tree):
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == REGISTRY_NAME:
+                assert value is not None
+                return {child.value for child in ast.walk(value)
+                        if isinstance(child, ast.Constant)
+                        and isinstance(child.value, str)}
+    return None
+
+
+@register
+class StatsDriftRule(Rule):
+    name = "stats-drift"
+    severity = Severity.ERROR
+    description = ("stats dataclass field missing from both "
+                   "comparable_dict() and the TELEMETRY_FIELDS registry")
+    contract = ("every RunStats/KernelStats field is either compared "
+                "across execution paths (physics) or explicitly "
+                "registered as host telemetry; nothing drifts in "
+                "unclassified")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not module_matches(source, STATS_MODULES):
+            return
+        telemetry = _registry_strings(source.tree)
+        classes = {node.name: node for node in ast.walk(source.tree)
+                   if isinstance(node, ast.ClassDef)
+                   and node.name in STATS_CLASSES}
+        if not classes:
+            return
+        if telemetry is None:
+            anchor = next(iter(classes.values()))
+            yield self.finding(
+                source, anchor.lineno, anchor.col_offset,
+                f"stats module defines {'/'.join(sorted(classes))} but no "
+                f"module-level {REGISTRY_NAME} registry; add one (it may "
+                f"be empty) so telemetry exclusions are explicit")
+            telemetry = set()
+        comparable: Set[str] = set()
+        run_stats = classes.get("RunStats")
+        if run_stats is not None:
+            for stmt in run_stats.body:
+                if isinstance(stmt, ast.FunctionDef) and \
+                        stmt.name == "comparable_dict":
+                    comparable = _string_keys(stmt)
+        for cls in classes.values():
+            for field in _annotated_fields(cls):
+                name = field.target.id  # type: ignore[union-attr]
+                in_comparable = name in comparable
+                in_telemetry = name in telemetry
+                if not in_comparable and not in_telemetry:
+                    yield self.finding(
+                        source, field.lineno, field.col_offset,
+                        f"{cls.name}.{name} appears in neither "
+                        f"comparable_dict() nor {REGISTRY_NAME}; decide "
+                        f"whether it is simulated physics (compare it) or "
+                        f"host telemetry (register it)")
+                elif in_comparable and in_telemetry:
+                    yield self.finding(
+                        source, field.lineno, field.col_offset,
+                        f"{cls.name}.{name} is both compared and "
+                        f"registered as telemetry; pick one")

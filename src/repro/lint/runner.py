@@ -1,0 +1,103 @@
+"""Running the rule set over a file tree and classifying the results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from .baseline import Baseline
+from .core import REGISTRY, Finding, Rule, Severity
+from .source import SourceFile
+
+#: Directories never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".repro_cache"}
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files pass through)."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in sorted(path.rglob("*.py")):
+            if not _SKIP_DIRS.intersection(candidate.parts):
+                yield candidate
+
+
+@dataclass
+class Report:
+    """Outcome of one analyzer run."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    stale_baseline: List[str] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def new_errors(self) -> List[Finding]:
+        return [f for f in self.new if f.severity is Severity.ERROR]
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.new_errors) or bool(self.parse_errors)
+
+    def all_findings(self) -> List[Finding]:
+        return self.new + self.baselined
+
+
+def check_source(source: SourceFile,
+                 rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
+    """Run ``rules`` (default: every registered rule) over one file.
+
+    Findings suppressed by inline ``noqa`` comments are *not* filtered
+    here; :func:`run` classifies them so reports can show what a
+    suppression is hiding.
+    """
+    if rules is None:
+        rules = REGISTRY.instantiate()
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(source))
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    return findings
+
+
+def run(paths: Sequence[Path], baseline: Optional[Baseline] = None,
+        rules: Optional[Iterable[Rule]] = None,
+        root: Optional[Path] = None) -> Report:
+    """Analyze every python file under ``paths`` and classify findings.
+
+    Each finding lands in exactly one bucket: ``suppressed`` (an inline
+    ``noqa`` covers it), ``baselined`` (its fingerprint is in the
+    committed baseline) or ``new`` (fails the run when of error
+    severity).
+    """
+    rule_list = list(rules) if rules is not None else REGISTRY.instantiate()
+    baseline = baseline if baseline is not None else Baseline()
+    report = Report()
+    unsuppressed: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            source = SourceFile.load(path, root=root)
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{path}: {exc}")
+            continue
+        report.files_checked += 1
+        for finding in check_source(source, rule_list):
+            if source.is_suppressed(finding.rule, finding.line):
+                report.suppressed.append(finding)
+            else:
+                unsuppressed.append(finding)
+    for finding in unsuppressed:
+        if finding in baseline:
+            report.baselined.append(finding)
+        else:
+            report.new.append(finding)
+    report.stale_baseline = baseline.stale_fingerprints(unsuppressed)
+    return report

@@ -1,0 +1,118 @@
+"""Parsed source files and inline ``noqa`` suppressions.
+
+A :class:`SourceFile` bundles everything a rule needs: the raw text,
+the split lines, the parsed AST with parent links, the repo-relative
+path used in reports/baselines, and the per-line suppression map parsed
+from ``# repro: noqa(rule-a, rule-b)`` comments (a bare
+``# repro: noqa`` suppresses every rule on that line).  Suppressions
+are matched against the line a finding is anchored to, so a noqa on a
+``for`` statement suppresses the hot-loop finding it would raise.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional
+
+#: ``# repro: noqa`` or ``# repro: noqa(rule-a, rule-b)``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\s*(?:\(\s*(?P<rules>[\w,\s-]*)\s*\))?", re.IGNORECASE)
+
+#: Sentinel meaning "every rule is suppressed on this line".
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+def _parse_noqa(text: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> suppressed rule names for ``text``.
+
+    Comments are found with :mod:`tokenize` so that ``noqa``-looking
+    content inside string literals never suppresses anything.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(text).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                names: FrozenSet[str] = ALL_RULES
+            else:
+                names = frozenset(
+                    name.strip() for name in rules.split(",") if name.strip())
+                if not names:
+                    names = ALL_RULES
+            line = tok.start[0]
+            suppressions[line] = suppressions.get(line, frozenset()) | names
+    except tokenize.TokenError:  # unterminated string etc.; AST parse
+        pass                     # will have failed loudly already
+    return suppressions
+
+
+@dataclass
+class SourceFile:
+    """One parsed python file, ready for rule checks."""
+
+    path: Path
+    relpath: str
+    text: str
+    tree: ast.AST
+    lines: List[str]
+    noqa: Dict[int, FrozenSet[str]]
+    _parents: Dict[int, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def from_text(cls, text: str, path: Path,
+                  root: Optional[Path] = None) -> "SourceFile":
+        relpath = path.as_posix()
+        if root is not None:
+            try:
+                relpath = path.resolve().relative_to(
+                    root.resolve()).as_posix()
+            except ValueError:
+                pass
+        tree = ast.parse(text, filename=str(path))
+        source = cls(path=path, relpath=relpath, text=text, tree=tree,
+                     lines=text.splitlines(), noqa=_parse_noqa(text))
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                source._parents[id(child)] = parent
+        return source
+
+    @classmethod
+    def load(cls, path: Path, root: Optional[Path] = None) -> "SourceFile":
+        return cls.from_text(path.read_text(encoding="utf-8"), path,
+                             root=root)
+
+    # -- Queries ---------------------------------------------------------
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        names = self.noqa.get(line)
+        if names is None:
+            return False
+        return "*" in names or rule in names
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)

@@ -99,7 +99,7 @@ class LADMLLC(DynamicLLC):
         return super().plan(chip, home)
 
     def observe_access(self, ctx: "EngineContext", chip: int, addr: int,
-                       home: int, hit_stage) -> None:
+                       home: int, hit_stage: Optional[int]) -> None:
         # Touch bookkeeping happens in the engine's routing via
         # remote_allocate(); nothing to do here.
         pass

@@ -17,7 +17,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from .base import (
     MEMORY_SIDE_MODE,
@@ -33,9 +33,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.engine import EngineContext
 
 
-def _plan_table(num_chips: int, build) -> Dict[Tuple[int, int], RoutePlan]:
+def _plan_table(num_chips: int, build: Callable[[int, int], RoutePlan]
+                ) -> Dict[Tuple[int, int], RoutePlan]:
     """Precompute the (chip, home) -> RoutePlan table."""
-    table = {}
+    table: Dict[Tuple[int, int], RoutePlan] = {}
     for chip in range(num_chips):
         for home in range(num_chips):
             table[(chip, home)] = build(chip, home)

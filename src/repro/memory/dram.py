@@ -13,7 +13,7 @@ channel bandwidth is the binding constraint (paper Section 3.3, B_mem).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterator, List
 
 from ..arch.config import MemoryConfig
 
@@ -104,7 +104,7 @@ class DramSystem:
     def __getitem__(self, chip: int) -> DramPartition:
         return self.partitions[chip]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[DramPartition]:
         return iter(self.partitions)
 
     def end_epoch(self) -> None:

@@ -26,13 +26,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..arch.config import SystemConfig
 from ..cache.cache import (
     UNPARTITIONED,
+    AccessResult,
     PartitionFullError,
     SetAssociativeCache,
 )
@@ -55,6 +56,9 @@ from .stats import (
     KernelStats,
     RunStats,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..coherence.mesi import CoherenceAction
 
 
 @dataclass(frozen=True)
@@ -103,6 +107,13 @@ class EngineParams:
                 f"{self.write_data_bytes}")
         if self.max_outstanding_per_chip < 1:
             raise ValueError("need at least one outstanding miss")
+        for leg, value in (("latency_noc", self.latency_noc),
+                           ("latency_llc", self.latency_llc),
+                           ("latency_ring_hop", self.latency_ring_hop),
+                           ("latency_dram", self.latency_dram)):
+            if not value >= 0.0:  # rejects negatives and NaN
+                raise ValueError(
+                    f"{leg} must be non-negative, got {value}")
 
 
 class SimulationEngine:
@@ -382,8 +393,9 @@ class SimulationEngine:
             / len(epoch))
         return head, tail
 
-    def _kernel_boundary_flush(self, flush_partitions, cached_remote_data
-                               ) -> None:
+    def _kernel_boundary_flush(
+            self, flush_partitions: List[Tuple[Optional[int], int]],
+            cached_remote_data: bool) -> None:
         """Software coherence: flush L1s and remote-caching LLC partitions.
 
         ``flush_partitions`` and ``cached_remote_data`` are captured from
@@ -483,7 +495,9 @@ class SimulationEngine:
         writes = epoch.writes.tolist()
         slices = self._vectorized_slices(epoch.addrs).tolist()
         channels = self._vectorized_channels(epoch.addrs).tolist()
-        for i in range(len(addrs)):
+        # The serial reference path IS the per-access loop: it defines
+        # the semantics the batched/vectorized paths must reproduce.
+        for i in range(len(addrs)):  # repro: noqa(hot-loop)
             self._access(chips[i], clusters[i], addrs[i], writes[i],
                          slices[i], channels[i], kstats)
         self._settle_epoch(epoch, kstats)
@@ -566,7 +580,8 @@ class SimulationEngine:
         total_slices = config.total_llc_slices
 
         serve0 = serve0_np
-        two_stage = np.array([s is not None for s in st1])[pair_np]
+        two_stage = np.array([s is not None for s in st1],
+                             dtype=bool)[pair_np]
         serve1 = np.array([s[0] if s is not None else 0 for s in st1],
                           dtype=np.int64)[pair_np]
         probed1 = probed0 & two_stage & (hs != 0)
@@ -678,7 +693,10 @@ class SimulationEngine:
             # policy (memory-side, sm-side): the tightest possible loop.
             part0 = st0_part[0]
             alloc0 = st0_alloc[0]
-            for i in range(n):
+            # Cache probes are the one sequentially-stateful phase; this
+            # loop only runs when the vectorized tag store cannot (L1s,
+            # partitions, no-allocate stages).
+            for i in range(n):  # repro: noqa(hot-loop)
                 addr = addrs_l[i]
                 w = writes_l[i]
                 if l1 is not None:
@@ -699,7 +717,9 @@ class SimulationEngine:
         else:
             slices_l = slices_np.tolist()
             pairs_l = pair_np.tolist()
-            for i in range(n):
+            # Two-stage/partitioned probes stay sequential for the same
+            # reason as the uniform branch above.
+            for i in range(n):  # repro: noqa(hot-loop)
                 chip = chips_l[i]
                 addr = addrs_l[i]
                 w = writes_l[i]
@@ -960,14 +980,14 @@ class SimulationEngine:
         # Full-length gathers from the tiny per-pair tables, zeroed by the
         # stage masks, add in the same per-element order as the masked
         # scatter-adds they replace (leg first, then the LLC latency).
-        lat = np.array(leg0)[pair_np] * probed0
+        lat = np.array(leg0, dtype=np.float64)[pair_np] * probed0
         lat += params.latency_llc * probed0
         if probed1.any():
-            lat += np.array(leg1)[pair_np] * probed1
+            lat += np.array(leg1, dtype=np.float64)[pair_np] * probed1
             lat += params.latency_llc * probed1
         midx = np.flatnonzero(miss)
         if midx.size:
-            lat[midx] += np.array(mem)[pair_np.take(midx)]
+            lat[midx] += np.array(mem, dtype=np.float64)[pair_np.take(midx)]
         sums = np.bincount(chips_np, weights=lat, minlength=num_chips)
         for chip in range(num_chips):
             if sums[chip]:
@@ -1082,7 +1102,8 @@ class SimulationEngine:
         return False
 
     def _apply_mesi_actions(self, serve: int, line_addr: int,
-                            slice_index: int, actions) -> None:
+                            slice_index: int,
+                            actions: "List[CoherenceAction]") -> None:
         """Charge MESI protocol messages and apply invalidations."""
         from ..coherence.mesi import ActionKind
         ctrl = self.config.coherence.invalidation_message_bytes
@@ -1111,7 +1132,7 @@ class SimulationEngine:
                     self.stats.inter_chip_bytes += wb_bytes
 
     def _writeback_eviction(self, chip: int,
-                            result) -> None:
+                            result: AccessResult) -> None:
         if not result.evicted_dirty:
             return
         home = self.page_table.lookup(result.evicted_addr)

@@ -28,7 +28,16 @@ and are validated separately.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    NoReturn,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..arch.config import SystemConfig
 from ..cache.cache import PartitionFullError
@@ -37,6 +46,9 @@ from ..llc.base import LLCOrganization
 from ..memory.mapping import AddressMapping
 from ..memory.pages import PageTable
 from ..workloads.generator import KernelTrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..workloads.spec import BenchmarkSpec
 
 
 @dataclass
@@ -120,13 +132,14 @@ class EventDrivenEngine:
     def slice_of(self, addr: int) -> int:
         return self.mapping.llc_slice_of(addr)
 
-    def set_llc_partitioning(self, ways) -> None:
+    def set_llc_partitioning(self, ways: Optional[Dict[int, int]]) -> None:
         for chip_slices in self.llc:
             for cache in chip_slices:
                 cache.set_partition(ways)
 
     @property
-    def stats(self):  # Dynamic LLC reads traffic counters; not tracked here.
+    def stats(self) -> NoReturn:
+        # Dynamic LLC reads traffic counters; not tracked here.
         raise AttributeError("event engine does not expose RunStats")
 
     def _segment(self, src: int, dst: int) -> _Server:
@@ -266,11 +279,12 @@ class EventDrivenEngine:
         return busy
 
 
-def validate_against_epoch_model(spec, organizations=("memory-side",
-                                                      "sm-side"),
-                                 config: Optional[SystemConfig] = None,
-                                 scale: float = 1.0 / 16,
-                                 accesses_per_epoch: int = 2048):
+def validate_against_epoch_model(
+        spec: "BenchmarkSpec",
+        organizations: Sequence[str] = ("memory-side", "sm-side"),
+        config: Optional[SystemConfig] = None,
+        scale: float = 1.0 / 16,
+        accesses_per_epoch: int = 2048) -> Dict[str, Tuple[float, float]]:
     """Run both timing models on the same trace; return their cycles.
 
     Returns ``{org: (epoch_cycles, event_cycles)}``.  The validation

@@ -43,7 +43,7 @@ def md1_wait(service_time: float, utilization: float,
     if utilization < 0:
         raise ValueError("utilization cannot be negative")
     rho = min(utilization, rho_cap)
-    if rho == 0.0:
+    if rho <= 0.0:
         return 0.0
     return service_time * rho / (2.0 * (1.0 - rho))
 

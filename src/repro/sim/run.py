@@ -88,7 +88,9 @@ def scaled_config(config: SystemConfig, scale: float) -> SystemConfig:
     would inflate the relative profiling overhead by orders of
     magnitude.  Scaling it keeps the window-to-kernel ratio faithful.
     """
-    if scale == 1.0:
+    # A scale of exactly 1.0 is the "unscaled" sentinel: callers pass the
+    # literal, no arithmetic produces it, so exact equality is intended.
+    if scale == 1.0:  # repro: noqa(float-eq)
         return config
     scaled = with_llc_capacity_scale(config, scale)
     l1 = config.chip.l1.scaled(scale)

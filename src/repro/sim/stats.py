@@ -20,6 +20,20 @@ ORIGIN_REMOTE_MEM = "remote_mem"
 ORIGINS = (ORIGIN_LOCAL_LLC, ORIGIN_REMOTE_LLC,
            ORIGIN_LOCAL_MEM, ORIGIN_REMOTE_MEM)
 
+#: Host-side telemetry fields of :class:`RunStats` — wall-clock timings
+#: and execution-path counters that legitimately differ between two runs
+#: of the same workload, and are therefore excluded from
+#: :meth:`RunStats.comparable_dict`.  Every ``RunStats`` field must be in
+#: exactly one of ``comparable_dict()`` or this registry (enforced by the
+#: ``stats-drift`` lint rule).
+TELEMETRY_FIELDS = frozenset({
+    "wall_seconds",
+    "fast_epochs",
+    "slow_epochs",
+    "probe_seconds",
+    "vector_epochs",
+})
+
 
 @dataclass
 class KernelStats:

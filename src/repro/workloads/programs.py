@@ -40,11 +40,18 @@ from __future__ import annotations
 import abc
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .generator import EpochTrace, KernelTrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..arch.config import SystemConfig
+    from ..llc.base import LLCOrganization
+    from ..sim.cta import DistributedCTAScheduler, RoundRobinCTAScheduler
+    from ..sim.engine import EngineParams
+    from ..sim.stats import RunStats
 
 MB = 1024 * 1024
 
@@ -77,7 +84,8 @@ class Partitioned(AccessPattern):
     hot_fraction: float = 1.0
     hot_weight: float = 0.9
 
-    def sample(self, cta, num_ctas, num_lines, count, rng):
+    def sample(self, cta: int, num_ctas: int, num_lines: int, count: int,
+               rng: np.random.Generator) -> np.ndarray:
         slice_lines = max(1, num_lines // num_ctas)
         base = min(cta * slice_lines, max(0, num_lines - slice_lines))
         offsets = _hot_cold(count, slice_lines, self.hot_fraction,
@@ -92,7 +100,8 @@ class Broadcast(AccessPattern):
     hot_fraction: float = 0.5
     hot_weight: float = 0.9
 
-    def sample(self, cta, num_ctas, num_lines, count, rng):
+    def sample(self, cta: int, num_ctas: int, num_lines: int, count: int,
+               rng: np.random.Generator) -> np.ndarray:
         return _hot_cold(count, num_lines, self.hot_fraction,
                          self.hot_weight, rng)
 
@@ -110,7 +119,8 @@ class Strided(AccessPattern):
     hot_fraction: float = 1.0
     hot_weight: float = 0.9
 
-    def sample(self, cta, num_ctas, num_lines, count, rng):
+    def sample(self, cta: int, num_ctas: int, num_lines: int, count: int,
+               rng: np.random.Generator) -> np.ndarray:
         lane = cta % self.interleave
         slots = max(1, num_lines // self.interleave)
         slot = _hot_cold(count, slots, self.hot_fraction, self.hot_weight,
@@ -126,7 +136,8 @@ class Halo(AccessPattern):
     hot_fraction: float = 1.0
     hot_weight: float = 0.9
 
-    def sample(self, cta, num_ctas, num_lines, count, rng):
+    def sample(self, cta: int, num_ctas: int, num_lines: int, count: int,
+               rng: np.random.Generator) -> np.ndarray:
         slice_lines = max(1, num_lines // num_ctas)
         base = min(cta * slice_lines, max(0, num_lines - slice_lines))
         offsets = _hot_cold(count, slice_lines, self.hot_fraction,
@@ -251,7 +262,8 @@ class ProgramWorkload:
 
     # -- Compilation -------------------------------------------------------
 
-    def _scheduler(self, ctas: int):
+    def _scheduler(self, ctas: int) -> Union[
+            "DistributedCTAScheduler", "RoundRobinCTAScheduler"]:
         # Imported lazily: repro.sim imports repro.workloads.generator,
         # so a module-level import here would be circular.
         from ..sim.cta import DistributedCTAScheduler, RoundRobinCTAScheduler
@@ -285,7 +297,10 @@ class ProgramWorkload:
         return KernelTrace(name=f"{kernel.name}#{launch}",
                            epochs=tuple(epochs))
 
-    def _compile_epoch(self, kernel: KernelProgram, scheduler, weights,
+    def _compile_epoch(self, kernel: KernelProgram,
+                       scheduler: Union["DistributedCTAScheduler",
+                                        "RoundRobinCTAScheduler"],
+                       weights: np.ndarray,
                        per_chip: int, rng: np.random.Generator) -> EpochTrace:
         chips_list = []
         addrs_list = []
@@ -334,9 +349,11 @@ class ProgramWorkload:
                           compute_cycles=compute)
 
 
-def simulate_program(workload: ProgramWorkload, organization,
-                     config=None, scale: float = 1.0,
-                     params=None):
+def simulate_program(workload: ProgramWorkload,
+                     organization: Union[str, "LLCOrganization"],
+                     config: Optional["SystemConfig"] = None,
+                     scale: float = 1.0,
+                     params: Optional["EngineParams"] = None) -> "RunStats":
     """Run a :class:`ProgramWorkload` under an LLC organization.
 
     Unlike :func:`repro.sim.run.simulate`, programs carry explicit array

@@ -2,6 +2,7 @@
 
 import pickle
 
+from repro.analysis import diskcache
 from repro.analysis.diskcache import (
     SCHEMA_VERSION,
     ResultCache,
@@ -89,3 +90,34 @@ class TestResultCache:
         cache.clear()
         assert len(cache) == 0
         assert cache.load(content_key(x=6)) is None
+
+
+class TestSchemaToken:
+    def test_token_is_deterministic(self):
+        assert diskcache.schema_token() == diskcache.schema_token()
+        assert len(diskcache.schema_token()) == 16
+
+    def test_token_reflects_the_stats_field_lists(self):
+        token = diskcache.schema_token()
+        import dataclasses
+        names = {f.name for f in dataclasses.fields(RunStats)}
+        # Sanity: the token is derived from the real dataclasses, so the
+        # fields it hashes include every current RunStats field.
+        assert "cycles" in names and "wall_seconds" in names
+        assert token == diskcache.schema_token()
+
+    def test_content_key_folds_in_the_schema_token(self, monkeypatch):
+        before = content_key(x=1)
+        monkeypatch.setattr(diskcache, "schema_token",
+                            lambda: "different-schema")
+        after = content_key(x=1)
+        assert before != after
+
+    def test_content_key_stable_while_schema_unchanged(self):
+        assert content_key(x=1, y="a") == content_key(y="a", x=1)
+        assert content_key(x=1) != content_key(x=2)
+
+    def test_schema_change_invalidates_without_version_bump(self, monkeypatch):
+        key = content_key(spec="s", organization="sac")
+        monkeypatch.setattr(diskcache, "SCHEMA_VERSION", SCHEMA_VERSION + 1)
+        assert content_key(spec="s", organization="sac") != key

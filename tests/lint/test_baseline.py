@@ -1,0 +1,87 @@
+"""Baseline mechanism: grandfathering, staleness, fingerprint stability."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, SourceFile, check_source, run
+
+ENGINE = "repro/sim/engine.py"
+
+_BAD = textwrap.dedent("""\
+    def serve(addrs):
+        for i in range(len(addrs)):
+            touch(addrs[i])
+    """)
+
+
+def _findings(text: str, relpath: str = ENGINE):
+    return check_source(SourceFile.from_text(text, Path(relpath)))
+
+
+def test_baselined_finding_does_not_fail_the_run(tmp_path):
+    target = tmp_path / "repro" / "sim" / "engine.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(_BAD)
+    baseline = Baseline.from_findings(_findings(_BAD), "legacy serial path")
+    report = run([tmp_path], baseline=baseline, root=tmp_path)
+    assert report.new == []
+    assert [f.rule for f in report.baselined] == ["hot-loop"]
+    assert report.stale_baseline == []
+    assert not report.failed
+
+
+def test_unbaselined_finding_fails_the_run(tmp_path):
+    target = tmp_path / "repro" / "sim" / "engine.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(_BAD)
+    report = run([tmp_path], baseline=Baseline(), root=tmp_path)
+    assert [f.rule for f in report.new] == ["hot-loop"]
+    assert report.failed
+
+
+def test_stale_entries_are_reported(tmp_path):
+    target = tmp_path / "repro" / "sim" / "engine.py"
+    target.parent.mkdir(parents=True)
+    baseline = Baseline.from_findings(_findings(_BAD), "to be fixed")
+    target.write_text("def serve(addrs):\n    return vector_probe(addrs)\n")
+    report = run([tmp_path], baseline=baseline, root=tmp_path)
+    assert report.new == []
+    assert report.stale_baseline == sorted(baseline.entries)
+
+
+def test_fingerprint_survives_line_moves():
+    shifted = "# a new leading comment\n\n" + _BAD
+    original = _findings(_BAD)
+    moved = _findings(shifted)
+    assert [f.fingerprint() for f in original] == \
+        [f.fingerprint() for f in moved]
+    assert original[0].line != moved[0].line
+
+
+def test_fingerprint_changes_when_the_line_changes():
+    edited = _BAD.replace("range(len(addrs))", "range(len(addrs), 2)")
+    assert _findings(_BAD)[0].fingerprint() != \
+        _findings(edited)[0].fingerprint()
+
+
+def test_roundtrip_through_disk(tmp_path):
+    baseline = Baseline.from_findings(_findings(_BAD), "why it is ok")
+    path = tmp_path / "lint_baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.entries == baseline.entries
+    entry = next(iter(loaded.entries.values()))
+    assert entry["justification"] == "why it is ok"
+
+
+def test_load_rejects_unknown_format(tmp_path):
+    path = tmp_path / "lint_baseline.json"
+    path.write_text('{"format": "something-else/9", "findings": {}}')
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    assert len(Baseline.load(tmp_path / "absent.json")) == 0

@@ -1,0 +1,26 @@
+"""The committed tree itself satisfies the analyzer (acceptance gate)."""
+
+from repro.lint import REGISTRY, Baseline, run
+
+
+def test_registry_has_all_project_rules():
+    assert set(REGISTRY.names()) >= {
+        "hot-loop", "dtype-discipline", "stats-drift", "config-validation",
+        "float-eq", "nondeterminism", "mutable-default", "bare-except"}
+
+
+def test_src_repro_is_clean_under_committed_baseline(repo_root):
+    baseline = Baseline.load(repo_root / "lint_baseline.json")
+    report = run([repo_root / "src" / "repro"], baseline=baseline,
+                 root=repo_root)
+    assert report.parse_errors == []
+    rendered = "\n".join(f.render() for f in report.new)
+    assert report.new == [], f"new lint findings:\n{rendered}"
+    assert report.stale_baseline == []
+
+
+def test_committed_baseline_is_empty_or_justified(repo_root):
+    baseline = Baseline.load(repo_root / "lint_baseline.json")
+    for fingerprint, entry in baseline.entries.items():
+        assert entry.get("justification", "").strip(), (
+            f"baseline entry {fingerprint} has no justification")

@@ -1,0 +1,18 @@
+"""Strict static typing over ``src/repro`` (runs where mypy is installed).
+
+The container used for fast local iteration does not ship mypy; the CI
+lint job installs it and runs this tier plus ``mypy --strict src/repro``
+directly.  Locally the test skips rather than failing.
+"""
+
+import pytest
+
+mypy_api = pytest.importorskip(
+    "mypy.api", reason="mypy not installed; the CI lint job runs this tier")
+
+
+def test_mypy_strict_is_clean(repo_root):
+    stdout, stderr, status = mypy_api.run(
+        ["--strict", "--config-file", str(repo_root / "pyproject.toml"),
+         str(repo_root / "src" / "repro")])
+    assert status == 0, f"mypy --strict failed:\n{stdout}\n{stderr}"
