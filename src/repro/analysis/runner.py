@@ -52,12 +52,18 @@ class RunnerTelemetry:
     memo_hits: int = 0
     disk_hits: int = 0
     disk_stores: int = 0
+    #: Batched epochs (summed over fresh simulations) that fell off the
+    #: vectorized probe kernel onto the per-access loop.
+    demotions: int = 0
     wall_seconds: float = 0.0
 
     def summary(self) -> str:
-        return (f"{self.simulated} simulated, {self.memo_hits} memo hits, "
+        line = (f"{self.simulated} simulated, {self.memo_hits} memo hits, "
                 f"{self.disk_hits} disk hits, {self.disk_stores} disk "
                 f"stores in {self.wall_seconds:.1f}s")
+        if self.demotions:
+            line += f", {self.demotions} vector demotions"
+        return line
 
 
 _TELEMETRY = RunnerTelemetry()
@@ -167,6 +173,7 @@ def run(spec: BenchmarkSpec, organization: str,
                      accesses_per_epoch=accesses_per_epoch,
                      params=resolved_params)
     _TELEMETRY.simulated += 1
+    _TELEMETRY.demotions += stats.demotions
     _TELEMETRY.wall_seconds += time.perf_counter() - started
     if use_cache:
         _CACHE[key] = stats
@@ -239,6 +246,7 @@ def run_matrix(specs: Iterable[BenchmarkSpec], organizations: Iterable[str],
             fresh = [future.result() for future in futures]
         for (spec, organization), stats in zip(pending, fresh):
             _TELEMETRY.simulated += 1
+            _TELEMETRY.demotions += stats.demotions
             _finish_pair(spec, organization, stats, resolved, scale,
                          accesses_per_epoch, resolved_params, disk_cache)
             results[(spec.name, organization)] = stats
@@ -247,6 +255,7 @@ def run_matrix(specs: Iterable[BenchmarkSpec], organizations: Iterable[str],
             stats = _simulate_task(spec, organization, resolved, scale,
                                    accesses_per_epoch, resolved_params)
             _TELEMETRY.simulated += 1
+            _TELEMETRY.demotions += stats.demotions
             _finish_pair(spec, organization, stats, resolved, scale,
                          accesses_per_epoch, resolved_params, disk_cache)
             results[(spec.name, organization)] = stats

@@ -26,6 +26,22 @@ from ..arch.config import CacheConfig
 UNPARTITIONED = 0
 
 
+def validate_partition_ways(associativity: int,
+                            ways_by_partition: Dict[int, int]) -> None:
+    """Validate a partition->ways map against the associativity.
+
+    Shared by the scalar and the vectorized cache backends so both raise
+    identical errors for identical inputs.
+    """
+    total = sum(ways_by_partition.values())
+    if total != associativity:
+        raise ValueError(
+            f"partition ways sum to {total}, "
+            f"expected associativity {associativity}")
+    if any(w < 0 for w in ways_by_partition.values()):
+        raise ValueError("partition way counts cannot be negative")
+
+
 @dataclass(slots=True)
 class CacheLine:
     """State of one resident cache line."""
@@ -161,13 +177,7 @@ class SetAssociativeCache:
             self._partition_ways = None
             self._part_occ = None
             return
-        total = sum(ways_by_partition.values())
-        if total != self.config.associativity:
-            raise ValueError(
-                f"partition ways sum to {total}, "
-                f"expected associativity {self.config.associativity}")
-        if any(w < 0 for w in ways_by_partition.values()):
-            raise ValueError("partition way counts cannot be negative")
+        validate_partition_ways(self.config.associativity, ways_by_partition)
         self._partition_ways = dict(ways_by_partition)
         self._recount_partitions()
 

@@ -1,11 +1,12 @@
 """Rule ``bare-except`` — no silent swallowing of exceptions.
 
-:class:`repro.cache.vector.VectorCache` transparently demotes to its
-scalar ``SetAssociativeCache`` delegate when a configuration leaves the
-fast path; a ``try: ... except: pass`` around a kernel call would turn
-a genuine kernel bug into a silent (and slow, and possibly wrong)
-demotion that no differential test can distinguish from a legitimate
-fallback.  Flags, anywhere in ``src/repro``:
+The engine's batched path falls back from the vectorized tag-store
+kernel to the per-access probe loop when an epoch's shape demands it;
+a ``try: ... except: pass`` around a kernel call would turn a genuine
+kernel bug into a silent (and slow, and possibly wrong) fallback that
+no differential test can distinguish from a legitimate decline — the
+``RunStats.demotions`` counter exists precisely so fallbacks are never
+silent.  Flags, anywhere in ``src/repro``:
 
 * bare ``except:`` handlers (they also swallow ``KeyboardInterrupt``);
 * ``except Exception``/``except BaseException`` handlers whose body
@@ -54,7 +55,8 @@ class BareExceptRule(Rule):
     description = ("bare except, or except Exception whose body "
                    "silently discards the error")
     contract = ("a kernel bug must surface as a failure, never as a "
-                "silent demotion of VectorCache to the scalar delegate")
+                "silent fallback from the vectorized kernel to the "
+                "probe loop")
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
         for node in source.walk():

@@ -148,6 +148,11 @@ class DynamicLLC(LLCOrganization):
     *beyond* the LLC, which is exactly the behaviour the paper shows to be
     suboptimal (it can settle in a local optimum that under-allocates
     local data).
+
+    The per-epoch repartition is applied in place on the vectorized tag
+    store (``VectorCache.set_partition``), so the two-stage epochs stay
+    on the staged kernel across reconfigurations: sets left over their
+    new allotment are replayed exactly until they drain back under it.
     """
 
     name = "dynamic"

@@ -41,7 +41,7 @@ from ..cache.vector import VectorBank
 from ..cache.waycache import make_cache
 from ..coherence.hardware import HardwareCoherence
 from ..coherence.software import SoftwareCoherence
-from ..llc.base import LLCOrganization
+from ..llc.base import LLCOrganization, RoutePlan
 from ..memory.dram import DramSystem
 from ..memory.mapping import AddressMapping
 from ..memory.pages import PageTable
@@ -136,8 +136,7 @@ class SimulationEngine:
             channels_per_chip=chip_cfg.memory.channels_per_chip)
         llc_cfg = chip_cfg.llc_slice
         self._llc_bank: Optional[VectorBank] = None
-        if (self.params.vectorized and llc_cfg.replacement == "lru"
-                and not llc_cfg.sectored):
+        if self.params.vectorized and llc_cfg.replacement == "lru":
             self._llc_bank = VectorBank(
                 llc_cfg, [f"llc{c}.{s}" for c in range(config.num_chips)
                           for s in range(chip_cfg.llc_slices)])
@@ -238,12 +237,12 @@ class SimulationEngine:
         dram_bw = self.config.chip.memory.chip_bw()
         home_of = self.page_table._home.get
         shift = self.page_table._page_shift
-        # A full flush with no coherence directory to notify can drain
-        # array-backed caches wholesale: home the dirty lines by unique
-        # page (pages interleave across a chip's slices, so uniquing at
-        # the chip level collapses the per-slice duplicates too).
-        batch_ok = (partition is None and not dirty_only
-                    and self.hardware_coherence is None
+        # A flush with no coherence directory to notify can drain
+        # array-backed caches wholesale (any partition/dirty_only mode):
+        # home the dirty lines by unique page (pages interleave across a
+        # chip's slices, so uniquing at the chip level collapses the
+        # per-slice duplicates too).
+        batch_ok = (self.hardware_coherence is None
                     and self.mesi is None)
         # Chips flush concurrently: the run is delayed by the slowest one.
         worst_cycles = 0.0
@@ -255,11 +254,12 @@ class SimulationEngine:
             for cache in self.llc[chip]:
                 drained = None
                 if batch_ok:
-                    getter = getattr(cache, "dirty_addrs", None)
-                    drained = getter() if getter is not None else None
+                    drain = getattr(cache, "drain", None)
+                    if drain is not None:
+                        drained, lines, dirties = drain(
+                            partition=partition, dirty_only=dirty_only)
                 if drained is not None:
                     drained_chip.append(drained)
-                    lines, dirties = cache.flush()
                     invalidated += lines
                     dirty += dirties
                     continue
@@ -553,7 +553,12 @@ class SimulationEngine:
         l1 = self.l1
         uniform = (all(s is None for s in st1)
                    and len(set(st0_part)) == 1 and len(set(st0_alloc)) == 1)
+        two_stage = np.array([s is not None for s in st1],
+                             dtype=bool)[pair_np]
+        serve1 = np.array([s[0] if s is not None else 0 for s in st1],
+                          dtype=np.int64)[pair_np]
         batch = None
+        staged = None
         probe_start = perf_counter()
         if (uniform and l1 is None and self._llc_bank is not None
                 and st0_part[0] == UNPARTITIONED and st0_alloc[0]):
@@ -563,9 +568,28 @@ class SimulationEngine:
             hs = np.where(batch.hits, np.int64(0), np.int64(-1))
             self.stats.vector_epochs += 1
         else:
-            hs, ev_serves, ev_addrs = self._probe_loop(
-                epoch, uniform, idx0_np, serve0_np, addrs_np, writes_np,
-                chips_np, slices_np, pair_np, st0_part, st0_alloc, st1)
+            if (l1 is None and self._llc_bank is not None
+                    and self._staged_shape_ok(plans)):
+                part0_np = np.array(st0_part, dtype=np.int64)[pair_np]
+                part1_np = np.array(
+                    [s[1] if s is not None else 0 for s in st1],
+                    dtype=np.int64)[pair_np]
+                idx1_np = serve1 * llc_slices + slices_np
+                staged = self._llc_bank.access_many_staged(
+                    addrs_np, writes_np, idx0_np, part0_np, two_stage,
+                    idx1_np, part1_np)
+            if staged is not None:
+                hs = staged.hit_stage
+                self.stats.vector_epochs += 1
+            else:
+                hs, ev_serves, ev_addrs = self._probe_loop(
+                    epoch, uniform, idx0_np, serve0_np, addrs_np,
+                    writes_np, chips_np, slices_np, pair_np, st0_part,
+                    st0_alloc, st1)
+                self.stats.scalar_epochs += 1
+                if self._llc_bank is not None:
+                    # A vector bank exists but this epoch fell off it.
+                    self.stats.demotions += 1
         self.stats.probe_seconds += perf_counter() - probe_start
 
         # Everything below is pure accounting over the recorded outcomes.
@@ -580,10 +604,6 @@ class SimulationEngine:
         total_slices = config.total_llc_slices
 
         serve0 = serve0_np
-        two_stage = np.array([s is not None for s in st1],
-                             dtype=bool)[pair_np]
-        serve1 = np.array([s[0] if s is not None else 0 for s in st1],
-                          dtype=np.int64)[pair_np]
         probed1 = probed0 & two_stage & (hs != 0)
 
         # Per-slice request counts and LLC service bytes.
@@ -637,6 +657,10 @@ class SimulationEngine:
             if dirty_sel.any():
                 self._charge_eviction_writebacks(
                     serve0_np[dirty_sel], batch.evicted_addr[dirty_sel])
+        elif staged is not None:
+            if staged.evicted_addr.size:
+                self._charge_eviction_writebacks(
+                    staged.evicted_cache // llc_slices, staged.evicted_addr)
         elif ev_addrs:
             self._charge_eviction_writebacks(ev_serves, ev_addrs)
 
@@ -759,6 +783,24 @@ class SimulationEngine:
                     ev_addrs.append(result.evicted_addr)
 
         return np.array(hit_stage, dtype=np.int64), ev_serves, ev_addrs
+
+    @staticmethod
+    def _staged_shape_ok(plans: List[RoutePlan]) -> bool:
+        """Whether the epoch's route plans fit the staged vector solver.
+
+        The three-phase decomposition in
+        :meth:`VectorBank.access_many_staged` reproduces the probe loop
+        exactly for plans of at most two allocate-on-miss stages; the
+        solver itself verifies the runtime row-disjointness condition
+        and declines (returning ``None``) when it does not hold.
+        """
+        for plan in plans:
+            if len(plan.stages) > 2:
+                return False
+            for stage in plan.stages:
+                if not stage.allocate:
+                    return False
+        return True
 
     def _batched_homes(self, addrs: np.ndarray,
                        chips: np.ndarray) -> np.ndarray:

@@ -32,6 +32,8 @@ TELEMETRY_FIELDS = frozenset({
     "slow_epochs",
     "probe_seconds",
     "vector_epochs",
+    "scalar_epochs",
+    "demotions",
 })
 
 
@@ -98,6 +100,11 @@ class RunStats:
     # many of those epochs resolved via the vectorized tag-store kernel.
     probe_seconds: float = 0.0
     vector_epochs: int = 0
+    # Batched epochs that ran the per-access probe loop instead, and the
+    # subset that did so despite a vector bank being attached (a config
+    # silently falling off the vector path shows up here).
+    scalar_epochs: int = 0
+    demotions: int = 0
 
     @property
     def llc_hit_rate(self) -> float:
@@ -181,6 +188,8 @@ class RunStats:
             "fast_epochs": self.fast_epochs,
             "slow_epochs": self.slow_epochs,
             "vector_epochs": self.vector_epochs,
+            "scalar_epochs": self.scalar_epochs,
+            "demotions": self.demotions,
             "probe_seconds": self.probe_seconds,
         }
 

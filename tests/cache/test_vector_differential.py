@@ -49,6 +49,7 @@ def reference_outcomes(cache, addrs, writes, partition=UNPARTITIONED,
     hits = np.zeros(n, dtype=bool)
     ev_addr = np.full(n, -1, dtype=np.int64)
     ev_dirty = np.zeros(n, dtype=bool)
+    sector_miss = np.zeros(n, dtype=bool)
     for i in range(n):
         try:
             result = cache.access(int(addrs[i]), bool(writes[i]),
@@ -57,15 +58,16 @@ def reference_outcomes(cache, addrs, writes, partition=UNPARTITIONED,
         except PartitionFullError:
             continue
         hits[i] = result.hit
+        sector_miss[i] = result.sector_miss
         if result.evicted_addr is not None:
             ev_addr[i] = result.evicted_addr
             ev_dirty[i] = result.evicted_dirty
-    return BatchResult(hits, ev_addr, ev_dirty)
+    return BatchResult(hits, ev_addr, ev_dirty, sector_miss)
 
 
 def final_state(cache):
-    """Resident lines as (addr, tag, dirty) in set-order, LRU -> MRU."""
-    return [(addr, line.tag, line.dirty)
+    """Resident lines in set-order, LRU -> MRU, with every line field."""
+    return [(addr, line.tag, line.dirty, line.partition, line.sector_valid)
             for addr, line in cache.resident_lines()]
 
 
@@ -74,6 +76,9 @@ def assert_identical(ref_out, vec_out, ref_cache, vec_cache):
     np.testing.assert_array_equal(ref_out.evicted_addr, vec_out.evicted_addr)
     np.testing.assert_array_equal(ref_out.evicted_dirty,
                                   vec_out.evicted_dirty)
+    if vec_out.sector_miss is not None:
+        np.testing.assert_array_equal(ref_out.sector_miss,
+                                      vec_out.sector_miss)
     assert ref_cache.stats == vec_cache.stats
     assert final_state(ref_cache) == final_state(vec_cache)
 
@@ -127,8 +132,8 @@ def test_huge_tags_use_lexsort_path():
                      vec.access_many(addrs, writes), ref, vec)
 
 
-def test_scalar_interludes_promote_and_demote():
-    """Scalar calls demote to the delegate; batches promote back."""
+def test_scalar_interludes_stay_bit_identical():
+    """Interleaved scalar accesses and batches share the same SoA state."""
     rng = np.random.default_rng(17)
     config = make_config(16, 4)
     ref = SetAssociativeCache(config, "ref")
@@ -137,7 +142,7 @@ def test_scalar_interludes_promote_and_demote():
         addrs, writes = random_stream(rng, 16, 4, 200, 0.3)
         assert_identical(reference_outcomes(ref, addrs, writes),
                          vec.access_many(addrs, writes), ref, vec)
-        # Scalar interlude (forces a demotion mid-stream).
+        # Scalar interlude mid-stream.
         addrs, writes = random_stream(rng, 16, 4, 50, 0.3)
         for i in range(len(addrs)):
             ref_r = ref.access(int(addrs[i]), bool(writes[i]))
@@ -145,37 +150,86 @@ def test_scalar_interludes_promote_and_demote():
             assert ref_r.hit == vec_r.hit
             assert ref_r.evicted_addr == vec_r.evicted_addr
             assert ref_r.evicted_dirty == vec_r.evicted_dirty
-        assert vec._delegate is not None
         assert ref.stats == vec.stats
-    assert vec._batch_ready()
-    assert vec._delegate is None
     assert final_state(ref) == final_state(vec)
 
 
-def test_partitioned_cache_falls_back_to_scalar():
-    """Partitioned configs take the delegate path inside access_many."""
+def test_partitioned_batches_match_reference():
+    """Way-partitioned batches resolve natively, including repartition
+    mid-stream and a final ``set_partition(None)`` round."""
     rng = np.random.default_rng(19)
     config = make_config(16, 4)
     ref = SetAssociativeCache(config, "ref")
     vec = VectorCache(config, "vec")
-    ways = {0: 2, 1: 2}
-    ref.set_partition(ways)
-    vec.set_partition(ways)
-    for partition in (0, 1, 0):
-        addrs, writes = random_stream(rng, 16, 4, 150, 0.4)
-        ref_out = reference_outcomes(ref, addrs, writes, partition=partition)
-        vec_out = vec.access_many(addrs, writes, partition=partition)
-        np.testing.assert_array_equal(ref_out.hits, vec_out.hits)
-        np.testing.assert_array_equal(ref_out.evicted_addr,
-                                      vec_out.evicted_addr)
-        assert ref.stats == vec.stats
-    # Unpartitioning alone is not enough to promote: resident lines still
-    # carry partition ids, so the batch path must keep the delegate.
+    for ways in ({0: 2, 1: 2}, {0: 1, 1: 3}, {0: 3, 1: 1}):
+        ref.set_partition(ways)
+        vec.set_partition(ways)
+        assert vec.partition_ways == ref.partition_ways == ways
+        for partition in (0, 1, 0):
+            addrs, writes = random_stream(rng, 16, 4, 150, 0.4)
+            assert_identical(
+                reference_outcomes(ref, addrs, writes, partition=partition),
+                vec.access_many(addrs, writes, partition=partition),
+                ref, vec)
+    # Unpartitioning: resident lines keep their partition ids, and the
+    # batch path must keep honouring them until those lines drain.
     ref.set_partition(None)
     vec.set_partition(None)
-    addrs, writes = random_stream(rng, 16, 4, 150, 0.4)
-    assert_identical(reference_outcomes(ref, addrs, writes),
-                     vec.access_many(addrs, writes), ref, vec)
+    for _ in range(3):
+        addrs, writes = random_stream(rng, 16, 4, 150, 0.4)
+        assert_identical(reference_outcomes(ref, addrs, writes),
+                         vec.access_many(addrs, writes), ref, vec)
+
+
+def test_partitioned_batch_scalar_interleaved():
+    """Batches, scalar accesses and fills agree under partitioning."""
+    rng = np.random.default_rng(37)
+    config = make_config(12, 3)
+    ref = SetAssociativeCache(config, "ref")
+    vec = VectorCache(config, "vec")
+    ref.set_partition({0: 2, 1: 1})
+    vec.set_partition({0: 2, 1: 1})
+    for round_ in range(3):
+        for partition in (0, 1):
+            addrs, writes = random_stream(rng, 12, 3, 120, 0.4)
+            assert_identical(
+                reference_outcomes(ref, addrs, writes, partition=partition),
+                vec.access_many(addrs, writes, partition=partition),
+                ref, vec)
+        addrs, writes = random_stream(rng, 12, 3, 40, 0.4)
+        for i in range(len(addrs)):
+            part = int(addrs[i]) % 2
+            ref_r = ref.access(int(addrs[i]), bool(writes[i]),
+                               partition=part)
+            vec_r = vec.access(int(addrs[i]), bool(writes[i]),
+                               partition=part)
+            assert (ref_r.hit, ref_r.evicted_addr, ref_r.evicted_dirty) == \
+                (vec_r.hit, vec_r.evicted_addr, vec_r.evicted_dirty)
+        assert ref.stats == vec.stats
+    assert final_state(ref) == final_state(vec)
+
+
+def test_partition_full_batches_match_reference():
+    """Zero-way partitions: every access is a PFE-miss in both models."""
+    rng = np.random.default_rng(41)
+    config = make_config(16, 4)
+    ref = SetAssociativeCache(config, "ref")
+    vec = VectorCache(config, "vec")
+    ways = {0: 3, 1: 1, 2: 0}
+    ref.set_partition(ways)
+    vec.set_partition(ways)
+    for partition in (0, 2, 1, 2):
+        addrs, writes = random_stream(rng, 16, 4, 100, 0.4)
+        assert_identical(
+            reference_outcomes(ref, addrs, writes, partition=partition),
+            vec.access_many(addrs, writes, partition=partition),
+            ref, vec)
+    # A partition id absent from the map also raises in both models.
+    with pytest.raises(PartitionFullError):
+        ref.access(9_999 * LINE, False, partition=5)
+    with pytest.raises(PartitionFullError):
+        vec.access(9_999 * LINE, False, partition=5)
+    assert ref.stats == vec.stats
 
 
 def test_zero_way_partition_records_miss_without_eviction():
@@ -190,11 +244,12 @@ def test_zero_way_partition_records_miss_without_eviction():
     assert vec.stats.fills == 0
 
 
-def test_bank_grouped_matches_per_cache_reference():
+@pytest.mark.parametrize("sectored", [False, True])
+def test_bank_grouped_matches_per_cache_reference(sectored):
     """One grouped kernel call over many slices == per-slice serial runs."""
     rng = np.random.default_rng(23)
     num_caches = 6
-    config = make_config(48, 8)
+    config = make_config(48, 8, sectored=sectored)
     bank = VectorBank(config, [f"slice{i}" for i in range(num_caches)])
     refs = [SetAssociativeCache(config, f"ref{i}")
             for i in range(num_caches)]
@@ -240,7 +295,7 @@ def test_flush_invalidate_probe_native_paths():
     for addr in addrs[:20]:
         assert ref.invalidate(int(addr)) == vec.invalidate(int(addr))
     assert final_state(ref) == final_state(vec)
-    ref_addrs = sorted(a for a, _t, _d in final_state(vec))
+    ref_addrs = sorted(entry[0] for entry in final_state(vec))
     got = vec.resident_addrs()
     assert got is not None
     assert sorted(got.tolist()) == ref_addrs
@@ -248,11 +303,180 @@ def test_flush_invalidate_probe_native_paths():
     assert ref.occupancy() == vec.occupancy() == 0
 
 
+@pytest.mark.parametrize("num_sets,assoc", [(64, 4), (48, 8), (12, 3)])
+@pytest.mark.parametrize("write_frac", [0.0, 0.4])
+def test_sectored_batches_match_reference(num_sets, assoc, write_frac):
+    """Sector caches: tag-hit/sector-miss verdicts must be bit-identical,
+    including the ``sector_misses`` counter and final sector bitmasks."""
+    rng = np.random.default_rng(num_sets * 100 + assoc + int(write_frac * 10))
+    config = make_config(num_sets, assoc, sectored=True, sectors_per_line=4)
+    ref = SetAssociativeCache(config, "ref")
+    vec = VectorCache(config, "vec")
+    for n in (257, 64, 503):
+        addrs, writes = random_stream(rng, num_sets, assoc, n, write_frac)
+        ref_out = reference_outcomes(ref, addrs, writes)
+        vec_out = vec.access_many(addrs, writes)
+        assert vec_out.sector_miss is not None
+        assert_identical(ref_out, vec_out, ref, vec)
+    assert ref.stats.sector_misses == vec.stats.sector_misses
+    assert ref.stats.sector_misses > 0  # the stream must exercise them
+
+
+def test_sector_miss_on_tag_hit():
+    """Touching a new sector of a resident line: tag hit, sector miss."""
+    config = make_config(4, 2, sectored=True, sectors_per_line=4)
+    sector = config.sector_size
+    for cache in (SetAssociativeCache(config, "ref"),
+                  VectorCache(config, "vec")):
+        first = cache.access(0, False)
+        assert not first.hit and not first.sector_miss
+        again = cache.access(0, True)
+        assert again.hit and not again.sector_miss
+        other = cache.access(2 * sector, False)
+        assert not other.hit and other.sector_miss
+        assert cache.stats.sector_misses == 1
+        assert cache.stats.fills == 1  # sector miss does not refill
+    # And the same sequence through the batch path.
+    vec = VectorCache(config, "vec2")
+    out = vec.access_many(np.array([0, 0, 2 * sector], dtype=np.int64),
+                          np.array([False, True, False]))
+    assert out.sector_miss is not None
+    np.testing.assert_array_equal(out.hits, [False, True, False])
+    np.testing.assert_array_equal(out.sector_miss, [False, False, True])
+    assert vec.stats.sector_misses == 1 and vec.stats.fills == 1
+
+
+def test_sectored_partitioned_with_scalar_interludes():
+    """The full matrix point: sectored + partitioned + interleaving."""
+    rng = np.random.default_rng(43)
+    config = make_config(16, 4, sectored=True, sectors_per_line=2)
+    ref = SetAssociativeCache(config, "ref")
+    vec = VectorCache(config, "vec")
+    ref.set_partition({0: 3, 1: 1})
+    vec.set_partition({0: 3, 1: 1})
+    for round_ in range(3):
+        for partition in (0, 1):
+            addrs, writes = random_stream(rng, 16, 4, 150, 0.3)
+            assert_identical(
+                reference_outcomes(ref, addrs, writes, partition=partition),
+                vec.access_many(addrs, writes, partition=partition),
+                ref, vec)
+        addrs, writes = random_stream(rng, 16, 4, 30, 0.3)
+        for i in range(len(addrs)):
+            ref_r = ref.access(int(addrs[i]), bool(writes[i]), partition=1)
+            vec_r = vec.access(int(addrs[i]), bool(writes[i]), partition=1)
+            assert (ref_r.hit, ref_r.sector_miss, ref_r.evicted_addr) == \
+                (vec_r.hit, vec_r.sector_miss, vec_r.evicted_addr)
+    assert ref.stats == vec.stats
+    assert final_state(ref) == final_state(vec)
+
+
+def test_scalar_fallback_counts_partition_full_misses():
+    """Regression: `_access_many_scalar` must count PartitionFullError
+    accesses as misses without fills, exactly like the scalar model."""
+    config = make_config(8, 2, write_allocate=False)
+    ref = SetAssociativeCache(config, "ref")
+    vec = VectorCache(config, "vec")
+    ref.set_partition({0: 2, 1: 0})
+    vec.set_partition({0: 2, 1: 0})
+    addrs = np.arange(6, dtype=np.int64) * LINE
+    writes = np.zeros(6, dtype=bool)
+    # write_allocate=False routes access_many through the scalar fallback;
+    # reads to the zero-way partition raise PartitionFullError inside it.
+    ref_out = reference_outcomes(ref, addrs, writes, partition=1)
+    vec_out = vec.access_many(addrs, writes, partition=1)
+    np.testing.assert_array_equal(ref_out.hits, vec_out.hits)
+    np.testing.assert_array_equal(ref_out.evicted_addr, vec_out.evicted_addr)
+    assert not vec_out.hits.any()
+    assert ref.stats == vec.stats
+    assert vec.stats.accesses == 6
+    assert vec.stats.misses == 6
+    assert vec.stats.fills == 0
+
+
 def test_vector_cache_rejects_unsupported_configs():
-    with pytest.raises(ValueError):
-        VectorCache(make_config(16, 4, sectored=True))
+    # Sectored configs are natively supported now; only non-LRU
+    # replacement still refuses to construct.
+    VectorCache(make_config(16, 4, sectored=True))
     with pytest.raises(ValueError):
         VectorCache(make_config(16, 4, replacement="srrip"))
+
+
+def _staged_reference(refs, addrs, writes, idx0, part0, two_stage, idx1,
+                      part1):
+    """Emulate the engine's two-stage probe loop on scalar caches."""
+    n = len(addrs)
+    hs = np.full(n, -1, dtype=np.int64)
+    ev_cache0, ev_addr0, ev_cache1, ev_addr1 = [], [], [], []
+    for i in range(n):
+        addr, write = int(addrs[i]), bool(writes[i])
+        try:
+            r0 = refs[idx0[i]].access(addr, write, partition=int(part0[i]))
+        except PartitionFullError:
+            r0 = None
+        if r0 is not None:
+            if r0.hit:
+                hs[i] = 0
+            if r0.evicted_addr is not None and r0.evicted_dirty:
+                ev_cache0.append(int(idx0[i]))
+                ev_addr0.append(r0.evicted_addr)
+        if two_stage[i] and (r0 is None or not r0.hit):
+            try:
+                r1 = refs[idx1[i]].access(addr, write,
+                                          partition=int(part1[i]))
+            except PartitionFullError:
+                continue
+            if r1.hit:
+                hs[i] = 1
+            if r1.evicted_addr is not None and r1.evicted_dirty:
+                ev_cache1.append(int(idx1[i]))
+                ev_addr1.append(r1.evicted_addr)
+    return (hs, np.array(ev_cache0 + ev_cache1, dtype=np.int64),
+            np.array(ev_addr0 + ev_addr1, dtype=np.int64))
+
+
+@pytest.mark.parametrize("sectored", [False, True])
+def test_bank_staged_matches_probe_loop(sectored):
+    """The three-phase staged solver == the scalar two-stage probe loop,
+    across repartitions (over-allotment replay) and a zero-way epoch."""
+    rng = np.random.default_rng(47)
+    num_caches = 4
+    num_sets = 16
+    config = make_config(num_sets, 4, sectored=sectored)
+    bank = VectorBank(config, [f"s{i}" for i in range(num_caches)])
+    refs = [SetAssociativeCache(config, f"r{i}")
+            for i in range(num_caches)]
+    for ways in ({0: 3, 1: 1}, {0: 1, 1: 3}, {0: 4, 1: 0}):
+        for cache in bank.caches:
+            cache.set_partition(dict(ways))
+        for ref in refs:
+            ref.set_partition(dict(ways))
+        for _ in range(2):
+            n = 600
+            addrs, writes = random_stream(rng, num_sets, 4, n, 0.4,
+                                          base=0)
+            # Static-LLC shape: home slice from the address, requester
+            # random; local accesses take one stage in partition 0,
+            # remote ones probe requester/partition-1 then
+            # home/partition-0.
+            home = ((addrs // LINE) % num_caches).astype(np.int64)
+            req = rng.integers(0, num_caches, size=n).astype(np.int64)
+            two_stage = req != home
+            idx0 = np.where(two_stage, req, home)
+            part0 = np.where(two_stage, 1, 0).astype(np.int64)
+            idx1 = home
+            part1 = np.zeros(n, dtype=np.int64)
+            out = bank.access_many_staged(addrs, writes, idx0, part0,
+                                          two_stage, idx1, part1)
+            assert out is not None
+            hs, ev_cache, ev_addr = _staged_reference(
+                refs, addrs, writes, idx0, part0, two_stage, idx1, part1)
+            np.testing.assert_array_equal(out.hit_stage, hs)
+            np.testing.assert_array_equal(out.evicted_cache, ev_cache)
+            np.testing.assert_array_equal(out.evicted_addr, ev_addr)
+            for ref, cache in zip(refs, bank.caches):
+                assert ref.stats == cache.stats
+                assert final_state(ref) == final_state(cache)
 
 
 def test_no_write_allocate_uses_scalar_path():

@@ -98,17 +98,22 @@ class TestVectorizedProbe:
         assert vec.comparable_dict() == loop.comparable_dict()
         assert vec.comparable_dict() == serial.comparable_dict()
 
-    @pytest.mark.parametrize("organization", ("static", "dynamic"))
-    def test_partitioned_orgs_take_probe_loop(self, organization):
-        # Way-partitioned organizations demote the vector caches to their
-        # scalar delegates; results stay identical to vectorized=False.
-        loop = simulate(SPECS[0], organization, scale=SCALE,
+    @pytest.mark.parametrize("bench", SPECS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("organization", ("static", "dynamic", "sac"))
+    def test_partitioned_orgs_stay_on_the_kernel(self, bench, organization):
+        # Way-partitioned organizations resolve their two-stage epochs
+        # through the staged vector solver; results stay identical to
+        # vectorized=False and no epoch demotes to the probe loop.
+        loop = simulate(bench, organization, scale=SCALE,
                         accesses_per_epoch=DENSITY,
                         params=EngineParams(batched=True, vectorized=False))
-        vec = simulate(SPECS[0], organization, scale=SCALE,
+        vec = simulate(bench, organization, scale=SCALE,
                        accesses_per_epoch=DENSITY,
                        params=EngineParams(batched=True, vectorized=True))
-        assert vec.vector_epochs == 0
+        assert vec.vector_epochs > 0
+        assert vec.demotions == 0
+        assert loop.scalar_epochs == loop.fast_epochs
+        assert loop.demotions == 0  # no bank attached -> not a demotion
         assert vec.comparable_dict() == loop.comparable_dict()
 
     def test_l1_modeling_takes_probe_loop(self):
@@ -120,6 +125,8 @@ class TestVectorizedProbe:
                                            model_l1=True))
         assert vec.fast_epochs > 0
         assert vec.vector_epochs == 0
+        assert vec.scalar_epochs == vec.fast_epochs
+        assert vec.demotions == vec.fast_epochs
 
     def test_probe_seconds_recorded(self):
         vec = simulate(SPECS[0], "memory-side", scale=SCALE,
