@@ -7,7 +7,10 @@ organizations at the default experiment scale, then records the
 accesses/sec figures and the probe-phase share of epoch wall time into
 ``BENCH_throughput.json``.  The way-partitioned organizations (static,
 dynamic, SAC) resolve through the staged kernel and must report zero
-``demotions``.
+``demotions``.  A second test records the stacked five-organization
+sweep (``stacked_sweep`` row): kernel-invocation counts, wall and
+probe seconds vs the per-pair path, and the fallback count (zero means
+every lane shared one tag store).
 
 Two classes of floor are asserted:
 
@@ -24,8 +27,8 @@ import json
 import os
 from pathlib import Path
 
-from repro.sim import EngineParams
-from repro.sim.run import simulate
+from repro.sim import ORGANIZATIONS, EngineParams
+from repro.sim.run import simulate, simulate_stacked
 from repro.workloads.suite import SUITE
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / \
@@ -56,6 +59,12 @@ VECTOR_OVER_SCALAR_FLOOR = 3.0
 #: reference machine (BENCH_throughput.json before the vectorized
 #: kernel landed).  The vectorized kernel is measured against these.
 PR1_BATCHED_RATES = {"memory-side": 524459, "sm-side": 463770}
+
+#: Stacked five-organization sweep vs per-pair: minimum ratio of bank
+#: (kernel) invocations.  This is deterministic — the stacked driver
+#: issues at most one grouped and one staged call per round regardless
+#: of lane count — so it is asserted even under REPRO_BENCH_SMOKE.
+STACKED_INVOCATION_FLOOR = 2.0
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
@@ -217,3 +226,86 @@ def test_batched_throughput(benchmark, capsys):
                     f"the recorded PR 1 batched rate on {organization}; "
                     f"expected >= {VECTOR_OVER_PR1_FLOOR}x (set "
                     f"REPRO_BENCH_SMOKE=1 off the reference machine)")
+
+
+def test_stacked_sweep_throughput(benchmark, capsys):
+    """Stacked five-organization sweep vs per-pair simulation.
+
+    The stacked path's win is kernel *invocations*: one grouped plus at
+    most one staged bank call per round resolves every lane, so the
+    five-organization sweep issues ~2.4x fewer calls than five per-pair
+    runs (O(configs) -> ~O(1) per epoch).  Wall clock is recorded too
+    (``stacked_speedup_over_matrix``) but is row-work bound at the
+    default trace density, so only the deterministic invocation ratio
+    carries an always-on floor.
+    """
+    spec = SUITE[0]
+    orgs = list(ORGANIZATIONS)
+
+    def measure():
+        # Stacked legs first (same heat-ordering rationale as above).
+        stacked = None
+        for _ in range(REPS):
+            result = simulate_stacked(spec, orgs)
+            if stacked is None or result.telemetry.wall_seconds < \
+                    stacked.telemetry.wall_seconds:
+                stacked = result
+        solo = {}
+        for _ in range(SERIAL_REPS):
+            for org in orgs:
+                stats = simulate(spec, org)
+                if org not in solo or \
+                        stats.wall_seconds < solo[org].wall_seconds:
+                    solo[org] = stats
+        for org, lane in zip(orgs, stacked.stats):
+            assert lane.comparable_dict() == solo[org].comparable_dict()
+        tele = stacked.telemetry
+        matrix_wall = sum(s.wall_seconds for s in solo.values())
+        matrix_probe = sum(s.probe_seconds for s in solo.values())
+        matrix_invocations = sum(s.vector_epochs for s in solo.values())
+        return {
+            "organizations": orgs,
+            "kernel_invocations_matrix": matrix_invocations,
+            "kernel_invocations_stacked": tele.bank_invocations,
+            "kernel_invocation_ratio":
+                round(matrix_invocations / tele.bank_invocations, 2),
+            "matrix_wall_seconds": round(matrix_wall, 3),
+            "stacked_wall_seconds": round(tele.wall_seconds, 3),
+            "stacked_speedup_over_matrix":
+                round(matrix_wall / tele.wall_seconds, 2),
+            "matrix_probe_seconds": round(matrix_probe, 3),
+            "stacked_probe_seconds": round(tele.probe_seconds, 3),
+            "stacked_lanes": tele.stacked_lanes,
+            "stacked_fallbacks": tele.solo_lanes,
+            "shared_banks": tele.banks,
+        }
+
+    row = benchmark.pedantic(measure, rounds=1, iterations=1,
+                             warmup_rounds=0)
+    report = {}
+    if REPORT_PATH.exists():
+        report = json.loads(REPORT_PATH.read_text())
+    report["stacked_sweep"] = row
+    REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True)
+                           + "\n")
+    with capsys.disabled():
+        print()
+        print(f"Stacked five-organization sweep (best of {REPS}):")
+        print(f"  kernel invocations "
+              f"{row['kernel_invocations_matrix']} -> "
+              f"{row['kernel_invocations_stacked']} "
+              f"({row['kernel_invocation_ratio']:.2f}x fewer); wall "
+              f"{row['matrix_wall_seconds']}s -> "
+              f"{row['stacked_wall_seconds']}s "
+              f"({row['stacked_speedup_over_matrix']:.2f}x); "
+              f"fallbacks {row['stacked_fallbacks']}")
+    # The five-organization sweep must be fully hosted in one shared
+    # bank: any fallback lane means the stacked path silently
+    # disengaged (this is the CI smoke gate).
+    assert row["stacked_fallbacks"] == 0
+    assert row["stacked_lanes"] == len(orgs)
+    assert row["shared_banks"] == 1
+    assert row["kernel_invocation_ratio"] >= STACKED_INVOCATION_FLOOR, (
+        f"stacked sweep only cut kernel invocations by "
+        f"{row['kernel_invocation_ratio']}x; expected >= "
+        f"{STACKED_INVOCATION_FLOOR}x")

@@ -27,7 +27,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from ..arch.config import SystemConfig
 from ..arch.presets import baseline
@@ -35,7 +35,9 @@ from ..sim.engine import EngineParams
 from ..sim.run import (
     DEFAULT_ACCESSES_PER_EPOCH,
     DEFAULT_SCALE,
+    StackedResult,
     simulate,
+    simulate_stacked,
 )
 from ..sim.stats import RunStats, harmonic_mean
 from ..workloads.spec import BenchmarkSpec
@@ -55,12 +57,31 @@ class RunnerTelemetry:
     #: Batched epochs (summed over fresh simulations) that fell off the
     #: vectorized probe kernel onto the per-access loop.
     demotions: int = 0
-    wall_seconds: float = 0.0
+    #: Wall seconds spent *inside* ``simulate``/``simulate_stacked``
+    #: (per-lane simulator time, summed over fresh results).
+    sim_seconds: float = 0.0
+    #: Whole-matrix wall clock of every ``run_matrix`` call, including
+    #: cache-hit resolution and dispatch overhead.  Kept separate from
+    #: ``sim_seconds`` because the two measure different things (the
+    #: old ``wall_seconds`` field mixed them).
+    matrix_seconds: float = 0.0
+    #: Stacked dispatch: pending groups routed through
+    #: ``simulate_stacked``, lanes that shared a tag store, and lanes a
+    #: stacked group could not host in a shared bank.
+    stacked_groups: int = 0
+    stacked_lanes: int = 0
+    stacked_fallbacks: int = 0
 
     def summary(self) -> str:
         line = (f"{self.simulated} simulated, {self.memo_hits} memo hits, "
                 f"{self.disk_hits} disk hits, {self.disk_stores} disk "
-                f"stores in {self.wall_seconds:.1f}s")
+                f"stores in {self.sim_seconds:.1f}s sim "
+                f"({self.matrix_seconds:.1f}s matrix)")
+        if self.stacked_groups:
+            line += (f", {self.stacked_lanes} lanes stacked in "
+                     f"{self.stacked_groups} groups")
+            if self.stacked_fallbacks:
+                line += f" ({self.stacked_fallbacks} unstacked)"
         if self.demotions:
             line += f", {self.demotions} vector demotions"
         return line
@@ -144,6 +165,22 @@ def _simulate_task(spec: BenchmarkSpec, organization: str,
                     accesses_per_epoch=accesses_per_epoch, params=params)
 
 
+def _simulate_stacked_task(spec: BenchmarkSpec, organizations: List[str],
+                           config: SystemConfig, scale: float,
+                           accesses_per_epoch: int,
+                           params: EngineParams) -> StackedResult:
+    """Worker-side stacked entry point (module-level for pickling)."""
+    return simulate_stacked(spec, organizations, config=config, scale=scale,
+                            accesses_per_epoch=accesses_per_epoch,
+                            params=params)
+
+
+def _stacked_enabled() -> bool:
+    """Whether ``run_matrix`` stacks same-trace pending groups into one
+    ``simulate_stacked`` dispatch (disable with ``REPRO_STACKED=0``)."""
+    return os.environ.get("REPRO_STACKED", "1") != "0"
+
+
 def run(spec: BenchmarkSpec, organization: str,
         config: Optional[SystemConfig] = None,
         scale: float = DEFAULT_SCALE,
@@ -174,7 +211,7 @@ def run(spec: BenchmarkSpec, organization: str,
                      params=resolved_params)
     _TELEMETRY.simulated += 1
     _TELEMETRY.demotions += stats.demotions
-    _TELEMETRY.wall_seconds += time.perf_counter() - started
+    _TELEMETRY.sim_seconds += time.perf_counter() - started
     if use_cache:
         _CACHE[key] = stats
         if disk_cache is not None and dkey is not None:
@@ -210,15 +247,29 @@ def run_matrix(specs: Iterable[BenchmarkSpec], organizations: Iterable[str],
     pairs: List[Tuple[BenchmarkSpec, str]] = [
         (spec, organization)
         for spec in specs for organization in organizations]
+    # Results are keyed by spec *name*: two distinct specs sharing a
+    # name would silently collapse into one key (the second spec getting
+    # the first's stats), so fail loudly instead.
+    spec_by_name: Dict[str, BenchmarkSpec] = {}
+    for spec, _organization in pairs:
+        seen = spec_by_name.setdefault(spec.name, spec)
+        if seen != spec:
+            raise ValueError(
+                f"two distinct BenchmarkSpecs share the name "
+                f"{spec.name!r}; run_matrix keys results by name, so "
+                "their results would collide — rename one of them")
     results: Dict[Tuple[str, str], Optional[RunStats]] = {
         (spec.name, organization): None for spec, organization in pairs}
 
     # Resolve the cheap layers (memo, then disk) in-process first; only
-    # genuinely new work is worth a worker.
+    # genuinely new work is worth a worker.  ``queued`` also dedupes
+    # pairs that miss every cache layer (``results`` only catches
+    # duplicates that were resolved by the time the copy is seen).
     pending: List[Tuple[BenchmarkSpec, str]] = []
+    queued: Set[Tuple[str, str]] = set()
     for spec, organization in pairs:
         name_key = (spec.name, organization)
-        if results[name_key] is not None:
+        if results[name_key] is not None or name_key in queued:
             continue  # duplicate pair in the request
         key = _memo_key(spec, organization, resolved, scale,
                         accesses_per_epoch, resolved_params)
@@ -236,35 +287,106 @@ def run_matrix(specs: Iterable[BenchmarkSpec], organizations: Iterable[str],
                 results[name_key] = stats
                 continue
         pending.append((spec, organization))
+        queued.add(name_key)
 
-    if pending and jobs > 1 and len(pending) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = [
+    # Group the pending pairs by benchmark: every organization of one
+    # spec shares the same trace, so a group of >= 2 is dispatched as
+    # one stacked kernel sweep instead of per-pair simulations.
+    stacked_groups: List[Tuple[BenchmarkSpec, List[str]]] = []
+    singles: List[Tuple[BenchmarkSpec, str]] = []
+    if _stacked_enabled():
+        orgs_by_spec: Dict[str, List[str]] = {}
+        for spec, organization in pending:
+            orgs_by_spec.setdefault(spec.name, []).append(organization)
+        for name, orgs in orgs_by_spec.items():
+            if len(orgs) > 1:
+                stacked_groups.append((spec_by_name[name], orgs))
+            else:
+                singles.append((spec_by_name[name], orgs[0]))
+    else:
+        singles = list(pending)
+
+    tasks = len(stacked_groups) + len(singles)
+    if tasks > 1 and jobs > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, tasks)) as pool:
+            stacked_futures = [
+                pool.submit(_simulate_stacked_task, spec, orgs, resolved,
+                            scale, accesses_per_epoch, resolved_params)
+                for spec, orgs in stacked_groups]
+            single_futures = [
                 pool.submit(_simulate_task, spec, organization, resolved,
                             scale, accesses_per_epoch, resolved_params)
-                for spec, organization in pending]
-            fresh = [future.result() for future in futures]
-        for (spec, organization), stats in zip(pending, fresh):
-            _TELEMETRY.simulated += 1
-            _TELEMETRY.demotions += stats.demotions
-            _finish_pair(spec, organization, stats, resolved, scale,
-                         accesses_per_epoch, resolved_params, disk_cache)
-            results[(spec.name, organization)] = stats
+                for spec, organization in singles]
+            stacked_fresh = [f.result() for f in stacked_futures]
+            single_fresh = [f.result() for f in single_futures]
+        for (spec, orgs), stacked in zip(stacked_groups, stacked_fresh):
+            _install_stacked(spec, orgs, stacked, resolved, scale,
+                             accesses_per_epoch, resolved_params,
+                             disk_cache, results)
+        for (spec, organization), stats in zip(singles, single_fresh):
+            _install_single(spec, organization, stats, resolved, scale,
+                            accesses_per_epoch, resolved_params,
+                            disk_cache, results)
     else:
-        for spec, organization in pending:
+        for spec, orgs in stacked_groups:
+            stacked = _simulate_stacked_task(spec, orgs, resolved, scale,
+                                             accesses_per_epoch,
+                                             resolved_params)
+            _install_stacked(spec, orgs, stacked, resolved, scale,
+                             accesses_per_epoch, resolved_params,
+                             disk_cache, results)
+        for spec, organization in singles:
             stats = _simulate_task(spec, organization, resolved, scale,
                                    accesses_per_epoch, resolved_params)
-            _TELEMETRY.simulated += 1
-            _TELEMETRY.demotions += stats.demotions
-            _finish_pair(spec, organization, stats, resolved, scale,
-                         accesses_per_epoch, resolved_params, disk_cache)
-            results[(spec.name, organization)] = stats
+            _install_single(spec, organization, stats, resolved, scale,
+                            accesses_per_epoch, resolved_params,
+                            disk_cache, results)
 
-    _TELEMETRY.wall_seconds += time.perf_counter() - started
+    _TELEMETRY.matrix_seconds += time.perf_counter() - started
     # None placeholders are all filled by now; rebuild to narrow the type
     # and guarantee deterministic (submission-order) iteration.
     return {name_key: stats for name_key, stats in results.items()
             if stats is not None}
+
+
+def _install_single(spec: BenchmarkSpec, organization: str, stats: RunStats,
+                    config: SystemConfig, scale: float,
+                    accesses_per_epoch: int, params: EngineParams,
+                    disk_cache: Optional[ResultCache],
+                    results: Dict[Tuple[str, str], Optional[RunStats]]
+                    ) -> None:
+    """Record one fresh per-pair result (telemetry + caches + results)."""
+    _TELEMETRY.simulated += 1
+    _TELEMETRY.demotions += stats.demotions
+    _TELEMETRY.sim_seconds += stats.wall_seconds
+    _finish_pair(spec, organization, stats, config, scale,
+                 accesses_per_epoch, params, disk_cache)
+    results[(spec.name, organization)] = stats
+
+
+def _install_stacked(spec: BenchmarkSpec, organizations: List[str],
+                     stacked: StackedResult, config: SystemConfig,
+                     scale: float, accesses_per_epoch: int,
+                     params: EngineParams,
+                     disk_cache: Optional[ResultCache],
+                     results: Dict[Tuple[str, str], Optional[RunStats]]
+                     ) -> None:
+    """Record one stacked group's per-lane results.
+
+    Each lane's stats go through the same memo/disk installation as a
+    per-pair run (the stacked path is bit-identical, so the cache
+    entries are interchangeable).
+    """
+    _TELEMETRY.stacked_groups += 1
+    _TELEMETRY.stacked_lanes += stacked.telemetry.stacked_lanes
+    _TELEMETRY.stacked_fallbacks += stacked.telemetry.solo_lanes
+    _TELEMETRY.sim_seconds += stacked.telemetry.wall_seconds
+    for organization, stats in zip(organizations, stacked.stats):
+        _TELEMETRY.simulated += 1
+        _TELEMETRY.demotions += stats.demotions
+        _finish_pair(spec, organization, stats, config, scale,
+                     accesses_per_epoch, params, disk_cache)
+        results[(spec.name, organization)] = stats
 
 
 def _finish_pair(spec: BenchmarkSpec, organization: str, stats: RunStats,

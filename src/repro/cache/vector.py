@@ -1471,7 +1471,9 @@ class VectorBank:
         self._geo = _geometry_of(config)
 
     def access_many_grouped(self, cache_idx: np.ndarray, addrs: np.ndarray,
-                            writes: np.ndarray) -> Optional[BatchResult]:
+                            writes: np.ndarray,
+                            lanes: Optional[Sequence[Tuple[int, int]]] = None
+                            ) -> Optional[BatchResult]:
         """Resolve one uniform epoch across every cache of the bank.
 
         ``cache_idx`` maps each access to its flat cache index.  Returns
@@ -1479,15 +1481,27 @@ class VectorBank:
         batch path — partitioned ways, foreign-slot residents,
         no-write-allocate configs — so behaviour always matches the
         scalar model.
+
+        ``lanes`` restricts the eligibility gate (and the per-cache
+        stats update) to the given ``[lo, hi)`` cache ranges — the lanes
+        this call actually probes.  Lanes are row-disjoint in the shared
+        store, so a way-partitioned lane elsewhere in a stacked bank
+        must not force *this* lane off the kernel.  Omitted, the whole
+        bank is one lane (the single-engine behaviour).
         """
         geo = self._geo
         store = self._store
-        # One bank-wide gate: all caches share the slot store, so "every
-        # cache is foreign-free" is a single array predicate.
-        if (not geo.write_allocate
-                or any(c._ways is not None for c in self.caches)
-                or (store.num_slots > 1 and store.count[1:].any())):
+        if not geo.write_allocate:
             return None
+        ranges = tuple(lanes) if lanes is not None else \
+            ((0, len(self.caches)),)
+        # Per-lane gate: each probed lane's caches must be unpartitioned
+        # and foreign-free (no resident line outside slot 0).
+        for lo, hi in ranges:
+            if any(c._ways is not None for c in self.caches[lo:hi]):
+                return None
+            if store.num_slots > 1 and store.count[1:, lo:hi].any():
+                return None
         sets, tg = geo.split(addrs)
         rows = cache_idx * np.int64(geo.num_sets) + sets
         n = addrs.shape[0]
@@ -1512,24 +1526,27 @@ class VectorBank:
             smc = np.bincount(cache_idx[result.sector_miss], minlength=num)
         else:
             smc = np.zeros(num, dtype=np.int64)
-        for i, cache in enumerate(self.caches):
-            stats = cache.stats
-            ni = int(acc[i])
-            nhits = int(hit[i])
-            nsm = int(smc[i])
-            stats.accesses += ni
-            stats.hits += nhits
-            stats.misses += ni - nhits
-            stats.sector_misses += nsm
-            stats.fills += ni - nhits - nsm
-            stats.evictions += int(ev[i])
-            stats.dirty_evictions += int(dev[i])
+        for lo, hi in ranges:
+            for i in range(lo, hi):
+                stats = self.caches[i].stats
+                ni = int(acc[i])
+                nhits = int(hit[i])
+                nsm = int(smc[i])
+                stats.accesses += ni
+                stats.hits += nhits
+                stats.misses += ni - nhits
+                stats.sector_misses += nsm
+                stats.fills += ni - nhits - nsm
+                stats.evictions += int(ev[i])
+                stats.dirty_evictions += int(dev[i])
         return result
 
     def access_many_staged(self, addrs: np.ndarray, writes: np.ndarray,
                            idx0: np.ndarray, part0: np.ndarray,
                            two_stage: np.ndarray, idx1: np.ndarray,
-                           part1: np.ndarray) -> Optional[StagedResult]:
+                           part1: np.ndarray,
+                           lanes: Optional[Sequence[Tuple[int, int]]] = None
+                           ) -> Optional[StagedResult]:
         """Resolve one partitioned two-stage epoch on the kernel.
 
         Every access probes cache ``idx0`` with partition ``part0``;
@@ -1537,12 +1554,26 @@ class VectorBank:
         ``idx1`` with ``part1``.  All caches must be way-partitioned.
         Returns None when the epoch cannot be decomposed into
         row-disjoint phases (the engine's probe loop handles it).
+
+        ``lanes`` narrows the all-partitioned requirement (and the stats
+        update) to the probed ``[lo, hi)`` cache ranges of a stacked
+        bank.  Out-of-lane caches keep a zero way allotment in the
+        capacity table; ``idx0``/``idx1`` never address them, and the
+        replay closure only propagates through addressed (cache, set)
+        pairs, so their flagged sets are inert.
         """
         if not self.config.write_allocate or not self.caches:
             return None
-        ways_list = [c._ways for c in self.caches]
-        if any(w is None for w in ways_list):
-            return None
+        ranges = tuple(lanes) if lanes is not None else \
+            ((0, len(self.caches)),)
+        ways_list: List[Optional[Dict[int, int]]] = \
+            [None] * len(self.caches)
+        for lo, hi in ranges:
+            for ci in range(lo, hi):
+                w = self.caches[ci]._ways
+                if w is None:
+                    return None
+                ways_list[ci] = w
         store = self._store
         store.ensure_stamps()
         geo = self._geo
@@ -1553,7 +1584,8 @@ class VectorBank:
         P = store.num_slots
         cap_of = np.zeros((C, P), dtype=np.int64)
         for ci, w in enumerate(ways_list):
-            assert w is not None
+            if w is None:
+                continue  # out-of-lane cache: never addressed this call
             for pid, ww in w.items():
                 sl = store.slot_of.get(pid, -1)
                 if sl >= 0:
@@ -1679,10 +1711,12 @@ class VectorBank:
                 t_i = int(tg[j])
                 w_i = bool(writes[j])
                 sx = int(sec[j]) if sec is not None else 0
+                w0 = ways_list[ci0]
+                assert w0 is not None  # addressed caches are in-lane
                 try:
                     h, smv, fl, ea, ed = rep.touch(
                         ci0, st_i, t_i, w_i, int(part0[j]), True, sx,
-                        ways_list[ci0], clock0 + j)
+                        w0, clock0 + j)
                 except PartitionFullError:
                     h, smv, fl, ea, ed = False, False, False, -1, 0
                 h0[j] = h
@@ -1692,10 +1726,12 @@ class VectorBank:
                 ed0[j] = bool(ed)
                 if two_stage[j] and not h:
                     ci1 = int(idx1[j])
+                    w1 = ways_list[ci1]
+                    assert w1 is not None  # addressed caches are in-lane
                     try:
                         h, smv, fl, ea, ed = rep.touch(
                             ci1, st_i, t_i, w_i, int(part1[j]), True, sx,
-                            ways_list[ci1], clock0 + j)
+                            w1, clock0 + j)
                     except PartitionFullError:
                         h, smv, fl, ea, ed = False, False, False, -1, 0
                     h1[j] = h
@@ -1749,17 +1785,18 @@ class VectorBank:
         fil1 = np.bincount(idx1[f1], minlength=C)
         ev1 = np.bincount(idx1[ea1 >= 0], minlength=C)
         dev1 = np.bincount(idx1[ed1], minlength=C)
-        for ci, cache in enumerate(self.caches):
-            st = cache.stats
-            a = int(acc0[ci] + acc1[ci])
-            h = int(hit0[ci] + hit1[ci])
-            st.accesses += a
-            st.hits += h
-            st.misses += a - h
-            st.sector_misses += int(smc0[ci] + smc1[ci])
-            st.fills += int(fil0[ci] + fil1[ci])
-            st.evictions += int(ev0[ci] + ev1[ci])
-            st.dirty_evictions += int(dev0[ci] + dev1[ci])
+        for lo, hi in ranges:
+            for ci in range(lo, hi):
+                st = self.caches[ci].stats
+                a = int(acc0[ci] + acc1[ci])
+                h = int(hit0[ci] + hit1[ci])
+                st.accesses += a
+                st.hits += h
+                st.misses += a - h
+                st.sector_misses += int(smc0[ci] + smc1[ci])
+                st.fills += int(fil0[ci] + fil1[ci])
+                st.evictions += int(ev0[ci] + ev1[ci])
+                st.dirty_evictions += int(dev0[ci] + dev1[ci])
 
         hs = np.full(n, -1, dtype=np.int64)
         hs[p1 & h1] = 1

@@ -8,9 +8,12 @@ from .run import (
     DEFAULT_ACCESSES_PER_EPOCH,
     DEFAULT_SCALE,
     ORGANIZATIONS,
+    StackedResult,
+    StackedTelemetry,
     make_organization,
     scaled_config,
     simulate,
+    simulate_stacked,
 )
 from .stats import (
     ORIGIN_LOCAL_LLC,
@@ -37,9 +40,12 @@ __all__ = [
     "DEFAULT_ACCESSES_PER_EPOCH",
     "DEFAULT_SCALE",
     "ORGANIZATIONS",
+    "StackedResult",
+    "StackedTelemetry",
     "make_organization",
     "scaled_config",
     "simulate",
+    "simulate_stacked",
     "ORIGIN_LOCAL_LLC",
     "ORIGIN_LOCAL_MEM",
     "ORIGIN_REMOTE_LLC",

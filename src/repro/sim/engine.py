@@ -26,7 +26,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+    cast,
+)
 
 import numpy as np
 
@@ -37,7 +47,7 @@ from ..cache.cache import (
     PartitionFullError,
     SetAssociativeCache,
 )
-from ..cache.vector import VectorBank
+from ..cache.vector import BatchResult, StagedResult, VectorBank
 from ..cache.waycache import make_cache
 from ..coherence.hardware import HardwareCoherence
 from ..coherence.software import SoftwareCoherence
@@ -116,11 +126,89 @@ class EngineParams:
                     f"{leg} must be non-negative, got {value}")
 
 
+#: What the driver answers a :class:`BankProbe` with: the bank call's
+#: result, or ``None`` when the bank declined (caller falls back to the
+#: per-access probe loop).
+ProbeOutcome = Union[BatchResult, StagedResult, None]
+
+#: The cooperative epoch protocol: :meth:`SimulationEngine.run_steps`
+#: yields each batched epoch's pending bank invocation and receives the
+#: outcome via ``send``.
+ProbeGen = Generator["BankProbe", ProbeOutcome, None]
+
+
+@dataclass
+class BankProbe:
+    """One batched epoch's pending vector-bank invocation.
+
+    Yielded by :meth:`SimulationEngine.run_steps`.  The index arrays are
+    *lane-local* (exactly what a standalone engine would pass);
+    ``base`` is the engine's cache offset within ``bank`` and ``lane``
+    the absolute ``[lo, hi)`` cache range its gate must check, so a
+    driver multiplexing several engines over one stacked bank can
+    concatenate probes and hand each lane back a lane-local result.
+    """
+
+    bank: VectorBank
+    kind: str  # "grouped" | "staged"
+    base: int
+    lane: Tuple[int, int]
+    addrs: np.ndarray
+    writes: np.ndarray
+    idx0: np.ndarray
+    part0: Optional[np.ndarray] = None
+    two_stage: Optional[np.ndarray] = None
+    idx1: Optional[np.ndarray] = None
+    part1: Optional[np.ndarray] = None
+
+    def abs_idx0(self) -> np.ndarray:
+        """Stage-0 cache indices in the bank's absolute numbering."""
+        return self.idx0 + self.base if self.base else self.idx0
+
+    def abs_idx1(self) -> np.ndarray:
+        """Stage-1 cache indices in the bank's absolute numbering."""
+        assert self.idx1 is not None
+        return self.idx1 + self.base if self.base else self.idx1
+
+    def localize(self, staged: Optional[StagedResult]
+                 ) -> Optional[StagedResult]:
+        """Shift a staged result's eviction indices back lane-local."""
+        if staged is None or not self.base:
+            return staged
+        return StagedResult(staged.hit_stage,
+                            staged.evicted_cache - self.base,
+                            staged.evicted_addr)
+
+    def invoke(self) -> ProbeOutcome:
+        """Resolve this probe alone (the standalone-run driver)."""
+        if self.kind == "grouped":
+            return self.bank.access_many_grouped(
+                self.abs_idx0(), self.addrs, self.writes,
+                lanes=[self.lane])
+        assert self.part0 is not None and self.two_stage is not None \
+            and self.part1 is not None
+        staged = self.bank.access_many_staged(
+            self.addrs, self.writes, self.abs_idx0(), self.part0,
+            self.two_stage, self.abs_idx1(), self.part1,
+            lanes=[self.lane])
+        return self.localize(staged)
+
+
 class SimulationEngine:
-    """Runs one benchmark trace under one LLC organization."""
+    """Runs one benchmark trace under one LLC organization.
+
+    An engine owns the full per-lane state of one run — crossbars, ring,
+    DRAM, page table and :class:`RunStats` accumulators.  By default it
+    also owns its LLC tag store; pass ``llc_bank``/``llc_bank_base`` to
+    mount the engine's LLC slices as one *lane* of a shared stacked
+    :class:`VectorBank` (see :mod:`repro.sim.stacked`), which changes
+    where the tag rows live but not a single simulated outcome.
+    """
 
     def __init__(self, config: SystemConfig, organization: LLCOrganization,
-                 params: Optional[EngineParams] = None) -> None:
+                 params: Optional[EngineParams] = None,
+                 llc_bank: Optional[VectorBank] = None,
+                 llc_bank_base: int = 0) -> None:
         self.config = config
         self.organization = organization
         self.params = params or EngineParams()
@@ -136,7 +224,30 @@ class SimulationEngine:
             channels_per_chip=chip_cfg.memory.channels_per_chip)
         llc_cfg = chip_cfg.llc_slice
         self._llc_bank: Optional[VectorBank] = None
-        if self.params.vectorized and llc_cfg.replacement == "lru":
+        self._bank_base = 0
+        if llc_bank is not None:
+            # Mount this engine's LLC as one lane of a shared bank.
+            if not (self.params.vectorized
+                    and llc_cfg.replacement == "lru"):
+                raise ValueError(
+                    "a shared llc_bank requires vectorized=True and LRU "
+                    "replacement")
+            if llc_bank.config != llc_cfg:
+                raise ValueError(
+                    "shared llc_bank geometry does not match this "
+                    "engine's LLC slice config")
+            total = config.total_llc_slices
+            if not 0 <= llc_bank_base <= len(llc_bank.caches) - total:
+                raise ValueError(
+                    f"llc_bank_base {llc_bank_base} leaves no room for "
+                    f"{total} slices in a bank of {len(llc_bank.caches)}")
+            self._llc_bank = llc_bank
+            self._bank_base = llc_bank_base
+            flat = llc_bank.caches[llc_bank_base:llc_bank_base + total]
+            self.llc = [flat[c * chip_cfg.llc_slices:
+                             (c + 1) * chip_cfg.llc_slices]
+                        for c in range(config.num_chips)]
+        elif self.params.vectorized and llc_cfg.replacement == "lru":
             self._llc_bank = VectorBank(
                 llc_cfg, [f"llc{c}.{s}" for c in range(config.num_chips)
                           for s in range(chip_cfg.llc_slices)])
@@ -331,26 +442,53 @@ class SimulationEngine:
 
     def run(self, kernels: Iterable[KernelTrace],
             benchmark: str = "") -> RunStats:
-        """Simulate every kernel launch and return the aggregate stats."""
+        """Simulate every kernel launch and return the aggregate stats.
+
+        This is the standalone driver of :meth:`run_steps`: every bank
+        probe the generator yields is resolved immediately against this
+        engine's own lane.
+        """
+        steps = self.run_steps(kernels, benchmark)
+        outcome: ProbeOutcome = None
+        while True:
+            try:
+                probe = steps.send(outcome)
+            except StopIteration:
+                return self.stats
+            started = perf_counter()
+            outcome = probe.invoke()
+            self.stats.probe_seconds += perf_counter() - started
+
+    def run_steps(self, kernels: Iterable[KernelTrace],
+                  benchmark: str = "") -> ProbeGen:
+        """Cooperative form of :meth:`run`.
+
+        Yields a :class:`BankProbe` for each batched epoch's pending
+        vector-bank invocation and expects the outcome back via
+        ``send`` (``None`` means the bank declined and the engine falls
+        back to its per-access probe loop).  A stacked driver
+        multiplexes many engines' generators over shared banks; the
+        control flow is byte-for-byte the one a standalone :meth:`run`
+        executes, which is what keeps stacked lanes bit-identical.
+        """
         self.stats.benchmark = benchmark
         for kernel in kernels:
-            self._run_kernel(kernel)
+            yield from self._run_kernel(kernel)
         self._finalize_allocation_stats()
-        return self.stats
 
-    def _run_kernel(self, kernel: KernelTrace) -> None:
+    def _run_kernel(self, kernel: KernelTrace) -> ProbeGen:
         kstats = KernelStats(name=kernel.name)
         self.organization.begin_kernel(self, kernel.name)
         for index, epoch in enumerate(kernel.epochs):
             self.organization.begin_epoch(self, index)
             if self.organization.profiling:
                 head, tail = self._split_profile_window(epoch)
-                self._run_epoch(head, kstats)
+                yield from self._run_epoch(head, kstats)
                 self.organization.profile_boundary(self)
                 if tail is not None:
-                    self._run_epoch(tail, kstats)
+                    yield from self._run_epoch(tail, kstats)
             else:
-                self._run_epoch(epoch, kstats)
+                yield from self._run_epoch(epoch, kstats)
             self.organization.end_epoch(self, index)
         self._sample_allocation(kstats.cycles)
         # Capture the mode the kernel actually ran in (and the coherence
@@ -454,9 +592,9 @@ class SimulationEngine:
     # Epoch execution.
     # ------------------------------------------------------------------
 
-    def _run_epoch(self, epoch: EpochTrace, kstats: KernelStats) -> None:
+    def _run_epoch(self, epoch: EpochTrace, kstats: KernelStats) -> ProbeGen:
         if self._fast_path_eligible():
-            self._run_epoch_batched(epoch, kstats)
+            yield from self._run_epoch_batched(epoch, kstats)
             self.stats.fast_epochs += 1
         else:
             self._run_epoch_serial(epoch, kstats)
@@ -505,7 +643,7 @@ class SimulationEngine:
     # -- Batched epoch fast path -------------------------------------------
 
     def _run_epoch_batched(self, epoch: EpochTrace, kstats: KernelStats
-                           ) -> None:
+                           ) -> ProbeGen:
         """Batched epoch execution.
 
         Functionally identical to :meth:`_run_epoch_serial`: the same L1
@@ -516,6 +654,14 @@ class SimulationEngine:
         exactly-representable latencies, so the resulting ``RunStats``
         are bit-identical to the per-access path for the default
         parameters (and agree to float round-off for any others).
+
+        The bank invocations themselves are *yielded* as
+        :class:`BankProbe` requests rather than called inline, so the
+        same code path serves both standalone runs (the driver in
+        :meth:`run` invokes each probe immediately) and stacked runs
+        (the driver batches co-resident lanes into one call).
+        ``probe_seconds`` here covers only this engine's local prep; the
+        driver adds the invocation time it attributes to this lane.
         """
         params = self.params
         config = self.config
@@ -557,13 +703,19 @@ class SimulationEngine:
                              dtype=bool)[pair_np]
         serve1 = np.array([s[0] if s is not None else 0 for s in st1],
                           dtype=np.int64)[pair_np]
-        batch = None
-        staged = None
+        batch: Optional[BatchResult] = None
+        staged: Optional[StagedResult] = None
+        base = self._bank_base
+        lane = (base, base + config.total_llc_slices)
         probe_start = perf_counter()
         if (uniform and l1 is None and self._llc_bank is not None
                 and st0_part[0] == UNPARTITIONED and st0_alloc[0]):
-            batch = self._llc_bank.access_many_grouped(
-                idx0_np, addrs_np, writes_np)
+            probe = BankProbe(
+                bank=self._llc_bank, kind="grouped", base=base, lane=lane,
+                addrs=addrs_np, writes=writes_np, idx0=idx0_np)
+            self.stats.probe_seconds += perf_counter() - probe_start
+            batch = cast(Optional[BatchResult], (yield probe))
+            probe_start = perf_counter()
         if batch is not None:
             hs = np.where(batch.hits, np.int64(0), np.int64(-1))
             self.stats.vector_epochs += 1
@@ -575,9 +727,14 @@ class SimulationEngine:
                     [s[1] if s is not None else 0 for s in st1],
                     dtype=np.int64)[pair_np]
                 idx1_np = serve1 * llc_slices + slices_np
-                staged = self._llc_bank.access_many_staged(
-                    addrs_np, writes_np, idx0_np, part0_np, two_stage,
-                    idx1_np, part1_np)
+                probe = BankProbe(
+                    bank=self._llc_bank, kind="staged", base=base,
+                    lane=lane, addrs=addrs_np, writes=writes_np,
+                    idx0=idx0_np, part0=part0_np, two_stage=two_stage,
+                    idx1=idx1_np, part1=part1_np)
+                self.stats.probe_seconds += perf_counter() - probe_start
+                staged = cast(Optional[StagedResult], (yield probe))
+                probe_start = perf_counter()
             if staged is not None:
                 hs = staged.hit_stage
                 self.stats.vector_epochs += 1

@@ -59,6 +59,12 @@ def reset_simulate_calls() -> None:
     _SIMULATE_CALLS = 0
 
 
+def _note_simulate_calls(count: int = 1) -> None:
+    """Record fresh simulations (``simulate_stacked`` counts per lane)."""
+    global _SIMULATE_CALLS
+    _SIMULATE_CALLS += count
+
+
 def make_organization(name: str, config: SystemConfig,
                       **kwargs: object) -> LLCOrganization:
     """Build one of the five evaluated LLC organizations by name."""
@@ -128,8 +134,7 @@ def simulate(spec: BenchmarkSpec,
     ignored and the caller is responsible for matching the scaled
     config).
     """
-    global _SIMULATE_CALLS
-    _SIMULATE_CALLS += 1
+    _note_simulate_calls()
     base = config or baseline()
     run_config = scaled_config(base, scale)
     if isinstance(organization, str):
@@ -150,3 +155,28 @@ def simulate(spec: BenchmarkSpec,
     stats = engine.run(generator.kernels(), benchmark=spec.name)
     stats.wall_seconds = time.perf_counter() - started
     return stats
+
+
+# Re-exported here so the stacked entry point lives next to ``simulate``
+# (the import sits at module end because ``stacked`` imports the helpers
+# above).
+from .stacked import (  # noqa: E402
+    StackedResult,
+    StackedTelemetry,
+    simulate_stacked,
+)
+
+__all__ = [
+    "DEFAULT_ACCESSES_PER_EPOCH",
+    "DEFAULT_SCALE",
+    "EXTRA_ORGANIZATIONS",
+    "ORGANIZATIONS",
+    "StackedResult",
+    "StackedTelemetry",
+    "make_organization",
+    "reset_simulate_calls",
+    "scaled_config",
+    "simulate",
+    "simulate_calls",
+    "simulate_stacked",
+]

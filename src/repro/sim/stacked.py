@@ -1,0 +1,328 @@
+"""Stacked multi-configuration sweeps over one shared trace.
+
+``simulate_stacked`` runs one benchmark under many LLC organizations
+(or config variants) as *lanes* of a single cooperative drive:
+
+* every lane gets its own :class:`~repro.sim.engine.SimulationEngine` —
+  its own crossbars, ring, DRAM, page table and per-lane ``RunStats``
+  charge accumulators — so the timing model never mixes lanes;
+* lanes whose scaled LLC slice geometry matches share one stacked
+  :class:`~repro.cache.vector.VectorBank`: their tag rows sit side by
+  side on the ``caches`` axis of the SoA slot store, and one grouped
+  (or staged) stack-distance solve resolves every lane's epoch probes
+  in a single kernel invocation instead of one call per lane;
+* the trace is generated (and memoized) once and replayed by every
+  lane, so trace generation is also O(1) in the number of lanes.
+
+The engines expose their epochs through the
+:meth:`~repro.sim.engine.SimulationEngine.run_steps` generator — the
+exact control flow a standalone ``run()`` drives — so each lane's
+``RunStats`` physics fields are bit-identical to its standalone
+``simulate()`` run; only host telemetry (wall clock, probe timing,
+stacked counters) differs.  Lanes the stacked path cannot host in a
+shared bank (mismatched geometry, non-LRU replacement, unvectorized
+params) still run in the same cooperative drive with their own bank and
+are counted as ``solo_lanes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..arch.config import SystemConfig
+from ..arch.presets import baseline
+from ..cache.vector import VectorBank
+from ..llc.base import LLCOrganization
+from ..workloads.generator import KernelTrace, TraceGenerator
+from ..workloads.spec import BenchmarkSpec
+from .engine import (
+    BankProbe,
+    EngineParams,
+    ProbeGen,
+    ProbeOutcome,
+    SimulationEngine,
+)
+from .stats import RunStats
+
+
+@dataclass
+class StackedTelemetry:
+    """How one stacked run dispatched its lanes (host telemetry)."""
+
+    #: Total lanes simulated.
+    lanes: int = 0
+    #: Lanes co-resident in a shared tag store (groups of >= 2).
+    stacked_lanes: int = 0
+    #: Lanes that could not share a bank (geometry mismatch, non-LRU,
+    #: unvectorized, or a singleton group) and ran on their own store.
+    solo_lanes: int = 0
+    #: Shared banks built (one per matching-geometry group).
+    banks: int = 0
+    #: Successful vector-kernel calls issued by the driver.
+    bank_invocations: int = 0
+    #: Wall seconds spent inside those calls.
+    probe_seconds: float = 0.0
+    #: Whole co-run wall clock.
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class StackedResult:
+    """Per-lane stats plus the dispatch telemetry of one stacked run."""
+
+    stats: List[RunStats] = field(default_factory=list)
+    telemetry: StackedTelemetry = field(default_factory=StackedTelemetry)
+
+
+def simulate_stacked(spec: BenchmarkSpec,
+                     organizations: Sequence[Union[str, LLCOrganization]],
+                     config: Optional[SystemConfig] = None,
+                     configs: Optional[Sequence[Optional[SystemConfig]]]
+                     = None,
+                     scale: Optional[float] = None,
+                     accesses_per_epoch: Optional[int] = None,
+                     params: Optional[EngineParams] = None,
+                     org_kwargs: Optional[Dict[str, object]] = None
+                     ) -> StackedResult:
+    """Simulate ``spec`` under every organization as stacked lanes.
+
+    ``organizations[i]`` pairs with ``configs[i]`` when ``configs`` is
+    given (a fig14-style sensitivity sweep: same organization list,
+    varying configs); otherwise every lane shares ``config``.  All lane
+    configs must agree on the trace shape (chip count, clusters, line
+    and page size) — lanes replay one shared trace by construction.
+
+    Returns a :class:`StackedResult` whose ``stats[i]`` is bit-identical
+    (per ``RunStats.comparable_dict``) to
+    ``simulate(spec, organizations[i], config=..., ...)``.
+    """
+    # Imported here: ``run`` re-exports this module's names at its tail,
+    # so a module-level import would be circular.
+    from .run import (
+        DEFAULT_ACCESSES_PER_EPOCH,
+        DEFAULT_SCALE,
+        _note_simulate_calls,
+        make_organization,
+        scaled_config,
+    )
+
+    if not organizations:
+        raise ValueError("simulate_stacked needs at least one lane")
+    resolved_scale = scale if scale is not None else DEFAULT_SCALE
+    density = accesses_per_epoch if accesses_per_epoch is not None \
+        else DEFAULT_ACCESSES_PER_EPOCH
+    if configs is not None:
+        if len(configs) != len(organizations):
+            raise ValueError(
+                f"configs has {len(configs)} entries for "
+                f"{len(organizations)} organizations")
+        lane_bases = [c if c is not None else baseline() for c in configs]
+    else:
+        base = config if config is not None else baseline()
+        lane_bases = [base] * len(organizations)
+    run_cfgs = [scaled_config(c, resolved_scale) for c in lane_bases]
+
+    shape = _trace_shape(run_cfgs[0])
+    for i, rc in enumerate(run_cfgs[1:], start=1):
+        if _trace_shape(rc) != shape:
+            raise ValueError(
+                f"lane {i} has trace shape {_trace_shape(rc)} but lane 0 "
+                f"has {shape}; stacked lanes must share one trace "
+                "(chip count, clusters per chip, line size, page size)")
+    resolved_params = params if params is not None else EngineParams()
+
+    telemetry = StackedTelemetry(lanes=len(organizations))
+
+    # Group bank-eligible lanes by scaled tag-store geometry.  Groups of
+    # one (and ineligible lanes) run with their own store.
+    groups: Dict[object, List[int]] = {}
+    for i, rc in enumerate(run_cfgs):
+        llc_cfg = rc.chip.llc_slice
+        if (resolved_params.vectorized and resolved_params.batched
+                and llc_cfg.replacement == "lru"):
+            key: object = (llc_cfg, rc.num_chips, rc.chip.llc_slices)
+        else:
+            key = ("solo", i)
+        groups.setdefault(key, []).append(i)
+    lane_bank: Dict[int, Tuple[VectorBank, int]] = {}
+    group_size: Dict[int, int] = {}
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        rc = run_cfgs[members[0]]
+        total = rc.total_llc_slices
+        names = [f"lane{i}.llc{c}.{s}"
+                 for i in members
+                 for c in range(rc.num_chips)
+                 for s in range(rc.chip.llc_slices)]
+        bank = VectorBank(rc.chip.llc_slice, names)
+        for pos, i in enumerate(members):
+            lane_bank[i] = (bank, pos * total)
+            group_size[i] = len(members)
+        telemetry.banks += 1
+        telemetry.stacked_lanes += len(members)
+    telemetry.solo_lanes = telemetry.lanes - telemetry.stacked_lanes
+
+    engines: List[SimulationEngine] = []
+    for i, organization in enumerate(organizations):
+        rc = run_cfgs[i]
+        if isinstance(organization, str):
+            org = make_organization(organization, rc, **(org_kwargs or {}))
+        else:
+            org = organization
+        bank, bank_base = lane_bank.get(i, (None, 0))
+        engines.append(SimulationEngine(
+            rc, org, params=resolved_params,
+            llc_bank=bank, llc_bank_base=bank_base))
+
+    # Every lane replays the memoized trace (one generation, N replays).
+    generator = TraceGenerator(
+        spec,
+        num_chips=run_cfgs[0].num_chips,
+        clusters_per_chip=run_cfgs[0].chip.num_clusters,
+        line_size=run_cfgs[0].line_size,
+        page_size=run_cfgs[0].page_size,
+        accesses_per_epoch_per_chip=density,
+        scale=resolved_scale)
+    kernels = generator.generate()
+
+    _note_simulate_calls(len(engines))
+    started = perf_counter()
+    _drive(engines, kernels, spec.name, telemetry)
+    telemetry.wall_seconds = perf_counter() - started
+
+    # Host wall clock is a co-run quantity; attribute it evenly so the
+    # per-lane throughput numbers stay meaningful.
+    share = telemetry.wall_seconds / len(engines)
+    for i, engine in enumerate(engines):
+        engine.stats.wall_seconds = share
+        engine.stats.stacked_lanes = group_size.get(i, 0)
+    return StackedResult(stats=[e.stats for e in engines],
+                         telemetry=telemetry)
+
+
+def _trace_shape(config: SystemConfig) -> Tuple[int, int, int, int]:
+    return (config.num_chips, config.chip.num_clusters,
+            config.line_size, config.page_size)
+
+
+def _advance(step: ProbeGen, outcome: ProbeOutcome) -> Optional[BankProbe]:
+    """Resume one lane; ``None`` means the lane finished its trace."""
+    try:
+        return step.send(outcome)
+    except StopIteration:
+        return None
+
+
+def _drive(engines: Sequence[SimulationEngine],
+           kernels: Iterable[KernelTrace], benchmark: str,
+           telemetry: StackedTelemetry) -> None:
+    """Cooperatively drive every lane's generator to completion.
+
+    Each round groups the pending probes by (bank, kind) and issues one
+    bank call per group; lanes that yielded nothing this round (serial
+    epochs, finished traces) simply aren't in any group.  Lanes may sit
+    at different epochs (SAC splits profiling windows): probes are
+    row-disjoint across lanes, so a combined call is exact regardless.
+    """
+    steps: List[ProbeGen] = [
+        engine.run_steps(kernels, benchmark) for engine in engines]
+    probes: List[Optional[BankProbe]] = [
+        _advance(step, None) for step in steps]
+    while True:
+        groups: Dict[Tuple[int, str], List[int]] = {}
+        for i, probe in enumerate(probes):
+            if probe is not None:
+                groups.setdefault((id(probe.bank), probe.kind),
+                                  []).append(i)
+        if not groups:
+            break
+        for members in list(groups.values()):
+            member_probes: List[BankProbe] = []
+            for i in members:
+                probe = probes[i]
+                assert probe is not None
+                member_probes.append(probe)
+            outcomes, elapsed = _invoke_group(member_probes)
+            if outcomes[0] is not None:
+                telemetry.bank_invocations += 1
+            telemetry.probe_seconds += elapsed
+            total = sum(p.addrs.shape[0] for p in member_probes)
+            for i, probe, outcome in zip(members, member_probes, outcomes):
+                stats = engines[i].stats
+                stats.stacked_probe_calls += 1
+                if total:
+                    stats.probe_seconds += \
+                        elapsed * probe.addrs.shape[0] / total
+                probes[i] = _advance(steps[i], outcome)
+
+
+def _invoke_group(probes: List[BankProbe]
+                  ) -> Tuple[List[ProbeOutcome], float]:
+    """Resolve one (bank, kind) group with a single bank call.
+
+    Probe arrays are concatenated lane-major (each lane's stream order
+    is preserved within its rows, and lanes never share a row), the
+    bank is called once with every lane's range, and the combined
+    result is sliced back per lane.  A ``None`` from the bank sends
+    every member lane to its per-access fallback, exactly as a
+    standalone decline would.
+    """
+    started = perf_counter()
+    if len(probes) == 1:
+        outcome = probes[0].invoke()
+        return [outcome], perf_counter() - started
+    first = probes[0]
+    bank = first.bank
+    sizes = [int(p.addrs.shape[0]) for p in probes]
+    bounds = np.cumsum([0] + sizes).tolist()
+    addrs = np.concatenate([p.addrs for p in probes])
+    writes = np.concatenate([p.writes for p in probes])
+    idx0 = np.concatenate([p.abs_idx0() for p in probes])
+    lanes = [p.lane for p in probes]
+    outcomes: List[ProbeOutcome]
+    if first.kind == "grouped":
+        batch = bank.access_many_grouped(idx0, addrs, writes, lanes=lanes)
+        if batch is None:
+            return [None] * len(probes), perf_counter() - started
+        outcomes = []
+        for k in range(len(probes)):
+            a, b = bounds[k], bounds[k + 1]
+            outcomes.append(batch._replace(
+                hits=batch.hits[a:b],
+                evicted_addr=batch.evicted_addr[a:b],
+                evicted_dirty=batch.evicted_dirty[a:b],
+                sector_miss=(batch.sector_miss[a:b]
+                             if batch.sector_miss is not None else None)))
+        return outcomes, perf_counter() - started
+    part0_parts: List[np.ndarray] = []
+    two_stage_parts: List[np.ndarray] = []
+    part1_parts: List[np.ndarray] = []
+    for p in probes:
+        assert p.part0 is not None and p.two_stage is not None \
+            and p.part1 is not None
+        part0_parts.append(p.part0)
+        two_stage_parts.append(p.two_stage)
+        part1_parts.append(p.part1)
+    part0 = np.concatenate(part0_parts)
+    two_stage = np.concatenate(two_stage_parts)
+    idx1 = np.concatenate([p.abs_idx1() for p in probes])
+    part1 = np.concatenate(part1_parts)
+    staged = bank.access_many_staged(addrs, writes, idx0, part0,
+                                     two_stage, idx1, part1, lanes=lanes)
+    if staged is None:
+        return [None] * len(probes), perf_counter() - started
+    outcomes = []
+    for k, probe in enumerate(probes):
+        a, b = bounds[k], bounds[k + 1]
+        lo, hi = probe.lane
+        sel = (staged.evicted_cache >= lo) & (staged.evicted_cache < hi)
+        outcomes.append(staged._replace(
+            hit_stage=staged.hit_stage[a:b],
+            evicted_cache=staged.evicted_cache[sel] - probe.base,
+            evicted_addr=staged.evicted_addr[sel]))
+    return outcomes, perf_counter() - started

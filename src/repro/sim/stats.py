@@ -34,6 +34,8 @@ TELEMETRY_FIELDS = frozenset({
     "vector_epochs",
     "scalar_epochs",
     "demotions",
+    "stacked_lanes",
+    "stacked_probe_calls",
 })
 
 
@@ -105,6 +107,12 @@ class RunStats:
     # silently falling off the vector path shows up here).
     scalar_epochs: int = 0
     demotions: int = 0
+    # Stacked-run telemetry: how many lanes shared this run's tag store
+    # (0 for standalone runs and for lanes the stacked driver hosted in
+    # their own bank), and how many driver-side bank invocations this
+    # lane's epochs participated in.
+    stacked_lanes: int = 0
+    stacked_probe_calls: int = 0
 
     @property
     def llc_hit_rate(self) -> float:
@@ -191,6 +199,8 @@ class RunStats:
             "scalar_epochs": self.scalar_epochs,
             "demotions": self.demotions,
             "probe_seconds": self.probe_seconds,
+            "stacked_lanes": self.stacked_lanes,
+            "stacked_probe_calls": self.stacked_probe_calls,
         }
 
     def comparable_dict(self) -> Dict[str, object]:

@@ -154,6 +154,101 @@ class TestDiskCacheIntegration:
         assert telemetry().simulated == 1
 
 
+class TestPendingDedup:
+    def test_duplicate_specs_simulate_once(self):
+        # Regression: duplicate (spec, organization) pairs that missed
+        # every cache layer used to be queued — and simulated — twice.
+        from repro.sim.run import reset_simulate_calls, simulate_calls
+        reset_simulate_calls()
+        spec = tiny_spec("dup")
+        results = run_matrix([spec, spec], ["memory-side"],
+                             accesses_per_epoch=256)
+        assert simulate_calls() == 1
+        assert set(results) == {("dup", "memory-side")}
+
+    def test_duplicate_organizations_simulate_once(self):
+        from repro.sim.run import reset_simulate_calls, simulate_calls
+        reset_simulate_calls()
+        results = run_matrix([tiny_spec("dup-org")],
+                             ["memory-side", "memory-side"],
+                             accesses_per_epoch=256)
+        assert simulate_calls() == 1
+        assert set(results) == {("dup-org", "memory-side")}
+
+
+class TestSpecNameCollision:
+    def test_distinct_specs_sharing_a_name_raise(self):
+        # Regression: results are keyed by spec *name*, so two distinct
+        # specs with the same name used to silently collapse into one
+        # entry (the second spec inheriting the first's stats).
+        import dataclasses
+        spec_a = tiny_spec("clash")
+        spec_b = dataclasses.replace(tiny_spec("clash"), seed=99)
+        with pytest.raises(ValueError, match="share the name 'clash'"):
+            run_matrix([spec_a, spec_b], ["memory-side"],
+                       accesses_per_epoch=256)
+
+    def test_equal_duplicate_specs_are_fine(self):
+        results = run_matrix([tiny_spec("same"), tiny_spec("same")],
+                             ["memory-side"], accesses_per_epoch=256)
+        assert set(results) == {("same", "memory-side")}
+
+
+class TestStackedDispatch:
+    ORGS = ["memory-side", "sm-side", "static", "dynamic", "sac"]
+
+    def test_matrix_matches_per_pair_dispatch(self, monkeypatch):
+        spec = tiny_spec("stack-eq")
+        monkeypatch.setenv("REPRO_STACKED", "0")
+        per_pair = run_matrix([spec], self.ORGS, accesses_per_epoch=256)
+        clear_cache()
+        monkeypatch.setenv("REPRO_STACKED", "1")
+        stacked = run_matrix([spec], self.ORGS, accesses_per_epoch=256)
+        assert list(stacked) == list(per_pair)
+        for key in per_pair:
+            assert stacked[key].comparable_dict() == \
+                per_pair[key].comparable_dict()
+
+    def test_telemetry_counts_stacked_groups(self):
+        from repro.analysis import reset_telemetry, telemetry
+        reset_telemetry()
+        run_matrix([tiny_spec("stack-tele")], self.ORGS,
+                   accesses_per_epoch=256)
+        assert telemetry().simulated == 5
+        assert telemetry().stacked_groups == 1
+        assert telemetry().stacked_lanes == 5
+        assert telemetry().stacked_fallbacks == 0
+        assert "5 lanes stacked in 1 groups" in telemetry().summary()
+
+    def test_lone_pending_pair_stays_unstacked(self):
+        from repro.analysis import reset_telemetry, telemetry
+        reset_telemetry()
+        run_matrix([tiny_spec("stack-lone")], ["memory-side"],
+                   accesses_per_epoch=256)
+        assert telemetry().simulated == 1
+        assert telemetry().stacked_groups == 0
+
+
+class TestTelemetrySeconds:
+    def test_sim_and_matrix_seconds_are_split(self):
+        # Regression: the old wall_seconds field mixed simulator time
+        # with whole-matrix dispatch time.  A warm (all-memo) matrix
+        # accrues matrix_seconds but no sim_seconds.
+        from repro.analysis import reset_telemetry, telemetry
+        specs = [tiny_spec("secs")]
+        run_matrix(specs, ["memory-side", "sm-side"],
+                   accesses_per_epoch=256)
+        assert telemetry().sim_seconds > 0.0
+        assert telemetry().matrix_seconds > 0.0
+        assert not hasattr(telemetry(), "wall_seconds")
+        reset_telemetry()
+        run_matrix(specs, ["memory-side", "sm-side"],
+                   accesses_per_epoch=256)
+        assert telemetry().simulated == 0
+        assert telemetry().sim_seconds == 0.0
+        assert telemetry().matrix_seconds > 0.0
+
+
 class TestParallelMatrix:
     def test_two_workers_match_serial_and_order(self, tmp_path):
         specs = [tiny_spec("par-a"), tiny_spec("par-b")]
