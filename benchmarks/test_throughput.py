@@ -10,7 +10,10 @@ dynamic, SAC) resolve through the staged kernel and must report zero
 ``demotions``.  A second test records the stacked five-organization
 sweep (``stacked_sweep`` row): kernel-invocation counts, wall and
 probe seconds vs the per-pair path, and the fallback count (zero means
-every lane shared one tag store).
+every lane shared one tag store).  A third records the shared
+reuse-encoding sweep (``stacked_shared`` row): sweep accesses/sec,
+encoding-vs-replay telemetry, and the speedup over the recorded PR 5
+stacked rate.
 
 Two classes of floor are asserted:
 
@@ -65,6 +68,16 @@ PR1_BATCHED_RATES = {"memory-side": 524459, "sm-side": 463770}
 #: issues at most one grouped and one staged call per round regardless
 #: of lane count — so it is asserted even under REPRO_BENCH_SMOKE.
 STACKED_INVOCATION_FLOOR = 2.0
+
+#: Stacked-sweep accesses/sec recorded by PR 5's run of this bench on
+#: the reference machine (BENCH_throughput.json before the shared
+#: reuse encodings landed).  The shared-encoding sweep is measured
+#: against this.
+PR5_STACKED_RATE = 869163
+
+#: Shared-encoding stacked sweep vs the recorded PR 5 rate above.
+#: Reference-machine floor: skipped under REPRO_BENCH_SMOKE.
+SHARED_OVER_PR5_FLOOR = 1.5
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
@@ -309,3 +322,81 @@ def test_stacked_sweep_throughput(benchmark, capsys):
         f"stacked sweep only cut kernel invocations by "
         f"{row['kernel_invocation_ratio']}x; expected >= "
         f"{STACKED_INVOCATION_FLOOR}x")
+
+
+def test_stacked_shared_throughput(benchmark, capsys):
+    """Shared reuse encodings on the stacked five-organization sweep.
+
+    Records the ``stacked_shared`` row: sweep accesses/sec with the
+    encode-once/replay-per-lane kernel, the sharing telemetry
+    (encodings vs replays), and the speedup over the PR 5 recorded
+    stacked rate.  The always-on asserts are machine-independent facts
+    about the sharing path itself: every lane rides the shared bank
+    (zero fallbacks), at least one encoding is reused (strictly more
+    replays than encodings — the round solved L lanes off fewer than L
+    stream solves), and encodings never exceed replays (per round the
+    encoding pass runs at most once per unique (set, tag) stream).
+    The >= 1.5x floor over the recorded PR 5 rate is tied to the
+    reference machine and skipped under ``REPRO_BENCH_SMOKE=1``.
+    """
+    spec = SUITE[0]
+    orgs = list(ORGANIZATIONS)
+
+    def measure():
+        best = None
+        for _ in range(REPS):
+            result = simulate_stacked(spec, orgs)
+            if best is None or result.telemetry.wall_seconds < \
+                    best.telemetry.wall_seconds:
+                best = result
+        tele = best.telemetry
+        accesses = sum(s.accesses for s in best.stats)
+        rate = accesses / tele.wall_seconds
+        shared_lanes = sum(1 for s in best.stats
+                           if s.stacked_shared_streams > 0)
+        return {
+            "organizations": orgs,
+            "accesses": accesses,
+            "accesses_per_second": round(rate),
+            "shared_encodings": tele.shared_encodings,
+            "shared_replays": tele.shared_replays,
+            "encoding_reuse_ratio":
+                round(tele.shared_replays / tele.shared_encodings, 2),
+            "lanes_with_shared_streams": shared_lanes,
+            "stacked_fallbacks": tele.solo_lanes,
+            "duplicate_lanes": tele.duplicate_lanes,
+            "shared_speedup_over_pr5":
+                round(rate / PR5_STACKED_RATE, 2),
+        }
+
+    row = benchmark.pedantic(measure, rounds=1, iterations=1,
+                             warmup_rounds=0)
+    report = {}
+    if REPORT_PATH.exists():
+        report = json.loads(REPORT_PATH.read_text())
+    report["stacked_shared"] = row
+    REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True)
+                           + "\n")
+    with capsys.disabled():
+        print()
+        print(f"Shared-encoding stacked sweep (best of {REPS}):")
+        print(f"  {row['accesses_per_second']} accesses/sec over "
+              f"{row['accesses']} accesses; "
+              f"{row['shared_encodings']} encodings -> "
+              f"{row['shared_replays']} replays "
+              f"({row['encoding_reuse_ratio']:.2f}x reuse); "
+              f"{row['shared_speedup_over_pr5']:.2f}x over PR 5 "
+              f"recorded rate")
+    # Sharing path engaged: every lane in the shared bank, encodings
+    # strictly reused, and never more encodings than replays (this is
+    # the CI smoke gate for the shared-encoding path).
+    assert row["stacked_fallbacks"] == 0
+    assert row["shared_encodings"] > 0
+    assert row["shared_replays"] > row["shared_encodings"]
+    assert row["lanes_with_shared_streams"] >= 2
+    if not SMOKE:
+        assert row["shared_speedup_over_pr5"] >= SHARED_OVER_PR5_FLOOR, (
+            f"shared-encoding sweep ran at only "
+            f"{row['shared_speedup_over_pr5']}x the recorded PR 5 "
+            f"stacked rate; expected >= {SHARED_OVER_PR5_FLOOR}x "
+            f"(set REPRO_BENCH_SMOKE=1 off the reference machine)")

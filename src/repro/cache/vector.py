@@ -70,7 +70,16 @@ exactly because the kernel is equivalent to replaying the chunk.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -107,6 +116,41 @@ class StagedResult(NamedTuple):
     hit_stage: np.ndarray     # int64 (n,); -1 miss, 0 stage-0 hit, 1 stage-1
     evicted_cache: np.ndarray  # int64 (k,); flat cache index, dirty evictions
     evicted_addr: np.ndarray  # int64 (k,); line addresses, dirty evictions
+
+
+class GroupedLaneCall(NamedTuple):
+    """One lane's uniform epoch in a shared-stream bank call.
+
+    ``stream`` labels the lane's (cache_idx, addrs, writes) arrays:
+    calls carrying equal ids hold element-identical arrays, so the bank
+    encodes that stream once and replays it per lane.  ``cache_idx`` is
+    lane-local; ``lane`` is the absolute ``[lo, hi)`` cache range.
+    """
+
+    lane: Tuple[int, int]
+    cache_idx: np.ndarray
+    addrs: np.ndarray
+    writes: np.ndarray
+    stream: int
+
+
+class StagedLaneCall(NamedTuple):
+    """One lane's two-stage epoch in a shared-stream bank call.
+
+    ``stream`` ids follow the same contract as
+    :class:`GroupedLaneCall`, over all seven per-access arrays.
+    ``idx0``/``idx1`` are lane-local cache indices.
+    """
+
+    lane: Tuple[int, int]
+    addrs: np.ndarray
+    writes: np.ndarray
+    idx0: np.ndarray
+    part0: np.ndarray
+    two_stage: np.ndarray
+    idx1: np.ndarray
+    part1: np.ndarray
+    stream: int
 
 
 class _Geometry(NamedTuple):
@@ -173,41 +217,64 @@ def _geometry_of(config: CacheConfig) -> _Geometry:
         sectors=1 << (line_shift - sector_shift) if sectored else 1)
 
 
-def _batch_resolve(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
-                   geo: _Geometry, rows: np.ndarray, tg: np.ndarray,
-                   wr: np.ndarray, cap: Optional[int] = None,
-                   sector: Optional[np.ndarray] = None,
-                   sec: Optional[np.ndarray] = None,
-                   stamp: Optional[np.ndarray] = None,
-                   stamp_vals: Optional[np.ndarray] = None) -> BatchResult:
-    """Resolve a batch against packed LRU rows, updating state in place.
+class _BucketEncoding(NamedTuple):
+    """Config-independent reuse encoding of one bucket of set groups.
 
-    ``tags``/``dirty`` are ``(R, A)`` arrays and ``count`` is ``(R,)``;
-    row ``r`` holds ``count[r]`` resident lines at slots ``0..count-1``
-    in LRU -> MRU order.  ``rows``/``tg``/``wr`` give each access's row,
-    tag and write flag in stream order.  ``cap`` is the *logical* row
-    capacity (defaults to the physical associativity): every touched row
-    must hold at most ``cap`` lines on entry and ``cap >= 1``.  For
-    sectored caches, ``sector`` is the ``(R, A)`` sector-valid bitmask
-    column, ``sec`` each access's sector index, and the returned
-    ``sector_miss`` marks tag-hits whose sector was absent.  ``stamp``
-    (with per-access ``stamp_vals``) is an optional last-touch column,
-    maintained but never read by the kernel.
+    Every field is a function of the access stream alone — rows, tags,
+    write flags — never of cache state, associativity or partition
+    caps: the stream-local group layout, within-group ranks, same-tag
+    chains and the rank-indexed lookup tables.  One encoding can
+    therefore be *replayed* against any lane's state and capacity
+    vector (see :func:`_replay_encoding`).
+    """
+
+    idx: np.ndarray         # int64 (ml,): stream positions, stream order
+    rows_l: np.ndarray      # int64 (G,): stream-local row id per group
+    gl: np.ndarray          # int64 (ml,): local group id per access
+    rl: np.ndarray          # int64 (ml,): window-relative rank
+    stg: np.ndarray         # int64 (ml,): tag per access
+    wl: np.ndarray          # bool (ml,): write flag per access
+    o2: np.ndarray          # int64 (ml,): stable (group, tag) order
+    nxt: np.ndarray         # int64 (ml,): next same-tag access, or -1
+    first: np.ndarray       # int64: chain-first accesses (no pred)
+    chain_head: np.ndarray  # bool (ml,): True at chain firsts
+    pi_chain: np.ndarray    # int64 (ml,): rank links; -1 at firsts
+    acc_tab: np.ndarray     # int64 (G, mwidth): stream position by rank
+    gro: np.ndarray         # int64 (ml,): bucket positions, (group, rank)
+    first_gro: np.ndarray   # int64: chain firsts, (group, rank) order
+    mwidth: int
+    sec_l: Optional[np.ndarray] = None  # int64 (ml,): sector indices
+
+
+class _StreamEncoding(NamedTuple):
+    """Reuse encoding of one (row, tag) access stream (all buckets)."""
+
+    n: int                  # stream length
+    nrows: int              # stream-local row-id space
+    buckets: Tuple[_BucketEncoding, ...]
+
+
+def _encode_stream(rows: np.ndarray, tg: np.ndarray, wr: np.ndarray,
+                   nrows: int, sec: Optional[np.ndarray] = None
+                   ) -> _StreamEncoding:
+    """Encode a (row, tag) access stream independent of cache state.
+
+    ``rows``/``tg``/``wr`` give each access's row, tag and write flag
+    in stream order; ``rows`` may be *stream-local* (a lane's row
+    offset — any multiple of the set count — is applied at replay
+    time) and ``nrows`` bounds the row-id space.  The encoding carries
+    the expensive stream-only work — group layout, within-row ranks,
+    the same-tag chain sorts and lookup tables — so replaying it
+    against a lane's arrays costs only the state-dependent verdicts.
     """
     m = rows.shape[0]
-    hits = np.zeros(m, dtype=bool)
-    ev_addr = np.full(m, -1, dtype=np.int64)
-    ev_dirty = np.zeros(m, dtype=bool)
-    sm_out = np.zeros(m, dtype=bool) if sector is not None else None
     if m == 0:
-        return BatchResult(hits, ev_addr, ev_dirty, sm_out)
-    if cap is None:
-        cap = geo.associativity
+        return _StreamEncoding(0, nrows, ())
 
     # Per-row access counts -> within-row rank of every access.
-    row_counts = np.bincount(rows, minlength=tags.shape[0])
+    row_counts = np.bincount(rows, minlength=nrows)
     active = np.flatnonzero(row_counts)
-    lut = np.zeros(tags.shape[0], dtype=np.int64)
+    lut = np.zeros(nrows, dtype=np.int64)
     lut[active] = np.arange(active.size, dtype=np.int64)
     g = lut[rows]
     counts = row_counts[active]
@@ -222,15 +289,15 @@ def _batch_resolve(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
     rank = np.empty(m, dtype=np.int64)
     rank[order] = np.arange(m, dtype=np.int64) - np.repeat(starts, counts)
 
+    buckets: List[_BucketEncoding] = []
     gsize = counts[g]
     lo = 0
     for hi in _BUCKET_EDGES:
         sel = (gsize > lo) & (gsize <= hi)
         lo = hi
         if sel.any():
-            _solve_groups(tags, dirty, count, geo, rows, tg, wr, rank,
-                          np.flatnonzero(sel), 0, hits, ev_addr, ev_dirty,
-                          cap, sector, sec, stamp, stamp_vals, sm_out)
+            buckets.append(_encode_bucket(
+                rows, tg, wr, sec, rank, np.flatnonzero(sel), 0, nrows))
     chunk = _BUCKET_EDGES[-1]
     big = gsize > chunk
     if big.any():
@@ -239,41 +306,34 @@ def _batch_resolve(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
         for start in range(0, int(rank_big.max()) + 1, chunk):
             sub = idx_big[(rank_big >= start) & (rank_big < start + chunk)]
             if sub.size:
-                _solve_groups(tags, dirty, count, geo, rows, tg, wr, rank,
-                              sub, start, hits, ev_addr, ev_dirty,
-                              cap, sector, sec, stamp, stamp_vals, sm_out)
-    return BatchResult(hits, ev_addr, ev_dirty, sm_out)
+                buckets.append(_encode_bucket(
+                    rows, tg, wr, sec, rank, sub, start, nrows))
+    return _StreamEncoding(m, nrows, tuple(buckets))
 
 
-def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
-                  geo: _Geometry, rows: np.ndarray, tg: np.ndarray,
-                  wr: np.ndarray, rank: np.ndarray, idx: np.ndarray,
-                  rank_offset: int, hits: np.ndarray, ev_addr: np.ndarray,
-                  ev_dirty: np.ndarray, cap: int,
-                  sector: Optional[np.ndarray], sec: Optional[np.ndarray],
-                  stamp: Optional[np.ndarray],
-                  stamp_vals: Optional[np.ndarray],
-                  sm_out: Optional[np.ndarray]) -> None:
-    """Stack-distance resolution for one bucket of set groups.
+def _encode_bucket(rows: np.ndarray, tg: np.ndarray, wr: np.ndarray,
+                   sec: Optional[np.ndarray], rank: np.ndarray,
+                   idx: np.ndarray, rank_offset: int,
+                   nrows: int) -> _BucketEncoding:
+    """Encode one bucket of set groups (config-independent half).
 
-    ``idx`` selects the bucket's accesses (in stream order); every group
-    touched by ``idx`` must appear with *all* of its accesses of rank
-    ``rank_offset`` onward that fall in this call (chunked callers pass
-    consecutive rank windows in order).
+    ``idx`` selects the bucket's accesses (in stream order); every
+    group touched by ``idx`` must appear with *all* of its accesses of
+    rank ``rank_offset`` onward that fall in this call (chunked
+    callers pass consecutive rank windows in order).
     """
-    A = geo.associativity
     srows = rows[idx]
-    row_hits = np.bincount(srows, minlength=tags.shape[0])
+    row_hits = np.bincount(srows, minlength=nrows)
     rows_l = np.flatnonzero(row_hits)          # row id per local group
     gcount = row_hits[rows_l]                  # real accesses per group
-    lut = np.zeros(tags.shape[0], dtype=np.int64)
+    lut = np.zeros(nrows, dtype=np.int64)
     lut[rows_l] = np.arange(rows_l.size, dtype=np.int64)
     gl = lut[srows]
     ngroups = rows_l.size
     mwidth = int(gcount.max())
     rl = rank[idx] - rank_offset
-    stg = tg[idx]
     ml = idx.size
+    stg = tg[idx]
 
     # Same-tag chains: previous/next access of each tag, via a stable
     # sort on (group, tag).  Small keys take two int16 radix passes
@@ -297,22 +357,173 @@ def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
     same = (g2[1:] == g2[:-1]) & (t2[1:] == t2[:-1])
     succ = o2[1:][same]
     pred = o2[:-1][same]
-    pi = np.full(ml, -1, dtype=np.int64)
-    pi[succ] = rl[pred]
+    pi_chain = np.full(ml, -1, dtype=np.int64)
+    pi_chain[succ] = rl[pred]
     nxt = np.full(ml, -1, dtype=np.int64)
     nxt[pred] = succ
+    chain_head = np.ones(ml, dtype=bool)
+    chain_head[succ] = False
+    first = np.flatnonzero(chain_head)
+
+    # Rank-indexed stream-position tables per group (state-independent;
+    # the replay's pi table is rebuilt per lane, these are not).
+    acc_tab = np.zeros((ngroups, mwidth), dtype=np.int64)
+    acc_tab[gl, rl] = idx
+    # (group, rank)-major orders (bucket positions are stream-ordered,
+    # so a stable sort by group alone yields rank order within groups);
+    # the replay uses these instead of row-major table scans.
+    if ngroups <= 32767:
+        gro = np.argsort(gl.astype(np.int16), kind="stable")
+        first_gro = first[np.argsort(gl[first].astype(np.int16),
+                                     kind="stable")]
+    else:
+        gro = np.argsort(gl, kind="stable")
+        first_gro = first[np.argsort(gl[first], kind="stable")]
+    return _BucketEncoding(
+        idx=idx, rows_l=rows_l, gl=gl, rl=rl, stg=stg, wl=wr[idx],
+        o2=o2, nxt=nxt, first=first, chain_head=chain_head,
+        pi_chain=pi_chain, acc_tab=acc_tab, gro=gro,
+        first_gro=first_gro, mwidth=mwidth,
+        sec_l=sec[idx] if sec is not None else None)
+
+
+def _batch_resolve(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
+                   geo: _Geometry, rows: np.ndarray, tg: np.ndarray,
+                   wr: np.ndarray,
+                   cap: Union[int, np.ndarray, None] = None,
+                   sector: Optional[np.ndarray] = None,
+                   sec: Optional[np.ndarray] = None,
+                   stamp: Optional[np.ndarray] = None,
+                   stamp_vals: Optional[np.ndarray] = None) -> BatchResult:
+    """Resolve a batch against packed LRU rows, updating state in place.
+
+    ``tags``/``dirty`` are ``(R, A)`` arrays and ``count`` is ``(R,)``;
+    row ``r`` holds ``count[r]`` resident lines at slots ``0..count-1``
+    in LRU -> MRU order.  ``rows``/``tg``/``wr`` give each access's row,
+    tag and write flag in stream order.  ``cap`` is the *logical* row
+    capacity (defaults to the physical associativity) — a scalar, or a
+    per-access vector that is constant within each row; every touched
+    row must hold at most its cap on entry, and zero-cap rows resolve
+    as misses that neither fill nor evict (the vectorized
+    ``PartitionFullError`` outcome).  For sectored caches, ``sector``
+    is the ``(R, A)`` sector-valid bitmask column, ``sec`` each
+    access's sector index, and the returned ``sector_miss`` marks
+    tag-hits whose sector was absent.  ``stamp`` (with per-access
+    ``stamp_vals``) is an optional last-touch column, maintained but
+    never read by the kernel.
+
+    This is the encode-then-replay pipeline in one call: the stream's
+    reuse encoding (:func:`_encode_stream`) followed by one replay of
+    it against the given state (:func:`_replay_encoding`).  Stacked
+    lanes sharing an identical stream skip straight to the replay.
+    """
+    m = rows.shape[0]
+    hits = np.zeros(m, dtype=bool)
+    ev_addr = np.full(m, -1, dtype=np.int64)
+    ev_dirty = np.zeros(m, dtype=bool)
+    sm_out = np.zeros(m, dtype=bool) if sector is not None else None
+    if m == 0:
+        return BatchResult(hits, ev_addr, ev_dirty, sm_out)
+    if cap is None:
+        cap = geo.associativity
+    enc = _encode_stream(rows, tg, wr, tags.shape[0], sec=sec)
+    _replay_encoding(enc, tags, dirty, count, geo, 0, cap,
+                     hits, ev_addr, ev_dirty, sector=sector,
+                     stamp=stamp, stamp_vals=stamp_vals, sm_out=sm_out)
+    return BatchResult(hits, ev_addr, ev_dirty, sm_out)
+
+
+def _replay_encoding(enc: _StreamEncoding, tags: np.ndarray,
+                     dirty: np.ndarray, count: np.ndarray, geo: _Geometry,
+                     row_offset: int, caps: Union[int, np.ndarray],
+                     hits: np.ndarray, ev_addr: np.ndarray,
+                     ev_dirty: np.ndarray,
+                     ok: Optional[np.ndarray] = None,
+                     sector: Optional[np.ndarray] = None,
+                     stamp: Optional[np.ndarray] = None,
+                     stamp_vals: Optional[np.ndarray] = None,
+                     sm_out: Optional[np.ndarray] = None) -> None:
+    """Replay one lane's state through a stream encoding (cheap half).
+
+    ``row_offset`` (a multiple of the set count) relocates the
+    encoding's stream-local rows into the lane's rows of the state
+    arrays.  ``caps`` is a scalar or per-access capacity vector
+    (constant within each row); ``ok`` optionally masks accesses whose
+    rows this lane must not resolve (flagged sets routed to replay,
+    zero-way partitions) — masked groups produce no output and no
+    state writes.  Outputs land in ``hits``/``ev_addr``/``ev_dirty``
+    (and ``sm_out``) at the encoding's stream positions.
+    """
+    for bk in enc.buckets:
+        ngroups = bk.rows_l.size
+        if isinstance(caps, np.ndarray):
+            capg = np.zeros(ngroups, dtype=np.int64)
+            capg[bk.gl] = caps[bk.idx]
+        else:
+            capg = np.full(ngroups, int(caps), dtype=np.int64)
+        okg: Optional[np.ndarray] = None
+        if ok is not None:
+            okg = np.zeros(ngroups, dtype=bool)
+            okg[bk.gl] = ok[bk.idx]
+        _replay_bucket(bk, tags, dirty, count, geo, row_offset, capg,
+                       okg, hits, ev_addr, ev_dirty, sector, stamp,
+                       stamp_vals, sm_out)
+
+
+def _replay_bucket(bk: _BucketEncoding, tags: np.ndarray,
+                   dirty: np.ndarray, count: np.ndarray, geo: _Geometry,
+                   row_offset: int, capg: np.ndarray,
+                   okg: Optional[np.ndarray], hits: np.ndarray,
+                   ev_addr: np.ndarray, ev_dirty: np.ndarray,
+                   sector: Optional[np.ndarray],
+                   stamp: Optional[np.ndarray],
+                   stamp_vals: Optional[np.ndarray],
+                   sm_out: Optional[np.ndarray]) -> None:
+    """Stack-distance verdicts for one bucket encoding (state half).
+
+    ``capg`` is the per-group logical capacity; groups masked by
+    ``okg`` (or holding zero capacity) have their verdicts computed on
+    garbage first-touch state but written to *neither* the outputs nor
+    the arrays — safe because histograms, chains and verdicts are
+    strictly per-group, so masked groups cannot contaminate live ones.
+    """
+    A = geo.associativity
+    idx = bk.idx
+    gl = bk.gl
+    rl = bk.rl
+    stg = bk.stg
+    o2 = bk.o2
+    nxt = bk.nxt
+    first = bk.first
+    chain_head = bk.chain_head
+    acc_tab = bk.acc_tab
+    ml = idx.size
+    ngroups = bk.rows_l.size
+    mwidth = bk.mwidth
+    rows_abs = bk.rows_l + np.int64(row_offset)
+    # Zero-cap groups resolve as fill-less misses: fold them into the
+    # mask so their (garbage) verdicts are dropped with the others.
+    if okg is not None:
+        okg = okg & (capg > 0)
+    elif bool((capg <= 0).any()):
+        okg = capg > 0
 
     # First touches: find the tag in the pre-batch state; depth d (0 =
     # MRU) encodes as pi = -(d+1), absence as pi = -(cap+1).
-    first = np.flatnonzero(pi < 0)
-    frows = rows_l[gl[first]]
+    pi = bk.pi_chain.copy()
+    frows = rows_abs[gl[first]]
     fcount = count[frows]
     slot_ok = np.arange(A, dtype=np.int64)[None, :] < fcount[:, None]
     eq = (tags[frows] == stg[first][:, None]) & slot_ok
     way = np.argmax(eq, axis=1)
     found = eq[np.arange(first.size, dtype=np.int64), way]
+    capf = capg[gl[first]]
+    if okg is not None:
+        # Masked groups read garbage state; force "absent" so their pi
+        # codes stay within this replay's capacity range.
+        found = found & okg[gl[first]]
     depth = fcount - 1 - way
-    pi[first] = np.where(found, -(depth + 1), -(cap + 1))
+    pi[first] = np.where(found, -(depth + 1), -(capf + 1))
     init_dirty = dirty[frows, way] & found
     if sector is not None:
         init_sec = np.where(found, sector[frows, way], 0)
@@ -323,12 +534,13 @@ def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
     ffi = first[found]
     first_rank[gl[ffi], way[found]] = rl[ffi]
 
-    # Rank-indexed pi and access-id tables per group (padded columns get
-    # a pi larger than any comparison bound, so they never contribute).
-    # The pi values span [-(cap+1), mwidth), so the dominance windows
-    # run on the narrowest integer type that holds the pad sentinel: the
+    # Rank-indexed pi table per group (padded columns get a pi larger
+    # than any comparison bound, so they never contribute).  The pi
+    # values span [-(capmax+1), mwidth), so the dominance windows run
+    # on the narrowest integer type that holds the pad sentinel: the
     # windows are pure memory traffic and shrink 8x vs int64.
-    pad = mwidth + cap + 2
+    capmax = int(capg.max())
+    pad = mwidth + capmax + 2
     if pad <= 127:
         dt = np.int8
     elif pad <= 32767:
@@ -338,9 +550,7 @@ def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
     pi_s = pi.astype(dt)
     rl_s = rl.astype(dt)
     pi_tab = np.full((ngroups, mwidth), pad, dtype=dt)
-    acc_tab = np.zeros((ngroups, mwidth), dtype=np.int64)
     pi_tab[gl, rl] = pi_s
-    acc_tab[gl, rl] = idx
     cols = np.arange(mwidth, dtype=dt)
 
     # Tag hits: stack depth at access j = base(pi_j) + dominance count,
@@ -348,17 +558,22 @@ def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
     # decided by inspection: a window shorter than cap - base always
     # hits (absent tags, base = cap, always miss).  Only the remainder
     # pays for a dominance window.
+    cap_acc = capg[gl]
+    oka = okg[gl] if okg is not None else None
     base = np.maximum(-pi - 1, 0)
     width = rl - np.maximum(pi + 1, 0)
-    hitb = base < cap
-    need = np.flatnonzero(hitb & (base + width >= cap))
+    hitb = base < cap_acc
+    needb = hitb & (base + width >= cap_acc)
+    if oka is not None:
+        needb &= oka
+    need = np.flatnonzero(needb)
     if need.size:
         pic = pi_s[need][:, None]
         dom = ((cols > pic) & (cols < rl_s[need][:, None])
                & (pi_tab[gl[need]] <= pic)).sum(axis=1)
-        hitb[need] = base[need] + dom < cap
+        hitb[need] = base[need] + dom < cap_acc[need]
     if sector is None:
-        hits[idx] = hitb
+        hits[idx] = hitb if oka is None else hitb & oka
 
     # Chain-final instances: last touch of a tag, or a touch whose next
     # same-tag access misses (a fresh instance is filled at that point).
@@ -368,35 +583,38 @@ def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
     final = np.flatnonzero(~nxt_hit)
     gfin = gl[final]
     rfin = rl[final]
-    # Per-group cumulative histogram of pi values: H[g, t + cap + 1] =
-    # #{i in g : pi_i <= t}.  Because pi_i < i always, exactly r + 1
+    # Per-group cumulative histogram of pi values: H[g, t + capmax + 1]
+    # = #{i in g : pi_i <= t}.  Because pi_i < i always, exactly r + 1
     # accesses at ranks <= r satisfy pi_i <= r, so the count of distinct
-    # tags touched *after* rank r is H[g, r + cap + 1] - (r + 1): every
-    # eviction verdict is an O(1) lookup, and the rank scan that places
-    # the eviction runs only over lines that really go.
-    W = mwidth + cap + 1
-    H = np.bincount(gl * W + (pi + (cap + 1)),
+    # tags touched *after* rank r is H[g, r + capmax + 1] - (r + 1):
+    # every eviction verdict is an O(1) lookup, and the rank scan that
+    # places the eviction runs only over lines that really go.  The
+    # histogram offset uses capmax for a shared layout; each verdict
+    # still compares against its own group's cap.
+    W = mwidth + capmax + 1
+    H = np.bincount(gl * W + (pi + (capmax + 1)),
                     minlength=ngroups * W).reshape(ngroups, W)
     np.cumsum(H, axis=1, out=H)
-    evicted = H[gfin, rfin + cap + 1] - (rfin + 1) >= cap
+    evicted = H[gfin, rfin + capmax + 1] - (rfin + 1) >= capg[gfin]
+    if okg is not None:
+        evicted &= okg[gfin]
     when = np.zeros(final.size, dtype=np.int64)
     scan = np.flatnonzero(evicted)
     if scan.size:
         fsc = final[scan]
         rfs = rl_s[fsc][:, None]
         distinct = (cols > rfs) & (pi_tab[gl[fsc]] <= rfs)
-        reached = np.cumsum(distinct, axis=1, dtype=dt) >= cap
+        reached = np.cumsum(distinct, axis=1, dtype=dt) >= \
+            capg[gl[fsc]].astype(dt)[:, None]
         when[scan] = np.argmax(reached, axis=1)
     evr = final[evicted]
 
     # Dirty bits travel along each tag's chain of consecutive touches of
     # one instance: segment boundaries at first touches and at (tag)
     # misses; first-touch *hits* inherit the pre-batch line's dirty bit.
-    w_eff = wr[idx] & geo.write_back
+    w_eff = bk.wl & geo.write_back
     wseed = w_eff.copy()
     wseed[first] |= init_dirty & hitb[first]
-    chain_head = np.ones(ml, dtype=bool)
-    chain_head[succ] = False
     seg_start = chain_head[o2] | ~hitb[o2]
     seg = np.cumsum(seg_start, dtype=np.int32)
     running = np.maximum.accumulate(seg * 2 + wseed[o2])
@@ -411,8 +629,8 @@ def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
     # whose sector is absent is a sector miss (no refill), exactly the
     # scalar model's verdict.
     if sector is not None:
-        assert sec is not None and sm_out is not None
-        sec_l = sec[idx]
+        assert bk.sec_l is not None and sm_out is not None
+        sec_l = bk.sec_l
         seed_acc = np.zeros(ml, dtype=np.int64)
         fh = found & hitb[first]
         seed_acc[first[fh]] = init_sec[fh]
@@ -437,12 +655,16 @@ def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
         own_ok[o2] = own_chain
         incl = np.zeros(ml, dtype=np.int64)
         incl[o2] = incl_chain
-        hits[idx] = hitb & own_ok
-        sm_out[idx] = hitb & ~own_ok
+        if oka is None:
+            hits[idx] = hitb & own_ok
+            sm_out[idx] = hitb & ~own_ok
+        else:
+            hits[idx] = hitb & own_ok & oka
+            sm_out[idx] = hitb & ~own_ok & oka
 
     if evr.size:
         targets = acc_tab[gfin[evicted], when[evicted]]
-        sets_e = rows_l[gfin[evicted]] % np.int64(geo.num_sets)
+        sets_e = rows_abs[gfin[evicted]] % np.int64(geo.num_sets)
         ev_addr[targets] = geo.rebuild(sets_e, stg[evr])
         ev_dirty[targets] = dirty_at[evr]
 
@@ -451,13 +673,18 @@ def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
     # reaches cap - d, unless its own first touch comes earlier.  The
     # histogram answers "does the count get there at all" for every
     # (group, slot) at once; only lines that really go pay a rank scan.
-    cnt0 = count[rows_l]
+    cnt0 = count[rows_abs]
     slots_a = np.arange(A, dtype=np.int64)
     depth_tab = cnt0[:, None] - 1 - slots_a[None, :]
     live = slots_a[None, :] < cnt0[:, None]
-    vq = np.where(live, cap - depth_tab - 1, 0)
+    if okg is not None:
+        live = live & okg[:, None]
+    # Column for "#accesses with pi <= -(d+2)" under the shared
+    # capmax-based layout; the *threshold* below still uses each
+    # group's own cap.
+    vq = np.where(live, capmax - depth_tab - 1, 0)
     pot = live & (H[np.arange(ngroups, dtype=np.int64)[:, None], vq]
-                  >= cap - depth_tab)
+                  >= capg[:, None] - depth_tab)
     init_evicted = np.zeros((ngroups, A), dtype=bool)
     gp, sp = np.nonzero(pot)
     if gp.size:
@@ -466,26 +693,28 @@ def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
         # tags) can push an init line out, so the rank scan runs over a
         # per-group table compacted to just those columns: code -pi at
         # column j, with the rank remembered for the answer.
-        gn, rn = np.nonzero(pi_tab <= np.array(-2, dtype=dt))
+        fneg = bk.first_gro[pi[bk.first_gro] <= -2]
+        gn = gl[fneg]
+        rn = rl[fneg]
         nneg = np.bincount(gn, minlength=ngroups)
         nwidth = int(nneg.max()) if gn.size else 1
         offs_n = np.zeros(ngroups, dtype=np.int64)
         np.cumsum(nneg[:-1], out=offs_n[1:])
         jn = np.arange(gn.size, dtype=np.int64) - offs_n[gn]
         code_tab = np.zeros((ngroups, nwidth), dtype=dt)
-        code_tab[gn, jn] = -pi_tab[gn, rn]
+        code_tab[gn, jn] = -pi_s[fneg]
         rank_n = np.zeros((ngroups, nwidth), dtype=np.int64)
         rank_n[gn, jn] = rn
         deeper = code_tab[gp] >= (depth_p + 2).astype(dt)[:, None]
         reached4 = np.cumsum(deeper, axis=1, dtype=dt) >= \
-            (cap - depth_p).astype(dt)[:, None]
+            (capg[gp] - depth_p).astype(dt)[:, None]
         when4 = rank_n[gp, np.argmax(reached4, axis=1)]
         gone = when4 < first_rank[gp, sp]
         if gone.any():
             gp_e = gp[gone]
             sp_e = sp[gone]
             targets = acc_tab[gp_e, when4[gone]]
-            rows_e = rows_l[gp_e]
+            rows_e = rows_abs[gp_e]
             ev_addr[targets] = geo.rebuild(
                 rows_e % np.int64(geo.num_sets), tags[rows_e, sp_e])
             ev_dirty[targets] = dirty[rows_e, sp_e]
@@ -496,23 +725,23 @@ def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
     # instances without an eviction, ordered by last-touch rank.  Both
     # partial orders fall out of row-major ``np.nonzero`` scans over
     # (group, slot) / (group, rank) tables, so no sort is needed.
-    live = np.arange(A, dtype=np.int64)[None, :] < cnt0[:, None]
     keep = live & (first_rank > mwidth) & ~init_evicted
     gi, si = np.nonzero(keep)
-    fin_keep = final[~evicted]
-    fin_tab = np.zeros((ngroups, mwidth), dtype=bool)
-    fin_tab[gl[fin_keep], rl[fin_keep]] = True
-    loc_tab = np.zeros((ngroups, mwidth), dtype=np.int32)
-    loc_tab[gl, rl] = np.arange(ml, dtype=np.int32)
-    gi2, ri2 = np.nonzero(fin_tab)
-    loc_f = loc_tab[gi2, ri2]
+    if okg is None:
+        fin_keep = final[~evicted]
+    else:
+        fin_keep = final[~evicted & okg[gfin]]
+    fmask = np.zeros(ml, dtype=bool)
+    fmask[fin_keep] = True
+    loc_f = bk.gro[fmask[bk.gro]]
+    gi2 = gl[loc_f]
     ninit = np.bincount(gi, minlength=ngroups)
     nreal = np.bincount(gi2, minlength=ngroups)
     offs_i = np.zeros(ngroups, dtype=np.int64)
     np.cumsum(ninit[:-1], out=offs_i[1:])
     offs_r = np.zeros(ngroups, dtype=np.int64)
     np.cumsum(nreal[:-1], out=offs_r[1:])
-    rows_i = rows_l[gi]
+    rows_i = rows_abs[gi]
     slot_i = np.arange(gi.size, dtype=np.int64) - offs_i[gi]
     t_init = tags[rows_i, si]          # advanced indexing copies, so the
     d_init = dirty[rows_i, si]         # compacting writes cannot alias
@@ -524,7 +753,7 @@ def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
         sector[rows_i, slot_i] = s_init
     if stamp is not None:
         stamp[rows_i, slot_i] = st_init
-    rows_r = rows_l[gi2]
+    rows_r = rows_abs[gi2]
     slot_r = ninit[gi2] + np.arange(gi2.size, dtype=np.int64) - offs_r[gi2]
     tags[rows_r, slot_r] = stg[loc_f]
     dirty[rows_r, slot_r] = dirty_at[loc_f]
@@ -534,7 +763,10 @@ def _solve_groups(tags: np.ndarray, dirty: np.ndarray, count: np.ndarray,
         assert stamp_vals is not None
         sv_l = stamp_vals[idx]
         stamp[rows_r, slot_r] = sv_l[loc_f]
-    count[rows_l] = ninit + nreal
+    if okg is None:
+        count[rows_abs] = ninit + nreal
+    else:
+        count[rows_abs[okg]] = (ninit + nreal)[okg]
 
 class _SlotStore:
     """Slot-major array state shared by a bank's caches.
@@ -645,12 +877,19 @@ class _SetReplay:
         self._store = store
         self._geo = geo
         self._rows: Dict[Tuple[int, int], List[List[int]]] = {}
+        # Per-row lookup accelerators kept in lockstep with the LRU
+        # list: tag -> entries in LRU order (cross-slot aliases give a
+        # tag more than one entry) and partition -> resident count.
+        self._by_tag: Dict[Tuple[int, int], Dict[int, List[List[int]]]] = {}
+        self._occ: Dict[Tuple[int, int], Dict[int, int]] = {}
 
-    def _load(self, ci: int, index: int) -> List[List[int]]:
+    def _load(self, ci: int, index: int
+              ) -> Tuple[List[List[int]], Dict[int, List[List[int]]],
+                         Dict[int, int]]:
         key = (ci, index)
         entries = self._rows.get(key)
         if entries is not None:
-            return entries
+            return entries, self._by_tag[key], self._occ[key]
         store = self._store
         sector = store.sector
         stamp = store.stamp
@@ -668,8 +907,15 @@ class _SetReplay:
                     pid,
                     int(stamp[s, ci, index, k])])
         entries.sort(key=lambda e: e[4])
+        by_tag: Dict[int, List[List[int]]] = {}
+        occ: Dict[int, int] = {}
+        for e in entries:  # repro: noqa(hot-loop)
+            by_tag.setdefault(e[0], []).append(e)
+            occ[e[3]] = occ.get(e[3], 0) + 1
         self._rows[key] = entries
-        return entries
+        self._by_tag[key] = by_tag
+        self._occ[key] = occ
+        return entries, by_tag, occ
 
     def touch(self, ci: int, index: int, tag: int, is_write: bool,
               partition: int, allocate: bool, sector_idx: int,
@@ -678,23 +924,29 @@ class _SetReplay:
         """One scalar access; returns (hit, sector_miss, filled,
         evicted_addr or -1, evicted_dirty)."""
         geo = self._geo
-        entries = self._load(ci, index)
-        for k, e in enumerate(entries):  # repro: noqa(hot-loop)
-            if e[0] == tag:
-                sector_miss = False
-                if geo.sectored and not e[2] >> sector_idx & 1:
-                    sector_miss = True
-                    e[2] |= 1 << sector_idx
-                if is_write and geo.write_back:
-                    e[1] = 1
-                e[4] = stamp
-                del entries[k]
-                entries.append(e)
-                return (not sector_miss, sector_miss, False, -1, 0)
+        entries, by_tag, occ = self._load(ci, index)
+        bucket = by_tag.get(tag)
+        if bucket:
+            # Aliased tags keep one entry per slot; the match is the
+            # LRU-most (bucket order mirrors the LRU list).
+            e = bucket[0]
+            sector_miss = False
+            if geo.sectored and not e[2] >> sector_idx & 1:
+                sector_miss = True
+                e[2] |= 1 << sector_idx
+            if is_write and geo.write_back:
+                e[1] = 1
+            e[4] = stamp
+            entries.remove(e)
+            entries.append(e)
+            if len(bucket) > 1:
+                del bucket[0]
+                bucket.append(e)
+            return (not sector_miss, sector_miss, False, -1, 0)
         if not allocate or (is_write and not geo.write_allocate):
             return (False, False, False, -1, 0)
-        return self._fill(entries, index, tag, is_write, partition,
-                          sector_idx, ways, stamp)
+        return self._fill(entries, by_tag, occ, index, tag, is_write,
+                          partition, sector_idx, ways, stamp)
 
     def fill_touch(self, ci: int, index: int, tag: int, is_write: bool,
                    partition: int, sector_idx: int,
@@ -703,25 +955,30 @@ class _SetReplay:
         """Scalar ``fill`` semantics; returns (hit, filled,
         evicted_addr or -1, evicted_dirty)."""
         geo = self._geo
-        entries = self._load(ci, index)
-        for k, e in enumerate(entries):  # repro: noqa(hot-loop)
-            if e[0] == tag:
-                if geo.sectored:
-                    e[2] |= 1 << sector_idx
-                if is_write and geo.write_back:
-                    e[1] = 1
-                e[4] = stamp
-                del entries[k]
-                entries.append(e)
-                return (True, False, -1, 0)
+        entries, by_tag, occ = self._load(ci, index)
+        bucket = by_tag.get(tag)
+        if bucket:
+            e = bucket[0]
+            if geo.sectored:
+                e[2] |= 1 << sector_idx
+            if is_write and geo.write_back:
+                e[1] = 1
+            e[4] = stamp
+            entries.remove(e)
+            entries.append(e)
+            if len(bucket) > 1:
+                del bucket[0]
+                bucket.append(e)
+            return (True, False, -1, 0)
         _, _, filled, ev_addr, ev_dirty = self._fill(
-            entries, index, tag, is_write, partition, sector_idx, ways,
-            stamp)
+            entries, by_tag, occ, index, tag, is_write, partition,
+            sector_idx, ways, stamp)
         return (False, filled, ev_addr, ev_dirty)
 
-    def _fill(self, entries: List[List[int]], index: int, tag: int,
-              is_write: bool, partition: int, sector_idx: int,
-              ways: Optional[Dict[int, int]], stamp: int
+    def _fill(self, entries: List[List[int]],
+              by_tag: Dict[int, List[List[int]]], occ: Dict[int, int],
+              index: int, tag: int, is_write: bool, partition: int,
+              sector_idx: int, ways: Optional[Dict[int, int]], stamp: int
               ) -> Tuple[bool, bool, bool, int, int]:
         geo = self._geo
         A = geo.associativity
@@ -733,16 +990,12 @@ class _SetReplay:
             limit = ways.get(partition, 0)
             if limit == 0:
                 raise PartitionFullError(partition)
-            occupancy = sum(
-                1 for e in entries if e[3] == partition)
+            occupancy = occ.get(partition, 0)
             if occupancy >= limit or len(entries) >= A:
                 if occupancy >= limit:
                     victim = next(k for k, e in enumerate(entries)
                                   if e[3] == partition)
                 else:
-                    occ: Dict[int, int] = {}
-                    for e in entries:  # repro: noqa(hot-loop)
-                        occ[e[3]] = occ.get(e[3], 0) + 1
                     over = {p for p, o in occ.items()
                             if o > ways.get(p, 0)}
                     victim = next(
@@ -752,11 +1005,18 @@ class _SetReplay:
         ev_dirty = 0
         if victim is not None:
             ve = entries.pop(victim)
+            vb = by_tag[ve[0]]
+            vb.remove(ve)
+            if not vb:
+                del by_tag[ve[0]]
+            occ[ve[3]] -= 1
             ev_addr = self._geo.rebuild_one(index, ve[0])
             ev_dirty = ve[1]
-        entries.append([
-            tag, int(is_write and geo.write_back),
-            1 << sector_idx if geo.sectored else 0, partition, stamp])
+        ne = [tag, int(is_write and geo.write_back),
+              1 << sector_idx if geo.sectored else 0, partition, stamp]
+        entries.append(ne)
+        by_tag.setdefault(tag, []).append(ne)
+        occ[partition] = occ.get(partition, 0) + 1
         return (False, False, True, ev_addr, ev_dirty)
 
     def flush_back(self) -> None:
@@ -789,6 +1049,8 @@ class _SetReplay:
                         sector[s, ci, index, k] = e[2]
                     stamp[s, ci, index, k] = e[4]
         self._rows.clear()
+        self._by_tag.clear()
+        self._occ.clear()
 
 class VectorCache:
     """Drop-in :class:`SetAssociativeCache` backed by slot-major arrays.
@@ -1469,6 +1731,10 @@ class VectorBank:
             VectorCache(config, name, _store=self._store, _index=i)
             for i, name in enumerate(names)]
         self._geo = _geometry_of(config)
+        #: Reuse encodings built and lane replays resolved against them
+        #: by the shared-stream entry points (host telemetry).
+        self.shared_encodings = 0
+        self.shared_replays = 0
 
     def access_many_grouped(self, cache_idx: np.ndarray, addrs: np.ndarray,
                             writes: np.ndarray,
@@ -1541,6 +1807,282 @@ class VectorBank:
                 stats.dirty_evictions += int(dev[i])
         return result
 
+    def access_many_grouped_shared(
+            self, calls: Sequence[GroupedLaneCall]
+    ) -> List[Optional[BatchResult]]:
+        """Resolve several lanes' uniform epochs, encoding once per stream.
+
+        Calls carrying equal ``stream`` ids replay one shared reuse
+        encoding at their own row offsets, so a round over L lanes
+        sharing a trace costs O(unique streams) encoding work plus O(L)
+        replays.  Entries that fail the plain-batch gate come back as
+        ``None`` (the caller falls back for those lanes only); the
+        other lanes still share.
+        """
+        geo = self._geo
+        store = self._store
+        results: List[Optional[BatchResult]] = [None] * len(calls)
+        if not geo.write_allocate:
+            return results
+        S = geo.num_sets
+        encodings: Dict[int, Tuple[_StreamEncoding, np.ndarray,
+                                   Optional[np.ndarray]]] = {}
+        for k, call in enumerate(calls):
+            lo, hi = call.lane
+            if any(c._ways is not None for c in self.caches[lo:hi]):
+                continue
+            if store.num_slots > 1 and store.count[1:, lo:hi].any():
+                continue
+            cached = encodings.get(call.stream)
+            if cached is None:
+                sets, tg = geo.split(call.addrs)
+                rows = call.cache_idx * np.int64(S) + sets
+                sec = geo.sector_of(call.addrs) if geo.sectored else None
+                cached = (_encode_stream(rows, tg, call.writes,
+                                         len(self.caches) * S, sec=sec),
+                          tg, sec)
+                encodings[call.stream] = cached
+                self.shared_encodings += 1
+            enc, tg, sec = cached
+            n = call.addrs.shape[0]
+            ftags, fdirty, fcount, fsector, fstamp = store.flat()
+            stamp_vals = None
+            if fstamp is not None:
+                stamp_vals = np.arange(store.clock, store.clock + n,
+                                       dtype=np.int64)
+                store.clock += n
+            hits = np.zeros(n, dtype=bool)
+            ev_addr = np.full(n, -1, dtype=np.int64)
+            ev_dirty = np.zeros(n, dtype=bool)
+            sm_out = np.zeros(n, dtype=bool) if fsector is not None \
+                else None
+            if n:
+                _replay_encoding(enc, ftags, fdirty, fcount, geo, lo * S,
+                                 geo.associativity, hits, ev_addr,
+                                 ev_dirty, sector=fsector, stamp=fstamp,
+                                 stamp_vals=stamp_vals, sm_out=sm_out)
+            self.shared_replays += 1
+            results[k] = BatchResult(hits, ev_addr, ev_dirty, sm_out)
+            width = hi - lo
+            acc = np.bincount(call.cache_idx, minlength=width)
+            hit = np.bincount(call.cache_idx[hits], minlength=width)
+            ev = np.bincount(call.cache_idx[ev_addr >= 0],
+                             minlength=width)
+            dev = np.bincount(call.cache_idx[ev_dirty], minlength=width)
+            if sm_out is not None:
+                smc = np.bincount(call.cache_idx[sm_out],
+                                  minlength=width)
+            else:
+                smc = np.zeros(width, dtype=np.int64)
+            for i in range(lo, hi):
+                stats = self.caches[i].stats
+                ni = int(acc[i - lo])
+                nhits = int(hit[i - lo])
+                nsm = int(smc[i - lo])
+                stats.accesses += ni
+                stats.hits += nhits
+                stats.misses += ni - nhits
+                stats.sector_misses += nsm
+                stats.fills += ni - nhits - nsm
+                stats.evictions += int(ev[i - lo])
+                stats.dirty_evictions += int(dev[i - lo])
+        return results
+
+    def _partition_caps(self, ways_list: Sequence[Optional[Dict[int, int]]]
+                        ) -> np.ndarray:
+        """(cache, slot) way-allotment table for the given lane caches.
+
+        Out-of-lane caches (``None`` entries) keep zero capacity: they
+        are never addressed by the call building the table.
+        """
+        store = self._store
+        cap_of = np.zeros((len(self.caches), store.num_slots),
+                          dtype=np.int64)
+        for ci, w in enumerate(ways_list):
+            if w is None:
+                continue
+            for pid, ww in w.items():
+                sl = store.slot_of.get(pid, -1)
+                if sl >= 0:
+                    cap_of[ci, sl] = ww
+        return cap_of
+
+    def _slots_for(self, parts: np.ndarray) -> np.ndarray:
+        """Map per-access partition ids to store slot indices (-1: none)."""
+        out = np.full(parts.shape, -1, dtype=np.int64)
+        for pid in np.unique(parts).tolist():
+            out[parts == pid] = self._store.slot_of.get(int(pid), -1)
+        return out
+
+    def _flag_replay_rows(self, flagged: np.ndarray, idx0: np.ndarray,
+                          sets: np.ndarray, tg: np.ndarray,
+                          slot0: np.ndarray, idx1: np.ndarray,
+                          slot1: np.ndarray, two_stage: np.ndarray,
+                          ranges: Sequence[Tuple[int, int]]
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        """Cross-slot alias scan plus replay-set closure for one epoch.
+
+        Extends ``flagged`` (rows the capacity model cannot describe)
+        with (cache, set) pairs holding a cross-slot alias of a probed
+        tag, then closes the set: a replayed access claims *all* rows
+        of the (cache, set) pairs it touches, so kernel phases and the
+        replay interpreter never share a row.  Returns the closed table
+        and the per-access replay mask.  Cache indices are absolute;
+        ``ranges`` are the probed cache ranges — slots with no occupancy
+        inside them cannot alias any probed tag and are skipped.
+        """
+        store = self._store
+        A = self._geo.associativity
+        n = idx0.shape[0]
+        ar = np.arange(A, dtype=np.int64)[None, :]
+        for q in range(store.num_slots):
+            cq = store.count[q]                    # (C, S)
+            if not any(cq[lo:hi].any() for lo, hi in ranges):
+                continue
+            tq = store.tags[q]                     # (C, S, A)
+            live0 = ar < cq[idx0, sets][:, None]
+            c0 = ((tq[idx0, sets] == tg[:, None]) & live0).any(axis=1) \
+                & (slot0 != q)
+            if c0.any():
+                flagged[idx0[c0], sets[c0]] = True
+            live1 = ar < cq[idx1, sets][:, None]
+            c1 = ((tq[idx1, sets] == tg[:, None]) & live1).any(axis=1) \
+                & (slot1 != q) & two_stage
+            if c1.any():
+                flagged[idx1[c1], sets[c1]] = True
+        replay = np.zeros(n, dtype=bool)
+        for _ in range(n + 1):  # repro: noqa(hot-loop)
+            r0 = flagged[idx0, sets]
+            r1 = np.zeros(n, dtype=bool)
+            r1[two_stage] = flagged[idx1[two_stage], sets[two_stage]]
+            replay = r0 | r1
+            nf = flagged.copy()
+            nf[idx0[replay], sets[replay]] = True
+            ts_r = replay & two_stage
+            nf[idx1[ts_r], sets[ts_r]] = True
+            if np.array_equal(nf, flagged):
+                break
+            flagged = nf
+        return flagged, replay
+
+    def _replay_flagged(self, ir: np.ndarray, idx0: np.ndarray,
+                        idx1: np.ndarray, sets: np.ndarray,
+                        tg: np.ndarray, writes: np.ndarray,
+                        sec: Optional[np.ndarray], part0: np.ndarray,
+                        part1: np.ndarray, two_stage: np.ndarray,
+                        ways_list: Sequence[Optional[Dict[int, int]]],
+                        clock0: int, h0: np.ndarray, sm0: np.ndarray,
+                        f0: np.ndarray, ea0: np.ndarray, ed0: np.ndarray,
+                        h1: np.ndarray, sm1: np.ndarray, f1: np.ndarray,
+                        ea1: np.ndarray, ed1: np.ndarray) -> None:
+        """Stream-order replay of flagged sets (both stages)."""
+        rep = _SetReplay(self._store, self._geo)
+        touch = rep.touch
+        # Gather the replayed subset into plain lists once; per-access
+        # numpy scalar reads/writes dominate this loop otherwise.
+        ir_l = ir.tolist()
+        i0_l = idx0.take(ir).tolist()
+        i1_l = idx1.take(ir).tolist()
+        st_l = sets.take(ir).tolist()
+        tg_l = tg.take(ir).tolist()
+        w_l = writes.take(ir).tolist()
+        sx_l = sec.take(ir).tolist() if sec is not None else None
+        p0_l = part0.take(ir).tolist()
+        p1_l = part1.take(ir).tolist()
+        ts_l = two_stage.take(ir).tolist()
+        out0: List[Tuple[bool, bool, bool, int, int]] = []
+        j1: List[int] = []
+        out1: List[Tuple[bool, bool, bool, int, int]] = []
+        for k in range(len(ir_l)):  # repro: noqa(hot-loop)
+            j = ir_l[k]
+            st_i = st_l[k]
+            t_i = tg_l[k]
+            w_i = bool(w_l[k])
+            sx = sx_l[k] if sx_l is not None else 0
+            ci0 = i0_l[k]
+            w0 = ways_list[ci0]
+            assert w0 is not None  # addressed caches are in-lane
+            try:
+                r = touch(ci0, st_i, t_i, w_i, p0_l[k], True, sx,
+                          w0, clock0 + j)
+            except PartitionFullError:
+                r = (False, False, False, -1, 0)
+            out0.append(r)
+            if ts_l[k] and not r[0]:
+                ci1 = i1_l[k]
+                w1 = ways_list[ci1]
+                assert w1 is not None  # addressed caches are in-lane
+                try:
+                    r = touch(ci1, st_i, t_i, w_i, p1_l[k], True, sx,
+                              w1, clock0 + j)
+                except PartitionFullError:
+                    r = (False, False, False, -1, 0)
+                j1.append(j)
+                out1.append(r)
+        rep.flush_back()
+        if out0:
+            a0 = np.array(out0, dtype=np.int64)
+            h0[ir] = a0[:, 0].astype(bool)
+            sm0[ir] = a0[:, 1].astype(bool)
+            f0[ir] = a0[:, 2].astype(bool)
+            ea0[ir] = a0[:, 3]
+            ed0[ir] = a0[:, 4].astype(bool)
+        if out1:
+            a1 = np.array(out1, dtype=np.int64)
+            jj = np.array(j1, dtype=np.int64)
+            h1[jj] = a1[:, 0].astype(bool)
+            sm1[jj] = a1[:, 1].astype(bool)
+            f1[jj] = a1[:, 2].astype(bool)
+            ea1[jj] = a1[:, 3]
+            ed1[jj] = a1[:, 4].astype(bool)
+
+    def _staged_outcome(self, ranges: Sequence[Tuple[int, int]],
+                        idx0: np.ndarray, idx1: np.ndarray,
+                        two_stage: np.ndarray, h0: np.ndarray,
+                        sm0: np.ndarray, f0: np.ndarray, ea0: np.ndarray,
+                        ed0: np.ndarray, h1: np.ndarray, sm1: np.ndarray,
+                        f1: np.ndarray, ea1: np.ndarray, ed1: np.ndarray
+                        ) -> StagedResult:
+        """Charge per-cache stats and assemble one epoch's outcome.
+
+        Stage 0 probes every access at ``idx0``; stage 1 probes
+        two-stage accesses whose stage-0 probe missed.  Cache indices
+        are absolute; the returned eviction indices are too.
+        """
+        C = len(self.caches)
+        n = idx0.shape[0]
+        p1 = two_stage & ~h0
+        acc0 = np.bincount(idx0, minlength=C)
+        hit0 = np.bincount(idx0[h0], minlength=C)
+        smc0 = np.bincount(idx0[sm0], minlength=C)
+        fil0 = np.bincount(idx0[f0], minlength=C)
+        ev0 = np.bincount(idx0[ea0 >= 0], minlength=C)
+        dev0 = np.bincount(idx0[ed0], minlength=C)
+        acc1 = np.bincount(idx1[p1], minlength=C)
+        hit1 = np.bincount(idx1[p1 & h1], minlength=C)
+        smc1 = np.bincount(idx1[sm1], minlength=C)
+        fil1 = np.bincount(idx1[f1], minlength=C)
+        ev1 = np.bincount(idx1[ea1 >= 0], minlength=C)
+        dev1 = np.bincount(idx1[ed1], minlength=C)
+        for lo, hi in ranges:
+            for ci in range(lo, hi):
+                st = self.caches[ci].stats
+                a = int(acc0[ci] + acc1[ci])
+                h = int(hit0[ci] + hit1[ci])
+                st.accesses += a
+                st.hits += h
+                st.misses += a - h
+                st.sector_misses += int(smc0[ci] + smc1[ci])
+                st.fills += int(fil0[ci] + fil1[ci])
+                st.evictions += int(ev0[ci] + ev1[ci])
+                st.dirty_evictions += int(dev0[ci] + dev1[ci])
+        hs = np.full(n, -1, dtype=np.int64)
+        hs[p1 & h1] = 1
+        hs[h0] = 0
+        ev_cache = np.concatenate([idx0[ed0], idx1[ed1]])
+        ev_addrs = np.concatenate([ea0[ed0], ea1[ed1]])
+        return StagedResult(hs, ev_cache, ev_addrs)
+
     def access_many_staged(self, addrs: np.ndarray, writes: np.ndarray,
                            idx0: np.ndarray, part0: np.ndarray,
                            two_stage: np.ndarray, idx1: np.ndarray,
@@ -1579,26 +2121,10 @@ class VectorBank:
         geo = self._geo
         C = len(self.caches)
         S = geo.num_sets
-        A = geo.associativity
         n = addrs.shape[0]
-        P = store.num_slots
-        cap_of = np.zeros((C, P), dtype=np.int64)
-        for ci, w in enumerate(ways_list):
-            if w is None:
-                continue  # out-of-lane cache: never addressed this call
-            for pid, ww in w.items():
-                sl = store.slot_of.get(pid, -1)
-                if sl >= 0:
-                    cap_of[ci, sl] = ww
-
-        def slots_for(parts: np.ndarray) -> np.ndarray:
-            out = np.full(parts.shape, -1, dtype=np.int64)
-            for pid in np.unique(parts).tolist():
-                out[parts == pid] = store.slot_of.get(int(pid), -1)
-            return out
-
-        slot0 = slots_for(part0)
-        slot1 = slots_for(part1)
+        cap_of = self._partition_caps(ways_list)
+        slot0 = self._slots_for(part0)
+        slot1 = self._slots_for(part1)
         cap0 = np.where(slot0 >= 0, cap_of[idx0, np.maximum(slot0, 0)], 0)
         cap1 = np.where(slot1 >= 0, cap_of[idx1, np.maximum(slot1, 0)], 0)
         sets, tg = geo.split(addrs)
@@ -1608,39 +2134,10 @@ class VectorBank:
 
         # Rows the capacity model cannot describe: over-allotment
         # occupancy (post-repartition) and cross-slot tag aliases.
-        counts = store.count                       # (P, C, S)
-        flagged = (counts > cap_of.T[:, :, None]).any(axis=0)  # (C, S)
-        ar = np.arange(A, dtype=np.int64)[None, :]
-        for q in range(P):
-            cq = counts[q]                         # (C, S)
-            if not cq.any():
-                continue
-            tq = store.tags[q]                     # (C, S, A)
-            live0 = ar < cq[idx0, sets][:, None]
-            c0 = ((tq[idx0, sets] == tg[:, None]) & live0).any(axis=1) \
-                & (slot0 != q)
-            if c0.any():
-                flagged[idx0[c0], sets[c0]] = True
-            live1 = ar < cq[idx1, sets][:, None]
-            c1 = ((tq[idx1, sets] == tg[:, None]) & live1).any(axis=1) \
-                & (slot1 != q) & two_stage
-            if c1.any():
-                flagged[idx1[c1], sets[c1]] = True
-        # Close the replay set: a replayed access claims *all* rows of
-        # the (cache, set) pairs it touches, so kernel phases and the
-        # replay interpreter never share a row.
-        for _ in range(n + 1):  # repro: noqa(hot-loop)
-            r0 = flagged[idx0, sets]
-            r1 = np.zeros(n, dtype=bool)
-            r1[two_stage] = flagged[idx1[two_stage], sets[two_stage]]
-            replay = r0 | r1
-            nf = flagged.copy()
-            nf[idx0[replay], sets[replay]] = True
-            ts_r = replay & two_stage
-            nf[idx1[ts_r], sets[ts_r]] = True
-            if np.array_equal(nf, flagged):
-                break
-            flagged = nf
+        flagged = (store.count > cap_of.T[:, :, None]).any(axis=0)  # (C, S)
+        flagged, replay = self._flag_replay_rows(
+            flagged, idx0, sets, tg, slot0, idx1, slot1, two_stage,
+            ranges)
 
         krow0 = (np.maximum(slot0, 0) * np.int64(C) + idx0) * \
             np.int64(S) + sets
@@ -1669,31 +2166,27 @@ class VectorBank:
                        caps_g: np.ndarray, hout: np.ndarray,
                        smout: np.ndarray, fout: np.ndarray,
                        eaout: np.ndarray, edout: np.ndarray) -> None:
-            for cv in np.unique(caps_g).tolist():
-                cv = int(cv)
-                if cv <= 0:
-                    # Zero-way partition: PartitionFullError misses, no
-                    # fill; the default outcome already says exactly
-                    # that.
-                    continue
-                m_ = caps_g == cv
-                sub = gidx[m_]
-                # Fresh views every call: replay/slot growth between
-                # phases can reallocate the store's arrays.
-                ftags, fdirty, fcount, fsector, fstamp = store.flat()
-                res = _batch_resolve(
-                    ftags, fdirty, fcount, geo, krows_g[m_], tg[sub],
-                    writes[sub], cap=cv, sector=fsector,
-                    sec=sec[sub] if sec is not None else None,
-                    stamp=fstamp, stamp_vals=sv[sub])
-                hout[sub] = res.hits
-                eaout[sub] = res.evicted_addr
-                edout[sub] = res.evicted_dirty
-                if res.sector_miss is not None:
-                    smout[sub] = res.sector_miss
-                    fout[sub] = ~(res.hits | res.sector_miss)
-                else:
-                    fout[sub] = ~res.hits
+            # One kernel call resolves every capacity at once: the
+            # replay applies per-group caps natively, and zero-way
+            # partitions come back as fill-less misses (the vectorized
+            # PartitionFullError outcome) straight from the mask.
+            # Fresh views every call: replay/slot growth between
+            # phases can reallocate the store's arrays.
+            ftags, fdirty, fcount, fsector, fstamp = store.flat()
+            res = _batch_resolve(
+                ftags, fdirty, fcount, geo, krows_g, tg[gidx],
+                writes[gidx], cap=caps_g, sector=fsector,
+                sec=sec[gidx] if sec is not None else None,
+                stamp=fstamp, stamp_vals=sv[gidx])
+            pos = caps_g > 0
+            hout[gidx] = res.hits
+            eaout[gidx] = res.evicted_addr
+            edout[gidx] = res.evicted_dirty
+            if res.sector_miss is not None:
+                smout[gidx] = res.sector_miss
+                fout[gidx] = ~(res.hits | res.sector_miss) & pos
+            else:
+                fout[gidx] = ~res.hits & pos
 
         # Phase 1: stage-0 probes of two-stage accesses.
         ia = np.flatnonzero(sel_a)
@@ -1703,43 +2196,10 @@ class VectorBank:
         # Phase 2: stream-order replay of flagged sets (both stages).
         ir = np.flatnonzero(replay)
         if ir.size:
-            rep = _SetReplay(store, geo)
-            for j_ in ir.tolist():  # repro: noqa(hot-loop)
-                j = int(j_)
-                ci0 = int(idx0[j])
-                st_i = int(sets[j])
-                t_i = int(tg[j])
-                w_i = bool(writes[j])
-                sx = int(sec[j]) if sec is not None else 0
-                w0 = ways_list[ci0]
-                assert w0 is not None  # addressed caches are in-lane
-                try:
-                    h, smv, fl, ea, ed = rep.touch(
-                        ci0, st_i, t_i, w_i, int(part0[j]), True, sx,
-                        w0, clock0 + j)
-                except PartitionFullError:
-                    h, smv, fl, ea, ed = False, False, False, -1, 0
-                h0[j] = h
-                sm0[j] = smv
-                f0[j] = fl
-                ea0[j] = ea
-                ed0[j] = bool(ed)
-                if two_stage[j] and not h:
-                    ci1 = int(idx1[j])
-                    w1 = ways_list[ci1]
-                    assert w1 is not None  # addressed caches are in-lane
-                    try:
-                        h, smv, fl, ea, ed = rep.touch(
-                            ci1, st_i, t_i, w_i, int(part1[j]), True, sx,
-                            w1, clock0 + j)
-                    except PartitionFullError:
-                        h, smv, fl, ea, ed = False, False, False, -1, 0
-                    h1[j] = h
-                    sm1[j] = smv
-                    f1[j] = fl
-                    ea1[j] = ea
-                    ed1[j] = bool(ed)
-            rep.flush_back()
+            self._replay_flagged(ir, idx0, idx1, sets, tg, writes, sec,
+                                 part0, part1, two_stage, ways_list,
+                                 clock0, h0, sm0, f0, ea0, ed0,
+                                 h1, sm1, f1, ea1, ed1)
 
         # Phase 3: single-stage probes + stage-1 probes of stage-0
         # misses, interleaved in stream order.
@@ -1769,38 +2229,203 @@ class VectorBank:
             ed1[b1] = ed_t[b1]
 
         store.clock = clock0 + n
+        return self._staged_outcome(ranges, idx0, idx1, two_stage,
+                                    h0, sm0, f0, ea0, ed0,
+                                    h1, sm1, f1, ea1, ed1)
 
-        # Per-cache stats: stage 0 probes every access at idx0; stage 1
-        # probes two-stage accesses whose stage-0 probe missed.
-        p1 = two_stage & ~h0
-        acc0 = np.bincount(idx0, minlength=C)
-        hit0 = np.bincount(idx0[h0], minlength=C)
-        smc0 = np.bincount(idx0[sm0], minlength=C)
-        fil0 = np.bincount(idx0[f0], minlength=C)
-        ev0 = np.bincount(idx0[ea0 >= 0], minlength=C)
-        dev0 = np.bincount(idx0[ed0], minlength=C)
-        acc1 = np.bincount(idx1[p1], minlength=C)
-        hit1 = np.bincount(idx1[p1 & h1], minlength=C)
-        smc1 = np.bincount(idx1[sm1], minlength=C)
-        fil1 = np.bincount(idx1[f1], minlength=C)
-        ev1 = np.bincount(idx1[ea1 >= 0], minlength=C)
-        dev1 = np.bincount(idx1[ed1], minlength=C)
-        for lo, hi in ranges:
-            for ci in range(lo, hi):
-                st = self.caches[ci].stats
-                a = int(acc0[ci] + acc1[ci])
-                h = int(hit0[ci] + hit1[ci])
-                st.accesses += a
-                st.hits += h
-                st.misses += a - h
-                st.sector_misses += int(smc0[ci] + smc1[ci])
-                st.fills += int(fil0[ci] + fil1[ci])
-                st.evictions += int(ev0[ci] + ev1[ci])
-                st.dirty_evictions += int(dev0[ci] + dev1[ci])
+    def access_many_staged_shared(
+            self, calls: Sequence[StagedLaneCall]
+    ) -> List[Optional[StagedResult]]:
+        """Resolve several lanes' two-stage epochs with shared encodings.
 
-        hs = np.full(n, -1, dtype=np.int64)
-        hs[p1 & h1] = 1
-        hs[h0] = 0
-        ev_cache = np.concatenate([idx0[ed0], idx1[ed1]])
-        ev_addrs = np.concatenate([ea0[ed0], ea1[ed1]])
-        return StagedResult(hs, ev_cache, ev_addrs)
+        The phase-1 stream — stage-0 probes of two-stage accesses — is
+        a function of the shared trace alone (replay-set closure makes
+        flagging whole-row, so per-lane eligibility is a group mask,
+        not a different stream).  Calls with equal ``stream`` ids
+        therefore replay one reuse encoding with per-lane capacity
+        vectors and ok-masks; the flagged-set interpreter and the
+        stream-order phase-3 kernel stay per-lane.  Entries whose lane
+        fails the all-partitioned gate or the row-disjointness
+        requirement come back as ``None`` (those lanes fall back; the
+        rest still share).
+        """
+        results: List[Optional[StagedResult]] = [None] * len(calls)
+        if not self.config.write_allocate or not self.caches:
+            return results
+        store = self._store
+        geo = self._geo
+        C = len(self.caches)
+        S = geo.num_sets
+        # Per-lane partition gate; eligible lanes pool one cap table.
+        ways_list: List[Optional[Dict[int, int]]] = [None] * C
+        live: List[int] = []
+        for k, call in enumerate(calls):
+            lo, hi = call.lane
+            lane_ways = [self.caches[ci]._ways for ci in range(lo, hi)]
+            if any(w is None for w in lane_ways):
+                continue
+            ways_list[lo:hi] = lane_ways
+            live.append(k)
+        if not live:
+            return results
+        store.ensure_stamps()
+        cap_of = self._partition_caps(ways_list)
+        flagged = (store.count > cap_of.T[:, :, None]).any(axis=0)
+
+        # Stream-keyed pieces every same-trace lane reuses: the address
+        # split, the partition->slot maps and (lazily, at phase time)
+        # the phase-1 reuse encoding.
+        split_of: Dict[int, Tuple[np.ndarray, np.ndarray,
+                                  Optional[np.ndarray]]] = {}
+        slots_of: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        enc_of: Dict[int, _StreamEncoding] = {}
+
+        # Per-call setup runs before any phase touches state, exactly
+        # as the single-call path sequences it.
+        plans: List[Tuple[int, StagedLaneCall, int, np.ndarray,
+                          np.ndarray, np.ndarray, np.ndarray,
+                          Optional[np.ndarray], np.ndarray, np.ndarray,
+                          np.ndarray, np.ndarray, np.ndarray,
+                          np.ndarray]] = []
+        for k in live:
+            call = calls[k]
+            lo = call.lane[0]
+            sid = call.stream
+            if sid not in split_of:
+                sets, tg = geo.split(call.addrs)
+                sec = geo.sector_of(call.addrs) if geo.sectored else None
+                split_of[sid] = (sets, tg, sec)
+                slots_of[sid] = (self._slots_for(call.part0),
+                                 self._slots_for(call.part1))
+            sets, tg, sec = split_of[sid]
+            slot0, slot1 = slots_of[sid]
+            idx0a = call.idx0 + lo
+            idx1a = call.idx1 + lo
+            cap0 = np.where(slot0 >= 0,
+                            cap_of[idx0a, np.maximum(slot0, 0)], 0)
+            cap1 = np.where(slot1 >= 0,
+                            cap_of[idx1a, np.maximum(slot1, 0)], 0)
+            flagged, replay = self._flag_replay_rows(
+                flagged, idx0a, sets, tg, slot0, idx1a, slot1,
+                call.two_stage, (call.lane,))
+            # Lane-local kernel rows; the lane's cache offset is applied
+            # as a row offset (a multiple of S) at replay time.
+            krow0 = (np.maximum(slot0, 0) * np.int64(C) + call.idx0) * \
+                np.int64(S) + sets
+            krow1 = (np.maximum(slot1, 0) * np.int64(C) + call.idx1) * \
+                np.int64(S) + sets
+            sel_a = call.two_stage & ~replay
+            sel_b0 = ~call.two_stage & ~replay
+            rows_a = np.unique(krow0[sel_a & (cap0 > 0)])
+            rows_b = np.unique(np.concatenate(
+                [krow0[sel_b0 & (cap0 > 0)], krow1[sel_a & (cap1 > 0)]]))
+            if np.intersect1d(rows_a, rows_b, assume_unique=True).size:
+                continue
+            plans.append((k, call, lo, idx0a, idx1a, sets, tg, sec,
+                          cap0, cap1, krow0, krow1, replay, sel_b0))
+
+        for (k, call, lo, idx0a, idx1a, sets, tg, sec, cap0, cap1,
+             krow0, krow1, replay, sel_b0) in plans:
+            n = call.addrs.shape[0]
+            sid = call.stream
+            clock0 = store.clock
+            sv = np.arange(clock0, clock0 + n, dtype=np.int64)
+            h0 = np.zeros(n, dtype=bool)
+            sm0 = np.zeros(n, dtype=bool)
+            f0 = np.zeros(n, dtype=bool)
+            ea0 = np.full(n, -1, dtype=np.int64)
+            ed0 = np.zeros(n, dtype=bool)
+            h1 = np.zeros(n, dtype=bool)
+            sm1 = np.zeros(n, dtype=bool)
+            f1 = np.zeros(n, dtype=bool)
+            ea1 = np.full(n, -1, dtype=np.int64)
+            ed1 = np.zeros(n, dtype=bool)
+
+            # Phase 1: stage-0 probes of two-stage accesses, replayed
+            # against the stream's shared encoding.  Flagged rows and
+            # zero-way partitions are whole-group masks: they produce
+            # default outcomes here (phase 2 overwrites the flagged
+            # ones) and no state writes.
+            ia2 = np.flatnonzero(call.two_stage)
+            okv = (~replay & (cap0 > 0))[ia2]
+            # Fully-masked lanes (e.g. every row flagged after a
+            # repartition) skip the kernel pass outright: a replay with
+            # an all-False ok-mask writes neither outputs nor state.
+            if ia2.size and bool(okv.any()):
+                enc = enc_of.get(sid)
+                if enc is None:
+                    enc = _encode_stream(
+                        krow0[ia2], tg[ia2], call.writes[ia2],
+                        store.num_slots * C * S,
+                        sec=sec[ia2] if sec is not None else None)
+                    enc_of[sid] = enc
+                    self.shared_encodings += 1
+                m = ia2.size
+                h_t = np.zeros(m, dtype=bool)
+                ea_t = np.full(m, -1, dtype=np.int64)
+                ed_t = np.zeros(m, dtype=bool)
+                ftags, fdirty, fcount, fsector, fstamp = store.flat()
+                sm_t = np.zeros(m, dtype=bool) if fsector is not None \
+                    else None
+                _replay_encoding(enc, ftags, fdirty, fcount, geo,
+                                 lo * S, cap0[ia2], h_t, ea_t, ed_t,
+                                 ok=okv, sector=fsector, stamp=fstamp,
+                                 stamp_vals=sv[ia2], sm_out=sm_t)
+                self.shared_replays += 1
+                h0[ia2] = h_t
+                ea0[ia2] = ea_t
+                ed0[ia2] = ed_t
+                if sm_t is not None:
+                    sm0[ia2] = sm_t
+                    f0[ia2] = ~(h_t | sm_t) & okv
+                else:
+                    f0[ia2] = ~h_t & okv
+
+            # Phase 2: stream-order replay of flagged sets.
+            ir = np.flatnonzero(replay)
+            if ir.size:
+                self._replay_flagged(ir, idx0a, idx1a, sets, tg,
+                                     call.writes, sec, call.part0,
+                                     call.part1, call.two_stage,
+                                     ways_list, clock0, h0, sm0, f0,
+                                     ea0, ed0, h1, sm1, f1, ea1, ed1)
+
+            # Phase 3: single-stage probes + stage-1 probes of stage-0
+            # misses, interleaved in stream order (per lane: the stream
+            # depends on this lane's stage-0 hits).
+            p1k = call.two_stage & ~replay & ~h0
+            ib = np.flatnonzero(sel_b0 | p1k)
+            if ib.size:
+                use1 = p1k[ib]
+                krow_b = np.where(use1, krow1[ib], krow0[ib]) + \
+                    np.int64(lo * S)
+                cap_b = np.where(use1, cap1[ib], cap0[ib])
+                ftags, fdirty, fcount, fsector, fstamp = store.flat()
+                res = _batch_resolve(
+                    ftags, fdirty, fcount, geo, krow_b, tg[ib],
+                    call.writes[ib], cap=cap_b, sector=fsector,
+                    sec=sec[ib] if sec is not None else None,
+                    stamp=fstamp, stamp_vals=sv[ib])
+                pos = cap_b > 0
+                b0 = ib[~use1]
+                b1 = ib[use1]
+                if res.sector_miss is not None:
+                    fl_t = ~(res.hits | res.sector_miss) & pos
+                    sm0[b0] = res.sector_miss[~use1]
+                    sm1[b1] = res.sector_miss[use1]
+                else:
+                    fl_t = ~res.hits & pos
+                h0[b0] = res.hits[~use1]
+                f0[b0] = fl_t[~use1]
+                ea0[b0] = res.evicted_addr[~use1]
+                ed0[b0] = res.evicted_dirty[~use1]
+                h1[b1] = res.hits[use1]
+                f1[b1] = fl_t[use1]
+                ea1[b1] = res.evicted_addr[use1]
+                ed1[b1] = res.evicted_dirty[use1]
+
+            store.clock = clock0 + n
+            results[k] = self._staged_outcome(
+                [call.lane], idx0a, idx1a, call.two_stage, h0, sm0, f0,
+                ea0, ed0, h1, sm1, f1, ea1, ed1)
+        return results

@@ -27,6 +27,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+import numpy as np
+
 from ..arch.config import SACConfig
 
 
@@ -114,6 +116,18 @@ class ChipRequestDirectory:
         if crd_set >= self.config.crd_sets:
             return None
         return crd_set
+
+    def sampled_mask(self, llc_sets: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_sampled_set` predicate.
+
+        ``llc_sets`` holds precomputed global set indices (the same
+        values ``set_index_fn`` yields per address); the result marks
+        the accesses that fall inside the sampled sets.  Used by the
+        batched profiling path to pre-filter the (order-dependent)
+        per-access :meth:`observe` stream — the two must stay in sync.
+        """
+        return ((llc_sets % self._stride == 0)
+                & (llc_sets // self._stride < self.config.crd_sets))
 
     def _bit(self, chip: int, addr: int) -> int:
         if not self.sectored:

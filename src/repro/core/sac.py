@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..arch.config import SystemConfig
 from ..llc.base import (
     MEMORY_SIDE_MODE,
@@ -87,6 +89,9 @@ class SharingAwareCaching(LLCOrganization):
         self._bandwidths = architecture_bandwidths(config)
         self._kernel_name = ""
         self._cycles_since_profile = 0.0
+        # Geometry for the batched observer (set by ``attach``).
+        self._slice_sets = 0
+        self._obs_line_shift = 0
 
     # -- Introspection ------------------------------------------------------
 
@@ -126,6 +131,8 @@ class SharingAwareCaching(LLCOrganization):
         slices = self.config.chip.llc_slices
         slice_sets = llc.num_sets
         line_shift = llc.line_size.bit_length() - 1
+        self._slice_sets = slice_sets
+        self._obs_line_shift = line_shift
 
         def global_set_index(addr: int) -> int:
             # Compose the PAE slice hash with the slice's set index so the
@@ -174,6 +181,38 @@ class SharingAwareCaching(LLCOrganization):
         counters.record_issue(chip, home, slice_index)
         counters.record_arrival(home, slice_index, chip, addr)
         counters.record_llc_outcome(hit_stage is not None)
+
+    def observe_batch(self, ctx: "EngineContext", chips: np.ndarray,
+                      addrs: np.ndarray, homes: np.ndarray,
+                      slices: np.ndarray, hit_stages: np.ndarray) -> None:
+        """Vectorized :meth:`observe_access` for one batched epoch.
+
+        The engine calls this once per batched epoch instead of the
+        per-access hook; the final counter state is identical because
+        every chip counter is an order-independent sum and the CRDs
+        still see their sampled addresses in access order.  Accesses
+        with ``hit_stage == -2`` (L1 read hits) never reach
+        :meth:`observe_access` on the serial path and are excluded.
+        """
+        if not self._profiling:
+            return
+        counters = self._counters
+        assert counters is not None
+        observed = hit_stages != -2
+        if not bool(observed.all()):
+            chips = chips[observed]
+            addrs = addrs[observed]
+            homes = homes[observed]
+            slices = slices[observed]
+            hit_stages = hit_stages[observed]
+        if not len(addrs):
+            return
+        # Same global set index the ``attach`` closure computes per
+        # address: the PAE slice hash composed with the slice-set bits.
+        llc_sets = (slices * self._slice_sets
+                    + ((addrs >> self._obs_line_shift) % self._slice_sets))
+        counters.record_batch(chips, homes, slices, addrs, llc_sets,
+                              hit_stages != -1)
 
     def profile_boundary(self, ctx: "EngineContext") -> None:
         if self._profiling:

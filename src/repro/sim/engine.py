@@ -457,7 +457,9 @@ class SimulationEngine:
                 return self.stats
             started = perf_counter()
             outcome = probe.invoke()
-            self.stats.probe_seconds += perf_counter() - started
+            elapsed = perf_counter() - started
+            self.stats.probe_seconds += elapsed
+            self.stats.solve_seconds += elapsed
 
     def run_steps(self, kernels: Iterable[KernelTrace],
                   benchmark: str = "") -> ProbeGen:
@@ -608,7 +610,7 @@ class SimulationEngine:
         side effect beyond the functional cache probes themselves:
         hardware coherence (directory/MESI actions per write), page
         migration (per-access observation), profiling organizations
-        (SAC's counter updates) and insertion-policy organizations
+        without a batched observer and insertion-policy organizations
         (LADM's per-access ``remote_allocate``) all force the serial
         per-access path.
         """
@@ -620,7 +622,11 @@ class SimulationEngine:
             return False
         org = self.organization
         if org.profiling or not org.observe_is_passive:
-            return False
+            # A profiling organization may opt back into the fast path
+            # by providing a batched observer that reproduces the
+            # per-access observe_access state exactly (SAC does).
+            if getattr(org, "observe_batch", None) is None:
+                return False
         if hasattr(org, "remote_allocate"):
             return False
         return True
@@ -713,8 +719,16 @@ class SimulationEngine:
             probe = BankProbe(
                 bank=self._llc_bank, kind="grouped", base=base, lane=lane,
                 addrs=addrs_np, writes=writes_np, idx0=idx0_np)
-            self.stats.probe_seconds += perf_counter() - probe_start
-            batch = cast(Optional[BatchResult], (yield probe))
+            if org.profiling:
+                # Profiling slices are lane-private head/tail cuts that
+                # never match another lane's stream; resolving them
+                # inline keeps the stacked driver's round alignment (and
+                # hence stream sharing) intact for the shared epochs.
+                batch = cast(Optional[BatchResult], probe.invoke())
+                self.stats.probe_seconds += perf_counter() - probe_start
+            else:
+                self.stats.probe_seconds += perf_counter() - probe_start
+                batch = cast(Optional[BatchResult], (yield probe))
             probe_start = perf_counter()
         if batch is not None:
             hs = np.where(batch.hits, np.int64(0), np.int64(-1))
@@ -732,8 +746,14 @@ class SimulationEngine:
                     lane=lane, addrs=addrs_np, writes=writes_np,
                     idx0=idx0_np, part0=part0_np, two_stage=two_stage,
                     idx1=idx1_np, part1=part1_np)
-                self.stats.probe_seconds += perf_counter() - probe_start
-                staged = cast(Optional[StagedResult], (yield probe))
+                if org.profiling:
+                    # Same round-alignment rationale as the grouped
+                    # branch above.
+                    staged = cast(Optional[StagedResult], probe.invoke())
+                    self.stats.probe_seconds += perf_counter() - probe_start
+                else:
+                    self.stats.probe_seconds += perf_counter() - probe_start
+                    staged = cast(Optional[StagedResult], (yield probe))
                 probe_start = perf_counter()
             if staged is not None:
                 hs = staged.hit_stage
@@ -750,6 +770,7 @@ class SimulationEngine:
         self.stats.probe_seconds += perf_counter() - probe_start
 
         # Everything below is pure accounting over the recorded outcomes.
+        charge_start = perf_counter()
         probed0 = hs != -2
         kstats.accesses += n
         kstats.llc_lookups += int(probed0.sum())
@@ -837,7 +858,14 @@ class SimulationEngine:
         # Per-access latency for the MLP bound, grouped by requester chip.
         self._accumulate_latency(plans, pair_np, chips_np, probed0, probed1,
                                  miss)
+        if (org.profiling or not org.observe_is_passive) and \
+                hasattr(org, "observe_batch"):
+            # Replicate the serial path's per-access observe_access
+            # stream in one batched call (profiling counters).
+            org.observe_batch(self, chips_np, addrs_np, homes_np,
+                              slices_np, hs)
         self._settle_epoch(epoch, kstats)
+        self.stats.charge_seconds += perf_counter() - charge_start
 
     def _probe_loop(self, epoch: EpochTrace, uniform: bool,
                     idx0_np: np.ndarray, serve0_np: np.ndarray,

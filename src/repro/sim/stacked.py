@@ -27,6 +27,7 @@ are counted as ``solo_lanes``.
 
 from __future__ import annotations
 
+from copy import deepcopy
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -35,7 +36,7 @@ import numpy as np
 
 from ..arch.config import SystemConfig
 from ..arch.presets import baseline
-from ..cache.vector import VectorBank
+from ..cache.vector import GroupedLaneCall, StagedLaneCall, VectorBank
 from ..llc.base import LLCOrganization
 from ..workloads.generator import KernelTrace, TraceGenerator
 from ..workloads.spec import BenchmarkSpec
@@ -60,6 +61,9 @@ class StackedTelemetry:
     #: Lanes that could not share a bank (geometry mismatch, non-LRU,
     #: unvectorized, or a singleton group) and ran on their own store.
     solo_lanes: int = 0
+    #: Lanes that duplicated an earlier (organization, config) lane and
+    #: copied its stats instead of simulating (no engine, no probes).
+    duplicate_lanes: int = 0
     #: Shared banks built (one per matching-geometry group).
     banks: int = 0
     #: Successful vector-kernel calls issued by the driver.
@@ -68,6 +72,11 @@ class StackedTelemetry:
     probe_seconds: float = 0.0
     #: Whole co-run wall clock.
     wall_seconds: float = 0.0
+    #: Reuse encodings built by shared bank calls (one per unique
+    #: (set, tag) stream per round) and lane replays resolved against
+    #: them; replays exceeding encodings is the shared path paying off.
+    shared_encodings: int = 0
+    shared_replays: int = 0
 
 
 @dataclass
@@ -137,10 +146,35 @@ def simulate_stacked(spec: BenchmarkSpec,
 
     telemetry = StackedTelemetry(lanes=len(organizations))
 
+    # Duplicate-lane fast path: lanes naming the same organization under
+    # an equal config replay identical physics over the one shared
+    # trace, so a single engine serves all of them — the duplicates
+    # copy its stats after the drive (no engine, no probes, no extra
+    # encoding or replay).  Organization *instances* may carry state and
+    # are never deduplicated.
+    primaries: List[int] = []
+    primary_of: List[int] = []
+    for i, org_i in enumerate(organizations):
+        match = -1
+        if isinstance(org_i, str):
+            for j in primaries:
+                if (isinstance(organizations[j], str)
+                        and organizations[j] == org_i
+                        and run_cfgs[j] == run_cfgs[i]):
+                    match = j
+                    break
+        if match < 0:
+            primaries.append(i)
+            primary_of.append(i)
+        else:
+            primary_of.append(match)
+            telemetry.duplicate_lanes += 1
+
     # Group bank-eligible lanes by scaled tag-store geometry.  Groups of
     # one (and ineligible lanes) run with their own store.
     groups: Dict[object, List[int]] = {}
-    for i, rc in enumerate(run_cfgs):
+    for i in primaries:
+        rc = run_cfgs[i]
         llc_cfg = rc.chip.llc_slice
         if (resolved_params.vectorized and resolved_params.batched
                 and llc_cfg.replacement == "lru"):
@@ -165,19 +199,22 @@ def simulate_stacked(spec: BenchmarkSpec,
             group_size[i] = len(members)
         telemetry.banks += 1
         telemetry.stacked_lanes += len(members)
-    telemetry.solo_lanes = telemetry.lanes - telemetry.stacked_lanes
+    telemetry.solo_lanes = (telemetry.lanes - telemetry.stacked_lanes
+                            - telemetry.duplicate_lanes)
 
-    engines: List[SimulationEngine] = []
-    for i, organization in enumerate(organizations):
+    engine_of: Dict[int, SimulationEngine] = {}
+    for i in primaries:
+        organization = organizations[i]
         rc = run_cfgs[i]
         if isinstance(organization, str):
             org = make_organization(organization, rc, **(org_kwargs or {}))
         else:
             org = organization
         bank, bank_base = lane_bank.get(i, (None, 0))
-        engines.append(SimulationEngine(
+        engine_of[i] = SimulationEngine(
             rc, org, params=resolved_params,
-            llc_bank=bank, llc_bank_base=bank_base))
+            llc_bank=bank, llc_bank_base=bank_base)
+    engines = [engine_of[i] for i in primaries]
 
     # Every lane replays the memoized trace (one generation, N replays).
     generator = TraceGenerator(
@@ -195,14 +232,32 @@ def simulate_stacked(spec: BenchmarkSpec,
     _drive(engines, kernels, spec.name, telemetry)
     telemetry.wall_seconds = perf_counter() - started
 
-    # Host wall clock is a co-run quantity; attribute it evenly so the
+    seen_banks = set()
+    for bank, _ in lane_bank.values():
+        if id(bank) in seen_banks:
+            continue
+        seen_banks.add(id(bank))
+        telemetry.shared_encodings += bank.shared_encodings
+        telemetry.shared_replays += bank.shared_replays
+
+    # Host wall clock is a co-run quantity; attribute it evenly across
+    # all lanes (duplicates included — they ride the same wall) so the
     # per-lane throughput numbers stay meaningful.
-    share = telemetry.wall_seconds / len(engines)
-    for i, engine in enumerate(engines):
-        engine.stats.wall_seconds = share
-        engine.stats.stacked_lanes = group_size.get(i, 0)
-    return StackedResult(stats=[e.stats for e in engines],
-                         telemetry=telemetry)
+    share = telemetry.wall_seconds / len(organizations)
+    stats_list: List[RunStats] = []
+    for i in range(len(organizations)):
+        p = primary_of[i]
+        stats = engine_of[p].stats
+        if p != i:
+            # A fresh copy per duplicate: callers may mutate lanes
+            # independently, and the physics fields are bit-identical
+            # to a standalone run of the duplicated pair by
+            # construction.
+            stats = deepcopy(stats)
+        stats.wall_seconds = share
+        stats.stacked_lanes = group_size.get(p, 0)
+        stats_list.append(stats)
+    return StackedResult(stats=stats_list, telemetry=telemetry)
 
 
 def _trace_shape(config: SystemConfig) -> Tuple[int, int, int, int]:
@@ -233,9 +288,13 @@ def _drive(engines: Sequence[SimulationEngine],
         engine.run_steps(kernels, benchmark) for engine in engines]
     probes: List[Optional[BankProbe]] = [
         _advance(step, None) for step in steps]
+    # The per-lane loops below are deliberate round bookkeeping —
+    # regrouping probe handles, charging stats, pumping generators —
+    # a few dict/attr operations per lane per round.  The per-access
+    # work all happens inside _invoke_group's one shared bank call.
     while True:
         groups: Dict[Tuple[int, str], List[int]] = {}
-        for i, probe in enumerate(probes):
+        for i, probe in enumerate(probes):  # repro: noqa(hot-loop)
             if probe is not None:
                 groups.setdefault((id(probe.bank), probe.kind),
                                   []).append(i)
@@ -243,86 +302,104 @@ def _drive(engines: Sequence[SimulationEngine],
             break
         for members in list(groups.values()):
             member_probes: List[BankProbe] = []
-            for i in members:
+            for i in members:  # repro: noqa(hot-loop)
                 probe = probes[i]
                 assert probe is not None
                 member_probes.append(probe)
-            outcomes, elapsed = _invoke_group(member_probes)
-            if outcomes[0] is not None:
+            outcomes, elapsed, sids = _invoke_group(member_probes)
+            if any(outcome is not None  # repro: noqa(hot-loop)
+                   for outcome in outcomes):
                 telemetry.bank_invocations += 1
             telemetry.probe_seconds += elapsed
-            total = sum(p.addrs.shape[0] for p in member_probes)
-            for i, probe, outcome in zip(members, member_probes, outcomes):
+            total = sum(p.addrs.shape[0]  # repro: noqa(hot-loop)
+                        for p in member_probes)
+            lane_count: Dict[int, int] = {}
+            if sids is not None:
+                for sid, outcome in zip(sids, outcomes):  # repro: noqa(hot-loop)
+                    if outcome is not None:
+                        lane_count[sid] = lane_count.get(sid, 0) + 1
+            for pos, (i, probe, outcome) in enumerate(  # repro: noqa(hot-loop)
+                    zip(members, member_probes, outcomes)):
                 stats = engines[i].stats
                 stats.stacked_probe_calls += 1
+                if sids is not None and outcome is not None \
+                        and lane_count.get(sids[pos], 0) >= 2:
+                    stats.stacked_shared_streams += 1
                 if total:
-                    stats.probe_seconds += \
-                        elapsed * probe.addrs.shape[0] / total
+                    lane_share = elapsed * probe.addrs.shape[0] / total
+                    stats.probe_seconds += lane_share
+                    stats.solve_seconds += lane_share
                 probes[i] = _advance(steps[i], outcome)
 
 
-def _invoke_group(probes: List[BankProbe]
-                  ) -> Tuple[List[ProbeOutcome], float]:
-    """Resolve one (bank, kind) group with a single bank call.
+def _arrays_equal(a: Optional[np.ndarray], b: Optional[np.ndarray]) -> bool:
+    if a is None or b is None:
+        return a is b
+    return a is b or bool(np.array_equal(a, b))
 
-    Probe arrays are concatenated lane-major (each lane's stream order
-    is preserved within its rows, and lanes never share a row), the
-    bank is called once with every lane's range, and the combined
-    result is sliced back per lane.  A ``None`` from the bank sends
-    every member lane to its per-access fallback, exactly as a
-    standalone decline would.
+
+def _same_stream(a: BankProbe, b: BankProbe) -> bool:
+    """True when two probes carry element-identical lane-local streams.
+
+    Lanes replaying the memoized trace at the same epoch usually share
+    the very array objects, so the identity fast path makes this cheap;
+    lanes sitting at different epochs (SAC profiling splits) fail on
+    shape before any element compare.
+    """
+    if not (_arrays_equal(a.addrs, b.addrs)
+            and _arrays_equal(a.writes, b.writes)
+            and _arrays_equal(a.idx0, b.idx0)):
+        return False
+    if a.kind == "grouped":
+        return True
+    return (_arrays_equal(a.part0, b.part0)
+            and _arrays_equal(a.two_stage, b.two_stage)
+            and _arrays_equal(a.idx1, b.idx1)
+            and _arrays_equal(a.part1, b.part1))
+
+
+def _invoke_group(probes: List[BankProbe]
+                  ) -> Tuple[List[ProbeOutcome], float,
+                             Optional[List[int]]]:
+    """Resolve one (bank, kind) group with one shared-stream bank call.
+
+    Member probes are labelled with stream ids (equal ids <=>
+    element-identical lane-local streams) and handed to the bank's
+    shared entry point, which encodes each unique stream once and
+    replays it per lane.  Per-lane ``None`` outcomes send just those
+    lanes to their per-access fallback.  Returns the per-probe stream
+    ids alongside the outcomes (``None`` for single-probe rounds).
     """
     started = perf_counter()
     if len(probes) == 1:
         outcome = probes[0].invoke()
-        return [outcome], perf_counter() - started
+        return [outcome], perf_counter() - started, None
     first = probes[0]
     bank = first.bank
-    sizes = [int(p.addrs.shape[0]) for p in probes]
-    bounds = np.cumsum([0] + sizes).tolist()
-    addrs = np.concatenate([p.addrs for p in probes])
-    writes = np.concatenate([p.writes for p in probes])
-    idx0 = np.concatenate([p.abs_idx0() for p in probes])
-    lanes = [p.lane for p in probes]
+    sids: List[int] = []
+    reps: List[BankProbe] = []
+    for p in probes:
+        for s, rep in enumerate(reps):
+            if _same_stream(p, rep):
+                sids.append(s)
+                break
+        else:
+            sids.append(len(reps))
+            reps.append(p)
     outcomes: List[ProbeOutcome]
     if first.kind == "grouped":
-        batch = bank.access_many_grouped(idx0, addrs, writes, lanes=lanes)
-        if batch is None:
-            return [None] * len(probes), perf_counter() - started
-        outcomes = []
-        for k in range(len(probes)):
-            a, b = bounds[k], bounds[k + 1]
-            outcomes.append(batch._replace(
-                hits=batch.hits[a:b],
-                evicted_addr=batch.evicted_addr[a:b],
-                evicted_dirty=batch.evicted_dirty[a:b],
-                sector_miss=(batch.sector_miss[a:b]
-                             if batch.sector_miss is not None else None)))
-        return outcomes, perf_counter() - started
-    part0_parts: List[np.ndarray] = []
-    two_stage_parts: List[np.ndarray] = []
-    part1_parts: List[np.ndarray] = []
-    for p in probes:
+        gcalls = [GroupedLaneCall(p.lane, p.idx0, p.addrs, p.writes, sid)
+                  for p, sid in zip(probes, sids)]
+        outcomes = list(bank.access_many_grouped_shared(gcalls))
+        return outcomes, perf_counter() - started, sids
+    scalls: List[StagedLaneCall] = []
+    for p, sid in zip(probes, sids):
         assert p.part0 is not None and p.two_stage is not None \
-            and p.part1 is not None
-        part0_parts.append(p.part0)
-        two_stage_parts.append(p.two_stage)
-        part1_parts.append(p.part1)
-    part0 = np.concatenate(part0_parts)
-    two_stage = np.concatenate(two_stage_parts)
-    idx1 = np.concatenate([p.abs_idx1() for p in probes])
-    part1 = np.concatenate(part1_parts)
-    staged = bank.access_many_staged(addrs, writes, idx0, part0,
-                                     two_stage, idx1, part1, lanes=lanes)
-    if staged is None:
-        return [None] * len(probes), perf_counter() - started
-    outcomes = []
-    for k, probe in enumerate(probes):
-        a, b = bounds[k], bounds[k + 1]
-        lo, hi = probe.lane
-        sel = (staged.evicted_cache >= lo) & (staged.evicted_cache < hi)
-        outcomes.append(staged._replace(
-            hit_stage=staged.hit_stage[a:b],
-            evicted_cache=staged.evicted_cache[sel] - probe.base,
-            evicted_addr=staged.evicted_addr[sel]))
-    return outcomes, perf_counter() - started
+            and p.idx1 is not None and p.part1 is not None
+        scalls.append(StagedLaneCall(p.lane, p.addrs, p.writes, p.idx0,
+                                     p.part0, p.two_stage, p.idx1,
+                                     p.part1, sid))
+    staged_list = bank.access_many_staged_shared(scalls)
+    outcomes = [p.localize(res)
+                for p, res in zip(probes, staged_list)]
+    return outcomes, perf_counter() - started, sids

@@ -31,11 +31,14 @@ TELEMETRY_FIELDS = frozenset({
     "fast_epochs",
     "slow_epochs",
     "probe_seconds",
+    "solve_seconds",
+    "charge_seconds",
     "vector_epochs",
     "scalar_epochs",
     "demotions",
     "stacked_lanes",
     "stacked_probe_calls",
+    "stacked_shared_streams",
 })
 
 
@@ -101,6 +104,13 @@ class RunStats:
     # Wall-clock spent in the cache-probe phase of batched epochs and how
     # many of those epochs resolved via the vectorized tag-store kernel.
     probe_seconds: float = 0.0
+    # Breakdown of the batched-epoch wall clock: ``solve_seconds`` is the
+    # subset of ``probe_seconds`` spent inside tag-store bank solves (the
+    # stack-distance kernel), ``charge_seconds`` is the accounting tail of
+    # each batched epoch (traffic/latency charging after the probe phase).
+    # Serial epochs sit outside both buckets.
+    solve_seconds: float = 0.0
+    charge_seconds: float = 0.0
     vector_epochs: int = 0
     # Batched epochs that ran the per-access probe loop instead, and the
     # subset that did so despite a vector bank being attached (a config
@@ -113,6 +123,10 @@ class RunStats:
     # lane's epochs participated in.
     stacked_lanes: int = 0
     stacked_probe_calls: int = 0
+    # Stacked rounds in which this lane's probe was resolved against a
+    # reuse encoding shared with at least one other lane (the lane either
+    # contributed the encoding or replayed another lane's).
+    stacked_shared_streams: int = 0
 
     @property
     def llc_hit_rate(self) -> float:
@@ -199,8 +213,11 @@ class RunStats:
             "scalar_epochs": self.scalar_epochs,
             "demotions": self.demotions,
             "probe_seconds": self.probe_seconds,
+            "solve_seconds": self.solve_seconds,
+            "charge_seconds": self.charge_seconds,
             "stacked_lanes": self.stacked_lanes,
             "stacked_probe_calls": self.stacked_probe_calls,
+            "stacked_shared_streams": self.stacked_shared_streams,
         }
 
     def comparable_dict(self) -> Dict[str, object]:

@@ -17,7 +17,13 @@ from repro.cache.cache import (
     PartitionFullError,
     SetAssociativeCache,
 )
-from repro.cache.vector import BatchResult, VectorBank, VectorCache
+from repro.cache.vector import (
+    BatchResult,
+    GroupedLaneCall,
+    StagedLaneCall,
+    VectorBank,
+    VectorCache,
+)
 
 LINE = 128
 
@@ -487,3 +493,150 @@ def test_no_write_allocate_uses_scalar_path():
     addrs, writes = random_stream(rng, 16, 4, 300, 0.6)
     assert_identical(reference_outcomes(ref, addrs, writes),
                      vec.access_many(addrs, writes), ref, vec)
+
+
+# -- Shared reuse encodings (stacked lanes over one stream) -------------------
+
+
+def _stacked_bank(config, num_lanes, slices_per_lane):
+    names = [f"l{i}.s{s}" for i in range(num_lanes)
+             for s in range(slices_per_lane)]
+    return VectorBank(config, names)
+
+
+@pytest.mark.parametrize("sectored", [False, True])
+def test_grouped_shared_one_encoding_per_stream(sectored):
+    """Lanes sharing a stream solve once and replay per lane, and each
+    lane's verdicts/state equal its own per-lane grouped call."""
+    rng = np.random.default_rng(61)
+    num_lanes, spl = 3, 4
+    config = make_config(48, 8, sectored=sectored)
+    bank = _stacked_bank(config, num_lanes, spl)
+    solo = [VectorBank(config, [f"r{i}.s{s}" for s in range(spl)])
+            for i in range(num_lanes)]
+    for _ in range(3):
+        n = 1200
+        addrs, writes = random_stream(rng, 48, 8, n, 0.3)
+        cache_idx = rng.integers(0, spl, size=n).astype(np.int64)
+        calls = [GroupedLaneCall((i * spl, (i + 1) * spl), cache_idx,
+                                 addrs, writes, stream=0)
+                 for i in range(num_lanes)]
+        enc0 = bank.shared_encodings
+        outs = bank.access_many_grouped_shared(calls)
+        assert bank.shared_encodings == enc0 + 1
+        for i, out in enumerate(outs):
+            assert out is not None
+            ref_out = solo[i].access_many_grouped(cache_idx, addrs, writes)
+            np.testing.assert_array_equal(ref_out.hits, out.hits)
+            np.testing.assert_array_equal(ref_out.evicted_addr,
+                                          out.evicted_addr)
+            np.testing.assert_array_equal(ref_out.evicted_dirty,
+                                          out.evicted_dirty)
+    for i in range(num_lanes):
+        for s in range(spl):
+            assert final_state(solo[i].caches[s]) == \
+                final_state(bank.caches[i * spl + s])
+    assert bank.shared_replays > bank.shared_encodings
+
+
+def test_grouped_shared_distinct_streams_stay_isolated():
+    """Different stream ids produce independent encodings: a lane fed a
+    different trace must not inherit another stream's verdicts."""
+    rng = np.random.default_rng(67)
+    spl = 2
+    config = make_config(16, 4)
+    bank = _stacked_bank(config, 2, spl)
+    solo = [VectorBank(config, [f"r{i}.s{s}" for s in range(spl)])
+            for i in range(2)]
+    a0, w0 = random_stream(rng, 16, 4, 400, 0.4)
+    a1, w1 = random_stream(rng, 16, 4, 400, 0.4, base=1 << 20)
+    ci = rng.integers(0, spl, size=400).astype(np.int64)
+    calls = [GroupedLaneCall((0, spl), ci, a0, w0, stream=0),
+             GroupedLaneCall((spl, 2 * spl), ci, a1, w1, stream=1)]
+    outs = bank.access_many_grouped_shared(calls)
+    for i, (addrs, writes) in enumerate(((a0, w0), (a1, w1))):
+        ref_out = solo[i].access_many_grouped(ci, addrs, writes)
+        out = outs[i]
+        assert out is not None
+        np.testing.assert_array_equal(ref_out.hits, out.hits)
+        for s in range(spl):
+            assert final_state(solo[i].caches[s]) == \
+                final_state(bank.caches[i * spl + s])
+
+
+def test_staged_shared_mixed_partition_caps_over_one_stream():
+    """One stream, per-lane way splits: the shared encoding is replayed
+    with each lane's capacity vector and stays bit-identical to the
+    per-lane staged path (which is itself pinned to the probe loop)."""
+    rng = np.random.default_rng(71)
+    num_lanes, spl, num_sets = 3, 4, 16
+    config = make_config(num_sets, 4)
+    bank = _stacked_bank(config, num_lanes, spl)
+    solo = [VectorBank(config, [f"r{i}.s{s}" for s in range(spl)])
+            for i in range(num_lanes)]
+    splits = ({0: 3, 1: 1}, {0: 1, 1: 3}, {0: 2, 1: 2})
+    for i, ways in enumerate(splits):
+        for s in range(spl):
+            bank.caches[i * spl + s].set_partition(dict(ways))
+            solo[i].caches[s].set_partition(dict(ways))
+    for _ in range(3):
+        n = 600
+        addrs, writes = random_stream(rng, num_sets, 4, n, 0.4)
+        home = ((addrs // LINE) % spl).astype(np.int64)
+        req = rng.integers(0, spl, size=n).astype(np.int64)
+        two_stage = req != home
+        idx0 = np.where(two_stage, req, home)
+        part0 = np.where(two_stage, 1, 0).astype(np.int64)
+        idx1 = home
+        part1 = np.zeros(n, dtype=np.int64)
+        calls = [StagedLaneCall((i * spl, (i + 1) * spl), addrs, writes,
+                                idx0, part0, two_stage, idx1, part1,
+                                stream=0)
+                 for i in range(num_lanes)]
+        enc0 = bank.shared_encodings
+        outs = bank.access_many_staged_shared(calls)
+        assert bank.shared_encodings == enc0 + 1
+        for i, out in enumerate(outs):
+            assert out is not None
+            ref = solo[i].access_many_staged(addrs, writes, idx0, part0,
+                                             two_stage, idx1, part1)
+            assert ref is not None
+            np.testing.assert_array_equal(ref.hit_stage, out.hit_stage)
+            # Shared staged results carry bank-absolute cache indices;
+            # the driver localizes them per lane (BankProbe.localize).
+            np.testing.assert_array_equal(ref.evicted_cache,
+                                          out.evicted_cache - i * spl)
+            np.testing.assert_array_equal(ref.evicted_addr, out.evicted_addr)
+    for i in range(num_lanes):
+        for s in range(spl):
+            assert final_state(solo[i].caches[s]) == \
+                final_state(bank.caches[i * spl + s])
+    assert bank.shared_replays > bank.shared_encodings
+
+
+def test_staged_shared_unpartitioned_lane_falls_back_alone():
+    """A lane failing the all-partitioned gate comes back None while the
+    remaining lanes still share the stream's encoding."""
+    rng = np.random.default_rng(73)
+    spl, num_sets = 2, 16
+    config = make_config(num_sets, 4)
+    bank = _stacked_bank(config, 3, spl)
+    for i in (0, 1):
+        for s in range(spl):
+            bank.caches[i * spl + s].set_partition({0: 2, 1: 2})
+    # Lane 2 left unpartitioned: its staged call cannot be hosted.
+    n = 300
+    addrs, writes = random_stream(rng, num_sets, 4, n, 0.4)
+    home = ((addrs // LINE) % spl).astype(np.int64)
+    req = rng.integers(0, spl, size=n).astype(np.int64)
+    two_stage = req != home
+    idx0 = np.where(two_stage, req, home)
+    part0 = np.where(two_stage, 1, 0).astype(np.int64)
+    part1 = np.zeros(n, dtype=np.int64)
+    calls = [StagedLaneCall((i * spl, (i + 1) * spl), addrs, writes,
+                            idx0, part0, two_stage, home, part1, stream=0)
+             for i in range(3)]
+    outs = bank.access_many_staged_shared(calls)
+    assert outs[0] is not None and outs[1] is not None
+    assert outs[2] is None
+    assert bank.shared_encodings >= 1

@@ -155,3 +155,117 @@ class TestStackedTelemetry:
         # differ between a stacked lane and its standalone run).
         assert "stacked_lanes" in TELEMETRY_FIELDS
         assert "stacked_probe_calls" in TELEMETRY_FIELDS
+        assert "stacked_shared_streams" in TELEMETRY_FIELDS
+
+
+class TestSharedEncodings:
+    def test_five_org_sweep_shares_streams(self):
+        # The tentpole contract: one encoding per unique (set, tag)
+        # stream per round, replayed per lane — so replays must exceed
+        # encodings, and lanes must see shared-stream rounds.
+        spec = tiny_spec(name="stacked-share")
+        result = simulate_stacked(spec, list(ORGANIZATIONS), scale=SCALE,
+                                  accesses_per_epoch=DENSITY)
+        tele = result.telemetry
+        assert tele.shared_encodings > 0
+        assert tele.shared_replays > tele.shared_encodings
+        assert sum(s.stacked_shared_streams > 0 for s in result.stats) >= 2
+        for org, stats in zip(ORGANIZATIONS, result.stats):
+            solo = standalone(spec, org)
+            assert stats.comparable_dict() == solo.comparable_dict(), org
+
+    def test_mixed_partition_caps_share_one_stream(self):
+        # Two static lanes with different way splits replay the same
+        # stream against different capacity vectors.
+        spec = tiny_spec(name="stacked-caps")
+        config = scaled_config(baseline(), SCALE)
+        fractions = (0.25, 0.5)
+        orgs = [make_organization("static", config,
+                                  remote_way_fraction=f)
+                for f in fractions]
+        result = simulate_stacked(spec, orgs, scale=SCALE,
+                                  accesses_per_epoch=DENSITY)
+        assert result.telemetry.duplicate_lanes == 0
+        assert result.telemetry.shared_encodings > 0
+        assert result.telemetry.shared_replays > \
+            result.telemetry.shared_encodings
+        for f, stats in zip(fractions, result.stats):
+            solo = standalone(spec, make_organization(
+                "static", config, remote_way_fraction=f))
+            assert stats.comparable_dict() == solo.comparable_dict()
+
+    def test_sectored_lanes_share_while_plain_runs_apart(self):
+        # Sectored lanes share one sectored bank (sector verdicts ride
+        # the shared encoding); the plain lane keeps its own geometry.
+        spec = tiny_spec(name="stacked-sector")
+        sectored = presets.with_sectored_llc(baseline())
+        configs = [sectored, sectored, baseline()]
+        orgs = ["memory-side", "sm-side", "memory-side"]
+        result = simulate_stacked(spec, orgs, configs=configs, scale=SCALE,
+                                  accesses_per_epoch=DENSITY)
+        assert result.telemetry.banks == 1
+        assert result.telemetry.stacked_lanes == 2
+        assert result.telemetry.solo_lanes == 1
+        assert result.telemetry.shared_encodings > 0
+        for org, config, stats in zip(orgs, configs, result.stats):
+            solo = standalone(spec, org, config=config)
+            assert stats.comparable_dict() == solo.comparable_dict()
+
+    def test_fallback_lane_rides_with_shared_lanes(self):
+        # A lane whose config forces the per-access path (hardware
+        # coherence) joins the drive without disturbing the other
+        # lanes' stream sharing.
+        spec = tiny_spec(name="stacked-fallback")
+        hw = presets.with_coherence(baseline(), "hardware")
+        configs = [baseline(), baseline(), hw]
+        orgs = ["memory-side", "sm-side", "sm-side"]
+        result = simulate_stacked(spec, orgs, configs=configs, scale=SCALE,
+                                  accesses_per_epoch=DENSITY)
+        assert result.telemetry.shared_encodings > 0
+        assert result.stats[2].fast_epochs == 0
+        for org, config, stats in zip(orgs, configs, result.stats):
+            solo = standalone(spec, org, config=config)
+            assert stats.comparable_dict() == solo.comparable_dict()
+
+
+class TestDuplicateLanes:
+    def test_duplicate_lane_copies_stats_without_simulating(self):
+        spec = tiny_spec(name="stacked-dup")
+        result = simulate_stacked(
+            spec, ["memory-side", "sm-side", "memory-side"],
+            scale=SCALE, accesses_per_epoch=DENSITY)
+        tele = result.telemetry
+        assert tele.duplicate_lanes == 1
+        assert tele.stacked_lanes == 2
+        assert tele.solo_lanes == 0
+        solo = standalone(spec, "memory-side")
+        assert result.stats[0].comparable_dict() == solo.comparable_dict()
+        assert result.stats[2].comparable_dict() == solo.comparable_dict()
+        # The duplicate shares one replay: the bank sees exactly the
+        # probe calls of the two distinct lanes, not a third stream.
+        dedup = simulate_stacked(spec, ["memory-side", "sm-side"],
+                                 scale=SCALE, accesses_per_epoch=DENSITY)
+        assert tele.bank_invocations == dedup.telemetry.bank_invocations
+        assert tele.shared_encodings == dedup.telemetry.shared_encodings
+        assert tele.shared_replays == dedup.telemetry.shared_replays
+        assert result.stats[2].stacked_probe_calls == \
+            result.stats[0].stacked_probe_calls
+
+    def test_duplicate_stats_are_independent_copies(self):
+        spec = tiny_spec(name="stacked-dup-copy")
+        result = simulate_stacked(spec, ["memory-side", "memory-side"],
+                                  scale=SCALE, accesses_per_epoch=DENSITY)
+        assert result.stats[0] is not result.stats[1]
+        result.stats[1].accesses += 1
+        assert result.stats[0].accesses != result.stats[1].accesses
+
+    def test_organization_instances_are_never_deduplicated(self):
+        spec = tiny_spec(name="stacked-dup-inst")
+        config = scaled_config(baseline(), SCALE)
+        orgs = [make_organization("dynamic", config),
+                make_organization("dynamic", config)]
+        result = simulate_stacked(spec, orgs, scale=SCALE,
+                                  accesses_per_epoch=DENSITY)
+        assert result.telemetry.duplicate_lanes == 0
+        assert result.stats[0].comparable_dict() == \
+            result.stats[1].comparable_dict()
