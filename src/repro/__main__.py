@@ -36,6 +36,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         const=".repro_cache", default=None,
                         help="persist results under PATH so repeated runs "
                              "skip simulation (default path: .repro_cache)")
+    parser.add_argument("--task-timeout", type=float, metavar="SECONDS",
+                        help="wall-clock ceiling per matrix worker task "
+                             "(default: REPRO_TASK_TIMEOUT env, else none)")
+    parser.add_argument("--retries", type=int, metavar="N",
+                        help="re-dispatches per failed/timed-out matrix "
+                             "task (default: REPRO_RETRIES env, else 2)")
     args = parser.parse_args(argv)
 
     if args.jobs is not None:
@@ -44,6 +50,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         # run_matrix reads REPRO_JOBS through default_jobs(), so setting
         # the env reaches every experiment without new plumbing.
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.task_timeout is not None:
+        if args.task_timeout <= 0:
+            parser.error("--task-timeout must be positive")
+        # Same pattern as --jobs: the supervisor reads the env.
+        os.environ["REPRO_TASK_TIMEOUT"] = str(args.task_timeout)
+    if args.retries is not None:
+        if args.retries < 0:
+            parser.error("--retries cannot be negative")
+        os.environ["REPRO_RETRIES"] = str(args.retries)
     if args.cache_dir is not None:
         from .analysis.runner import set_default_cache_dir
         set_default_cache_dir(args.cache_dir)

@@ -17,8 +17,10 @@ and bumping ``SCHEMA_VERSION`` (whenever ``RunStats`` or the timing
 model changes shape) makes every old entry invisible; stale version
 directories are deleted lazily the first time the new version opens the
 root.  Writes are atomic (temp file + ``os.replace``) so a crashed or
-parallel writer can never leave a torn payload, and unreadable payloads
-are treated as misses and evicted.
+parallel writer can never leave a torn payload.  Unreadable payloads
+are treated as misses, but instead of being deleted they are moved to
+``<root>/quarantine/`` — a torn or incompatible payload is evidence of
+a writer bug or a schema drift, and the bytes are the forensics.
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
+from ..resilience.faults import fire
 from ..sim.engine import EngineParams
 from ..sim.stats import KernelStats, RunStats
 
@@ -119,9 +122,13 @@ class ResultCache:
     def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
         self.version_dir = self.root / f"v{SCHEMA_VERSION}"
+        # Quarantine lives beside (not under) the version dir so stale
+        # schema eviction and ``clear()`` leave the forensics alone.
+        self.quarantine_dir = self.root / "quarantine"
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
         self._opened = False
 
     # -- Layout -------------------------------------------------------------
@@ -146,7 +153,8 @@ class ResultCache:
     def load(self, key: str) -> Optional[RunStats]:
         """Return the stored result for ``key``, or None on a miss.
 
-        Corrupt or unreadable payloads count as misses and are evicted.
+        Corrupt or unreadable payloads count as misses and are moved to
+        the quarantine directory for later inspection.
         """
         self._open()
         path = self._path(key)
@@ -159,15 +167,26 @@ class ResultCache:
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
             # Torn write or a payload from an incompatible code state.
-            path.unlink(missing_ok=True)
+            self._quarantine(path)
             self.misses += 1
             return None
         if not isinstance(stats, RunStats):
-            path.unlink(missing_ok=True)
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return stats
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable payload aside instead of deleting it."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            # A concurrent reader already moved (or removed) it; either
+            # way the payload is out of the hot path.
+            path.unlink(missing_ok=True)
+        self.quarantined += 1
 
     def store(self, key: str, stats: RunStats) -> None:
         """Persist ``stats`` under ``key`` atomically."""
@@ -176,17 +195,24 @@ class ResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
             prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent)
+        # try/finally instead of a broad except: nothing is swallowed
+        # (KeyboardInterrupt/SystemExit propagate untouched) and the
+        # temp file is reaped on every exit path — after a successful
+        # ``os.replace`` the unlink is a no-op ENOENT.
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(stats, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
-        except BaseException:
+        finally:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
-            raise
         self.stores += 1
+        if fire("cache.torn_payload", key=key) is not None:
+            # Injected fault: truncate the payload we just committed,
+            # simulating a torn write for the next reader to quarantine.
+            path.write_bytes(path.read_bytes()[:16])
 
     def clear(self) -> None:
         """Delete every entry of the current schema version."""

@@ -14,23 +14,32 @@ Three layers, checked in order:
 2. the optional on-disk :class:`~repro.analysis.diskcache.ResultCache`,
    which survives process boundaries (pass ``cache_dir``);
 3. :func:`~repro.sim.run.simulate`, optionally fanned out across a
-   ``ProcessPoolExecutor`` (``n_jobs``) for matrix runs.
+   supervised process pool (``n_jobs``) for matrix runs.
 
 Matrix results are keyed and ordered deterministically by (benchmark,
 organization) submission order regardless of worker completion order.
+
+Execution is fault-tolerant (see ``docs/resilience.md``): pool tasks run
+under a :class:`~repro.resilience.supervisor.Supervisor` (per-task
+timeouts via ``REPRO_TASK_TIMEOUT``, retries via ``REPRO_RETRIES``, pool
+respawn on worker death), and — when the disk cache is on — every
+completed pair is journaled to a :class:`~repro.resilience.manifest.
+SweepManifest` under the cache root, so an interrupted matrix resumes
+from what it already finished instead of restarting.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union, cast
 
 from ..arch.config import SystemConfig
 from ..arch.presets import baseline
+from ..resilience.manifest import SweepManifest
+from ..resilience.supervisor import SupervisedTask, Supervisor
 from ..sim.engine import EngineParams
 from ..sim.run import (
     DEFAULT_ACCESSES_PER_EPOCH,
@@ -77,6 +86,26 @@ class RunnerTelemetry:
     stacked_groups: int = 0
     stacked_lanes: int = 0
     stacked_fallbacks: int = 0
+    #: Supervised execution: task re-dispatches after a failed attempt,
+    #: tasks that overran ``REPRO_TASK_TIMEOUT``, and process pools
+    #: replaced after a worker death or hang.
+    retries: int = 0
+    timeouts: int = 0
+    respawns: int = 0
+    #: Fault containment inside stacked groups: lanes quarantined
+    #: mid-drive and the subset whose solo re-run was demoted to the
+    #: scalar engine (vector-kernel fault).
+    quarantined_lanes: int = 0
+    demoted_lanes: int = 0
+    #: Unreadable disk-cache payloads moved to ``quarantine/``.
+    cache_quarantined: int = 0
+    #: Disk hits whose key the sweep manifest had journaled — work a
+    #: previous (interrupted or completed) run of this matrix already
+    #: finished — and dispatch submissions dropped by the duplicate-
+    #: submission guard (a resumed-manifest entry overlapping the
+    #: in-process pending set).
+    resumed_pairs: int = 0
+    deduped_submissions: int = 0
 
     def summary(self) -> str:
         line = (f"{self.simulated} simulated, {self.memo_hits} memo hits, "
@@ -93,6 +122,19 @@ class RunnerTelemetry:
                 line += f" ({self.stacked_fallbacks} unstacked)"
         if self.demotions:
             line += f", {self.demotions} vector demotions"
+        if self.retries or self.timeouts or self.respawns:
+            line += (f", {self.retries} retries / {self.timeouts} timeouts"
+                     f" / {self.respawns} pool respawns")
+        if self.quarantined_lanes:
+            line += f", {self.quarantined_lanes} lanes quarantined"
+            if self.demoted_lanes:
+                line += f" ({self.demoted_lanes} demoted to scalar)"
+        if self.cache_quarantined:
+            line += f", {self.cache_quarantined} payloads quarantined"
+        if self.resumed_pairs:
+            line += f", {self.resumed_pairs} pairs resumed"
+        if self.deduped_submissions:
+            line += f", {self.deduped_submissions} submissions deduped"
         return line
 
 
@@ -209,7 +251,10 @@ def run(spec: BenchmarkSpec, organization: str,
     if use_cache and disk_cache is not None:
         dkey = _disk_key(spec, organization, resolved, scale,
                          accesses_per_epoch, resolved_params)
+        quarantined_before = disk_cache.quarantined
         stats = disk_cache.load(dkey)
+        _TELEMETRY.cache_quarantined += (disk_cache.quarantined
+                                         - quarantined_before)
         if stats is not None:
             _TELEMETRY.disk_hits += 1
             _CACHE[key] = stats
@@ -239,18 +284,22 @@ def run_matrix(specs: Iterable[BenchmarkSpec], organizations: Iterable[str],
                ) -> Dict[Tuple[str, str], RunStats]:
     """Run every (benchmark, organization) pair; returns a keyed dict.
 
-    ``n_jobs`` > 1 fans pending simulations out over a process pool
-    (default from the ``REPRO_JOBS`` environment variable, else serial).
-    ``cache_dir`` enables the persistent on-disk result cache; warm
-    entries are recalled without re-simulating.  The returned dict is
-    keyed and iterates in (benchmark, organization) submission order no
-    matter which worker finishes first.
+    ``n_jobs`` > 1 fans pending simulations out over a supervised
+    process pool (default from the ``REPRO_JOBS`` environment variable,
+    else serial) with per-task timeouts, retries and pool respawns (env
+    ``REPRO_TASK_TIMEOUT``/``REPRO_RETRIES``).  ``cache_dir`` enables
+    the persistent on-disk result cache; warm entries are recalled
+    without re-simulating, and completed pairs are journaled to a sweep
+    manifest so an interrupted matrix resumes instead of restarting.
+    The returned dict is keyed and iterates in (benchmark, organization)
+    submission order no matter which worker finishes first.
     """
     resolved = _resolve_config(config)
     resolved_params = _resolve_params(params)
     jobs = n_jobs if n_jobs is not None else default_jobs()
     root = cache_dir if cache_dir is not None else _DEFAULT_CACHE_DIR
     disk_cache = ResultCache(root) if root is not None else None
+    cache_q_before = disk_cache.quarantined if disk_cache is not None else 0
     started = time.perf_counter()
 
     pairs: List[Tuple[BenchmarkSpec, str]] = [
@@ -270,6 +319,24 @@ def run_matrix(specs: Iterable[BenchmarkSpec], organizations: Iterable[str],
     results: Dict[Tuple[str, str], Optional[RunStats]] = {
         (spec.name, organization): None for spec, organization in pairs}
 
+    # With the disk cache on, every unique pair's disk key is computed
+    # up front: the sorted key set *is* the sweep identity, so the same
+    # matrix always resumes the same manifest journal.
+    dkey_of: Dict[Tuple[str, str], str] = {}
+    manifest: Optional[SweepManifest] = None
+    journaled: Set[str] = set()
+    if disk_cache is not None:
+        for spec, organization in pairs:
+            name_key = (spec.name, organization)
+            if name_key not in dkey_of:
+                dkey_of[name_key] = _disk_key(
+                    spec, organization, resolved, scale,
+                    accesses_per_epoch, resolved_params)
+        manifest = SweepManifest(
+            disk_cache.root,
+            content_key(pairs=sorted(dkey_of.values())))
+        journaled = manifest.load()
+
     # Resolve the cheap layers (memo, then disk) in-process first; only
     # genuinely new work is worth a worker.  ``queued`` also dedupes
     # pairs that miss every cache layer (``results`` only catches
@@ -287,25 +354,49 @@ def run_matrix(specs: Iterable[BenchmarkSpec], organizations: Iterable[str],
             results[name_key] = _CACHE[key]
             continue
         if disk_cache is not None:
-            dkey = _disk_key(spec, organization, resolved, scale,
-                             accesses_per_epoch, resolved_params)
+            dkey = dkey_of[name_key]
             stats = disk_cache.load(dkey)
             if stats is not None:
                 _TELEMETRY.disk_hits += 1
+                if dkey in journaled:
+                    _TELEMETRY.resumed_pairs += 1
                 _CACHE[key] = stats
                 results[name_key] = stats
                 continue
         pending.append((spec, organization))
         queued.add(name_key)
 
-    # Group the pending pairs by benchmark: every organization of one
+    # Pairs the manifest journaled as complete but whose payload is gone
+    # (evicted, quarantined as torn): the journal says to re-dispatch
+    # them.  They also missed every cache layer above, so the naive
+    # union would submit each of them twice — the duplicate-submission
+    # guard collapses the overlap by cache key.
+    lost: List[Tuple[BenchmarkSpec, str]] = []
+    if manifest is not None:
+        for spec, organization in pairs:
+            name_key = (spec.name, organization)
+            if (results[name_key] is None
+                    and dkey_of[name_key] in journaled):
+                lost.append((spec, organization))
+    dispatch: List[Tuple[BenchmarkSpec, str]] = []
+    seen_keys: Set[object] = set()
+    for spec, organization in pending + lost:
+        dedupe_key: object = dkey_of.get(
+            (spec.name, organization), (spec.name, organization))
+        if dedupe_key in seen_keys:
+            _TELEMETRY.deduped_submissions += 1
+            continue
+        seen_keys.add(dedupe_key)
+        dispatch.append((spec, organization))
+
+    # Group the dispatched pairs by benchmark: every organization of one
     # spec shares the same trace, so a group of >= 2 is dispatched as
     # one stacked kernel sweep instead of per-pair simulations.
     stacked_groups: List[Tuple[BenchmarkSpec, List[str]]] = []
     singles: List[Tuple[BenchmarkSpec, str]] = []
     if _stacked_enabled():
         orgs_by_spec: Dict[str, List[str]] = {}
-        for spec, organization in pending:
+        for spec, organization in dispatch:
             orgs_by_spec.setdefault(spec.name, []).append(organization)
         for name, orgs in orgs_by_spec.items():
             if len(orgs) > 1:
@@ -313,45 +404,65 @@ def run_matrix(specs: Iterable[BenchmarkSpec], organizations: Iterable[str],
             else:
                 singles.append((spec_by_name[name], orgs[0]))
     else:
-        singles = list(pending)
+        singles = list(dispatch)
 
-    tasks = len(stacked_groups) + len(singles)
-    if tasks > 1 and jobs > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, tasks)) as pool:
-            stacked_futures = [
-                pool.submit(_simulate_stacked_task, spec, orgs, resolved,
-                            scale, accesses_per_epoch, resolved_params)
-                for spec, orgs in stacked_groups]
-            single_futures = [
-                pool.submit(_simulate_task, spec, organization, resolved,
-                            scale, accesses_per_epoch, resolved_params)
-                for spec, organization in singles]
-            stacked_fresh = [f.result() for f in stacked_futures]
-            single_fresh = [f.result() for f in single_futures]
-        for (spec, orgs), stacked in zip(stacked_groups, stacked_fresh):
-            _install_stacked(spec, orgs, stacked, resolved, scale,
+    # Build the supervised task list.  Task keys are the pairs' disk
+    # keys when available (content identity), else the name pairs; the
+    # supervisor treats them as the dedupe/bookkeeping identity.
+    task_meta: Dict[str, Tuple[BenchmarkSpec, List[str]]] = {}
+    tasks: List[SupervisedTask] = []
+    for spec, orgs in stacked_groups:
+        tkey = "stacked:" + "+".join(
+            str(dkey_of.get((spec.name, o), f"{spec.name}:{o}"))
+            for o in orgs)
+        task_meta[tkey] = (spec, orgs)
+        tasks.append(SupervisedTask(
+            key=tkey, label=f"{spec.name}:{'+'.join(orgs)}",
+            fn=_simulate_stacked_task,
+            args=(spec, orgs, resolved, scale, accesses_per_epoch,
+                  resolved_params)))
+    for spec, organization in singles:
+        tkey = "single:" + str(dkey_of.get(
+            (spec.name, organization), f"{spec.name}:{organization}"))
+        task_meta[tkey] = (spec, [organization])
+        tasks.append(SupervisedTask(
+            key=tkey, label=f"{spec.name}:{organization}",
+            fn=_simulate_task,
+            args=(spec, organization, resolved, scale, accesses_per_epoch,
+                  resolved_params)))
+
+    def _install(task: SupervisedTask, result: object) -> None:
+        """Install one completed task in the parent, the moment it
+        lands — partial progress stays durable even if the sweep dies
+        later — then journal its pairs as complete."""
+        spec, orgs = task_meta[task.key]
+        if isinstance(result, StackedResult):
+            _install_stacked(spec, orgs, result, resolved, scale,
                              accesses_per_epoch, resolved_params,
                              disk_cache, results)
-        for (spec, organization), stats in zip(singles, single_fresh):
-            _install_single(spec, organization, stats, resolved, scale,
-                            accesses_per_epoch, resolved_params,
+        else:
+            _install_single(spec, orgs[0], cast(RunStats, result), resolved,
+                            scale, accesses_per_epoch, resolved_params,
                             disk_cache, results)
-    else:
-        for spec, orgs in stacked_groups:
-            stacked = _simulate_stacked_task(spec, orgs, resolved, scale,
-                                             accesses_per_epoch,
-                                             resolved_params)
-            _install_stacked(spec, orgs, stacked, resolved, scale,
-                             accesses_per_epoch, resolved_params,
-                             disk_cache, results)
-        for spec, organization in singles:
-            stats = _simulate_task(spec, organization, resolved, scale,
-                                   accesses_per_epoch, resolved_params)
-            _install_single(spec, organization, stats, resolved, scale,
-                            accesses_per_epoch, resolved_params,
-                            disk_cache, results)
+        if manifest is not None:
+            for organization in orgs:
+                # Journal *after* the disk store above: a journaled key
+                # implies its payload was written.
+                manifest.mark_done(dkey_of[(spec.name, organization)],
+                                   f"{spec.name}:{organization}")
 
-    _TELEMETRY.matrix_seconds += time.perf_counter() - started
+    supervisor = Supervisor(max_workers=jobs, on_result=_install)
+    try:
+        supervisor.run(tasks)
+    finally:
+        _TELEMETRY.retries += supervisor.telemetry.retries
+        _TELEMETRY.timeouts += supervisor.telemetry.timeouts
+        _TELEMETRY.respawns += supervisor.telemetry.respawns
+        if disk_cache is not None:
+            _TELEMETRY.cache_quarantined += (disk_cache.quarantined
+                                             - cache_q_before)
+        _TELEMETRY.matrix_seconds += time.perf_counter() - started
+
     # None placeholders are all filled by now; rebuild to narrow the type
     # and guarantee deterministic (submission-order) iteration.
     return {name_key: stats for name_key, stats in results.items()
@@ -391,6 +502,8 @@ def _install_stacked(spec: BenchmarkSpec, organizations: List[str],
     _TELEMETRY.stacked_groups += 1
     _TELEMETRY.stacked_lanes += stacked.telemetry.stacked_lanes
     _TELEMETRY.stacked_fallbacks += stacked.telemetry.solo_lanes
+    _TELEMETRY.quarantined_lanes += len(stacked.telemetry.quarantined_lanes)
+    _TELEMETRY.demoted_lanes += len(stacked.telemetry.demoted_lanes)
     _TELEMETRY.sim_seconds += stacked.telemetry.wall_seconds
     for organization, stats in zip(organizations, stacked.stats):
         _TELEMETRY.simulated += 1

@@ -1,0 +1,79 @@
+"""Sweep manifests: an append-only journal of completed matrix pairs.
+
+A long ``run_matrix`` sweep that dies halfway (worker crash the
+supervisor could not contain, OOM kill, ctrl-C) must resume instead of
+restarting.  The disk cache already holds every completed payload, but
+payloads alone cannot distinguish "this pair finished" from "this pair
+was never part of the sweep" — and a payload can be lost after the fact
+(evicted, quarantined as torn).  The manifest closes that gap: the
+runner journals each pair's cache key the moment its result is
+installed, so a resumed sweep knows exactly which pairs completed, can
+report how much of the matrix it recovered, and can re-dispatch the
+pairs whose journaled payloads went missing.
+
+Layout: one JSONL file per sweep under ``<cache root>/manifests/``,
+named by the sweep id (a content hash over the sorted cache keys of
+every pair in the matrix, so the same matrix always resumes the same
+journal).  Each line is one completion event::
+
+    {"key": "<64-hex cache key>", "label": "<spec>:<organization>"}
+
+Lines are appended atomically enough for the one-writer-per-sweep case
+(O_APPEND, one line per write); a torn trailing line from a killed
+process is ignored on load.  Manifests are idempotent — re-journaling a
+completed key is harmless — and deliberately kept after a sweep
+finishes, so a later identical sweep can still tell resumed pairs from
+fresh ones.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Set, Union
+
+
+class SweepManifest:
+    """Journal of completed cache keys for one ``run_matrix`` sweep."""
+
+    def __init__(self, root: Union[str, Path], sweep_id: str) -> None:
+        self.root = Path(root)
+        self.sweep_id = sweep_id
+        self.path = self.root / "manifests" / f"{sweep_id}.jsonl"
+
+    def load(self) -> Set[str]:
+        """Cache keys journaled as complete (torn/garbled lines skipped)."""
+        return set(self.entries())
+
+    def entries(self) -> Dict[str, str]:
+        """Completed ``{key: label}`` pairs, last journaled label wins."""
+        done: Dict[str, str] = {}
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return done
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn trailing line from a killed writer; every
+                # complete line before it is still valid.
+                continue
+            if isinstance(entry, dict) and isinstance(entry.get("key"), str):
+                done[entry["key"]] = str(entry.get("label", ""))
+        return done
+
+    def mark_done(self, key: str, label: str = "") -> None:
+        """Append one completion event (flushed before returning)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps({"key": key, "label": label},
+                          sort_keys=True, separators=(",", ":"))
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    def discard(self) -> None:
+        """Delete the journal (used by tests; sweeps keep theirs)."""
+        self.path.unlink(missing_ok=True)

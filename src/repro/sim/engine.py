@@ -57,6 +57,8 @@ from ..memory.mapping import AddressMapping
 from ..memory.pages import PageTable
 from ..noc.crossbar import Crossbar
 from ..noc.ring import InterChipRing
+from ..resilience.faults import KernelSolveError
+from ..resilience.faults import fire as fault_fire
 from ..workloads.generator import EpochTrace, KernelTrace
 from .stats import (
     ORIGIN_LOCAL_LLC,
@@ -160,6 +162,9 @@ class BankProbe:
     two_stage: Optional[np.ndarray] = None
     idx1: Optional[np.ndarray] = None
     part1: Optional[np.ndarray] = None
+    #: Key for the ``kernel.solve_error`` fault site (the owning
+    #: engine's organization name); ``None`` disables injection.
+    fault_key: Optional[str] = None
 
     def abs_idx0(self) -> np.ndarray:
         """Stage-0 cache indices in the bank's absolute numbering."""
@@ -181,6 +186,8 @@ class BankProbe:
 
     def invoke(self) -> ProbeOutcome:
         """Resolve this probe alone (the standalone-run driver)."""
+        if fault_fire("kernel.solve_error", key=self.fault_key) is not None:
+            raise KernelSolveError("kernel.solve_error", key=self.fault_key)
         if self.kind == "grouped":
             return self.bank.access_many_grouped(
                 self.abs_idx0(), self.addrs, self.writes,
@@ -718,7 +725,8 @@ class SimulationEngine:
                 and st0_part[0] == UNPARTITIONED and st0_alloc[0]):
             probe = BankProbe(
                 bank=self._llc_bank, kind="grouped", base=base, lane=lane,
-                addrs=addrs_np, writes=writes_np, idx0=idx0_np)
+                addrs=addrs_np, writes=writes_np, idx0=idx0_np,
+                fault_key=org.name)
             if org.profiling:
                 # Profiling slices are lane-private head/tail cuts that
                 # never match another lane's stream; resolving them
@@ -745,7 +753,7 @@ class SimulationEngine:
                     bank=self._llc_bank, kind="staged", base=base,
                     lane=lane, addrs=addrs_np, writes=writes_np,
                     idx0=idx0_np, part0=part0_np, two_stage=two_stage,
-                    idx1=idx1_np, part1=part1_np)
+                    idx1=idx1_np, part1=part1_np, fault_key=org.name)
                 if org.profiling:
                     # Same round-alignment rationale as the grouped
                     # branch above.

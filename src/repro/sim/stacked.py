@@ -23,10 +23,21 @@ stacked counters) differs.  Lanes the stacked path cannot host in a
 shared bank (mismatched geometry, non-LRU replacement, unvectorized
 params) still run in the same cooperative drive with their own bank and
 are counted as ``solo_lanes``.
+
+Fault containment: an exception raised by one lane mid-drive (or an
+armed ``lane.raise``/``kernel.solve_error`` fault site, see
+:mod:`repro.resilience.faults`) *quarantines* that lane instead of
+killing the co-run — the surviving lanes finish the shared drive with
+their physics untouched, and each quarantined lane is then re-run solo
+through the ordinary ``simulate()`` path (demoted to the scalar engine
+when the vector kernel itself faulted), so one bad config degrades a
+group instead of aborting it.
 """
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
 from copy import deepcopy
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -38,6 +49,8 @@ from ..arch.config import SystemConfig
 from ..arch.presets import baseline
 from ..cache.vector import GroupedLaneCall, StagedLaneCall, VectorBank
 from ..llc.base import LLCOrganization
+from ..resilience.faults import InjectedLaneFault, KernelSolveError
+from ..resilience.faults import fire as fault_fire
 from ..workloads.generator import KernelTrace, TraceGenerator
 from ..workloads.spec import BenchmarkSpec
 from .engine import (
@@ -77,6 +90,11 @@ class StackedTelemetry:
     #: them; replays exceeding encodings is the shared path paying off.
     shared_encodings: int = 0
     shared_replays: int = 0
+    #: Lane indices that faulted mid-drive and were re-run solo, and the
+    #: subset whose re-run was demoted to the scalar engine because the
+    #: vector kernel itself faulted.
+    quarantined_lanes: List[int] = field(default_factory=list)
+    demoted_lanes: List[int] = field(default_factory=list)
 
 
 @dataclass
@@ -117,6 +135,7 @@ def simulate_stacked(spec: BenchmarkSpec,
         _note_simulate_calls,
         make_organization,
         scaled_config,
+        simulate,
     )
 
     if not organizations:
@@ -203,13 +222,19 @@ def simulate_stacked(spec: BenchmarkSpec,
                             - telemetry.duplicate_lanes)
 
     engine_of: Dict[int, SimulationEngine] = {}
+    # What a quarantined lane's solo re-run simulates: the original name
+    # for string lanes, a pristine pre-drive snapshot for organization
+    # instances (the attached instance accumulates drive state).
+    rerun_org: Dict[int, Union[str, LLCOrganization]] = {}
     for i in primaries:
         organization = organizations[i]
         rc = run_cfgs[i]
         if isinstance(organization, str):
             org = make_organization(organization, rc, **(org_kwargs or {}))
+            rerun_org[i] = organization
         else:
             org = organization
+            rerun_org[i] = deepcopy(org)
         bank, bank_base = lane_bank.get(i, (None, 0))
         engine_of[i] = SimulationEngine(
             rc, org, params=resolved_params,
@@ -229,7 +254,31 @@ def simulate_stacked(spec: BenchmarkSpec,
 
     _note_simulate_calls(len(engines))
     started = perf_counter()
-    _drive(engines, kernels, spec.name, telemetry)
+    faulted = _drive(engines, kernels, spec.name, telemetry)
+
+    # Quarantined lanes re-run solo through the ordinary simulate()
+    # path — same spec, config, scale and density — so their stats are
+    # bit-identical to a standalone run by construction.  A lane whose
+    # fault came from the vector kernel is demoted to the scalar engine
+    # (the per-access probe loop), since its vector path is the thing
+    # that faulted.
+    rerun_stats: Dict[int, RunStats] = {}
+    for pos in sorted(faulted):
+        p = primaries[pos]
+        kernel_fault = isinstance(faulted[pos], KernelSolveError)
+        rerun_params = resolved_params
+        if kernel_fault:
+            rerun_params = dataclasses.replace(
+                resolved_params, vectorized=False)
+        stats = simulate(spec, rerun_org[p], config=lane_bases[p],
+                         scale=resolved_scale, accesses_per_epoch=density,
+                         params=rerun_params, org_kwargs=org_kwargs)
+        stats.lane_quarantined = 1
+        telemetry.quarantined_lanes.append(p)
+        if kernel_fault:
+            stats.lane_demoted = 1
+            telemetry.demoted_lanes.append(p)
+        rerun_stats[p] = stats
     telemetry.wall_seconds = perf_counter() - started
 
     seen_banks = set()
@@ -247,7 +296,7 @@ def simulate_stacked(spec: BenchmarkSpec,
     stats_list: List[RunStats] = []
     for i in range(len(organizations)):
         p = primary_of[i]
-        stats = engine_of[p].stats
+        stats = rerun_stats.get(p, engine_of[p].stats)
         if p != i:
             # A fresh copy per duplicate: callers may mutate lanes
             # independently, and the physics fields are bit-identical
@@ -255,7 +304,10 @@ def simulate_stacked(spec: BenchmarkSpec,
             # construction.
             stats = deepcopy(stats)
         stats.wall_seconds = share
-        stats.stacked_lanes = group_size.get(p, 0)
+        if p not in rerun_stats:
+            # A quarantined lane's stats come from its standalone
+            # re-run; it was not co-resident in any shared store.
+            stats.stacked_lanes = group_size.get(p, 0)
         stats_list.append(stats)
     return StackedResult(stats=stats_list, telemetry=telemetry)
 
@@ -265,17 +317,38 @@ def _trace_shape(config: SystemConfig) -> Tuple[int, int, int, int]:
             config.line_size, config.page_size)
 
 
-def _advance(step: ProbeGen, outcome: ProbeOutcome) -> Optional[BankProbe]:
-    """Resume one lane; ``None`` means the lane finished its trace."""
+def _pump(step: ProbeGen, outcome: ProbeOutcome, org_name: str
+          ) -> Tuple[Optional[BankProbe], Optional[BaseException]]:
+    """Resume one lane; ``(None, None)`` means it finished its trace.
+
+    A lane that raises mid-resume (or whose armed ``lane.raise`` site
+    fires) comes back as ``(None, error)`` — the quarantine verdict —
+    instead of unwinding the whole co-run.
+    """
     try:
-        return step.send(outcome)
+        if fault_fire("lane.raise", key=org_name) is not None:
+            raise InjectedLaneFault("lane.raise", key=org_name)
+        return step.send(outcome), None
     except StopIteration:
-        return None
+        return None, None
+    except Exception as error:
+        return None, error
+
+
+def _retire(step: ProbeGen) -> None:
+    """Close a quarantined lane's generator, absorbing cleanup faults.
+
+    The generator already failed (or is being abandoned mid-epoch); an
+    exception out of its unwind must not take the surviving lanes down
+    with it, so suppression here is deliberate.
+    """
+    with contextlib.suppress(Exception):
+        step.close()
 
 
 def _drive(engines: Sequence[SimulationEngine],
            kernels: Iterable[KernelTrace], benchmark: str,
-           telemetry: StackedTelemetry) -> None:
+           telemetry: StackedTelemetry) -> Dict[int, BaseException]:
     """Cooperatively drive every lane's generator to completion.
 
     Each round groups the pending probes by (bank, kind) and issues one
@@ -283,11 +356,23 @@ def _drive(engines: Sequence[SimulationEngine],
     epochs, finished traces) simply aren't in any group.  Lanes may sit
     at different epochs (SAC splits profiling windows): probes are
     row-disjoint across lanes, so a combined call is exact regardless.
+
+    Returns the quarantine verdicts: ``{engine position: error}`` for
+    every lane that faulted mid-drive.  Surviving lanes are unaffected —
+    each lane's probes stay row-disjoint and its generator is pumped
+    with exactly the outcomes a standalone run would compute, so losing
+    a sibling changes nothing the survivors observe.
     """
+    quarantined: Dict[int, BaseException] = {}
     steps: List[ProbeGen] = [
         engine.run_steps(kernels, benchmark) for engine in engines]
-    probes: List[Optional[BankProbe]] = [
-        _advance(step, None) for step in steps]
+    probes: List[Optional[BankProbe]] = []
+    for i, step in enumerate(steps):  # repro: noqa(hot-loop)
+        probe, error = _pump(step, None, engines[i].organization.name)
+        if error is not None:
+            quarantined[i] = error
+            _retire(step)
+        probes.append(probe)
     # The per-lane loops below are deliberate round bookkeeping —
     # regrouping probe handles, charging stats, pumping generators —
     # a few dict/attr operations per lane per round.  The per-access
@@ -306,7 +391,18 @@ def _drive(engines: Sequence[SimulationEngine],
                 probe = probes[i]
                 assert probe is not None
                 member_probes.append(probe)
-            outcomes, elapsed, sids = _invoke_group(member_probes)
+            failed: Dict[int, BaseException] = {}
+            try:
+                outcomes, elapsed, sids = _invoke_group(member_probes)
+            except Exception as group_error:
+                # The shared path faulted before touching bank state
+                # (the injected site fires pre-dispatch; a real fault
+                # mid-solve is raised by the kernel before results are
+                # committed).  Re-resolve each member alone to pin the
+                # failure on specific lanes; the rest keep their round.
+                outcomes, elapsed, failed = _solo_fallback(
+                    member_probes, group_error)
+                sids = None
             if any(outcome is not None  # repro: noqa(hot-loop)
                    for outcome in outcomes):
                 telemetry.bank_invocations += 1
@@ -320,6 +416,11 @@ def _drive(engines: Sequence[SimulationEngine],
                         lane_count[sid] = lane_count.get(sid, 0) + 1
             for pos, (i, probe, outcome) in enumerate(  # repro: noqa(hot-loop)
                     zip(members, member_probes, outcomes)):
+                if pos in failed:
+                    quarantined[i] = failed[pos]
+                    _retire(steps[i])
+                    probes[i] = None
+                    continue
                 stats = engines[i].stats
                 stats.stacked_probe_calls += 1
                 if sids is not None and outcome is not None \
@@ -329,7 +430,36 @@ def _drive(engines: Sequence[SimulationEngine],
                     lane_share = elapsed * probe.addrs.shape[0] / total
                     stats.probe_seconds += lane_share
                     stats.solve_seconds += lane_share
-                probes[i] = _advance(steps[i], outcome)
+                next_probe, error = _pump(
+                    steps[i], outcome, engines[i].organization.name)
+                if error is not None:
+                    quarantined[i] = error
+                    _retire(steps[i])
+                probes[i] = next_probe
+    return quarantined
+
+
+def _solo_fallback(probes: List[BankProbe], group_error: BaseException
+                   ) -> Tuple[List[ProbeOutcome], float,
+                              Dict[int, BaseException]]:
+    """Re-resolve each probe of a failed group call individually.
+
+    Probes that still fail are reported (position -> error, with the
+    original shared-path ``group_error`` attached as context) so the
+    driver can quarantine exactly the faulting lanes; the others get
+    their ordinary outcomes and the round proceeds.
+    """
+    outcomes: List[ProbeOutcome] = []
+    failed: Dict[int, BaseException] = {}
+    started = perf_counter()
+    for pos, probe in enumerate(probes):  # repro: noqa(hot-loop)
+        try:
+            outcomes.append(probe.invoke())
+        except Exception as error:
+            error.__context__ = group_error
+            outcomes.append(None)
+            failed[pos] = error
+    return outcomes, perf_counter() - started, failed
 
 
 def _arrays_equal(a: Optional[np.ndarray], b: Optional[np.ndarray]) -> bool:
@@ -374,6 +504,13 @@ def _invoke_group(probes: List[BankProbe]
     if len(probes) == 1:
         outcome = probes[0].invoke()
         return [outcome], perf_counter() - started, None
+    # Armed kernel.solve_error sites fire here, *before* any bank call
+    # touches shared state, so the driver's solo fallback can replay the
+    # round from scratch.  (Single-probe rounds hit the same site inside
+    # ``BankProbe.invoke``.)
+    for p in probes:  # repro: noqa(hot-loop)
+        if fault_fire("kernel.solve_error", key=p.fault_key) is not None:
+            raise KernelSolveError("kernel.solve_error", key=p.fault_key)
     first = probes[0]
     bank = first.bank
     sids: List[int] = []

@@ -39,6 +39,8 @@ TELEMETRY_FIELDS = frozenset({
     "stacked_lanes",
     "stacked_probe_calls",
     "stacked_shared_streams",
+    "lane_quarantined",
+    "lane_demoted",
 })
 
 
@@ -127,6 +129,12 @@ class RunStats:
     # reuse encoding shared with at least one other lane (the lane either
     # contributed the encoding or replayed another lane's).
     stacked_shared_streams: int = 0
+    # Resilience telemetry: 1 when this lane faulted inside a stacked
+    # drive and these stats come from its solo re-run; ``lane_demoted``
+    # additionally marks that the re-run fell back to the scalar engine
+    # because the vector kernel itself faulted.
+    lane_quarantined: int = 0
+    lane_demoted: int = 0
 
     @property
     def llc_hit_rate(self) -> float:
@@ -218,6 +226,8 @@ class RunStats:
             "stacked_lanes": self.stacked_lanes,
             "stacked_probe_calls": self.stacked_probe_calls,
             "stacked_shared_streams": self.stacked_shared_streams,
+            "lane_quarantined": self.lane_quarantined,
+            "lane_demoted": self.lane_demoted,
         }
 
     def comparable_dict(self) -> Dict[str, object]:

@@ -66,14 +66,18 @@ class TestResultCache:
         assert not old.exists()
         assert cache.version_dir.exists()
 
-    def test_corrupt_payload_is_a_miss_and_evicted(self, tmp_path):
+    def test_corrupt_payload_is_a_miss_and_quarantined(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = content_key(x=4)
         cache.store(key, sample_stats())
         path = cache._path(key)
         path.write_bytes(b"not a pickle")
         assert cache.load(key) is None
+        # The bad bytes are preserved for forensics, not destroyed.
         assert not path.exists()
+        assert (cache.quarantine_dir / path.name).read_bytes() == \
+            b"not a pickle"
+        assert cache.quarantined == 1
 
     def test_wrong_payload_type_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -82,6 +86,49 @@ class TestResultCache:
         path = cache._path(key)
         path.write_bytes(pickle.dumps({"not": "runstats"}))
         assert cache.load(key) is None
+        assert cache.quarantined == 1
+
+    def test_quarantined_payload_does_not_count_as_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = content_key(x=7)
+        cache.store(key, sample_stats())
+        cache._path(key).write_bytes(b"torn")
+        cache.load(key)
+        # Quarantined files sit beside the version dir, invisible to the
+        # entry count and to clear().
+        assert len(cache) == 0
+        cache.clear()
+        assert (cache.quarantine_dir / cache._path(key).name).exists()
+
+    def test_store_interrupt_still_raises(self, tmp_path, monkeypatch):
+        # The narrowed handler must not swallow control-flow exceptions:
+        # a Ctrl-C mid-write propagates (after tmp-file cleanup).
+        cache = ResultCache(tmp_path)
+        key = content_key(x=8)
+
+        def boom(src, dst):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(diskcache.os, "replace", boom)
+        import pytest
+        with pytest.raises(KeyboardInterrupt):
+            cache.store(key, sample_stats())
+        # The interrupted temp file was cleaned up, nothing half-written.
+        assert list(cache.version_dir.glob("*/*.tmp")) == []
+        assert cache.load(key) is None
+
+    def test_torn_payload_fault_site_truncates_store(self, tmp_path):
+        from repro.resilience import faults
+        cache = ResultCache(tmp_path)
+        key = content_key(x=9)
+        try:
+            with faults.armed("cache.torn_payload"):
+                cache.store(key, sample_stats())
+        finally:
+            faults.reset()
+        assert cache._path(key).stat().st_size == 16
+        assert cache.load(key) is None
+        assert cache.quarantined == 1
 
     def test_clear_empties_current_version(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -269,3 +269,104 @@ class TestParallelMatrix:
                    cache_dir=tmp_path)
         assert telemetry().simulated == 0
         assert telemetry().memo_hits == len(serial)
+
+
+class TestSupervisedMatrix:
+    """Fault-tolerant dispatch: resume journals, dedupe guard, respawn."""
+
+    @pytest.fixture(autouse=True)
+    def disarm(self, monkeypatch):
+        from repro.resilience import faults
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        monkeypatch.delenv("REPRO_FAULT_STATE", raising=False)
+        faults.reset()
+        yield
+        faults.reset()
+
+    def test_interrupted_sweep_resumes_incomplete_pairs_only(
+            self, tmp_path, monkeypatch):
+        # First pass: both sm-side pairs fail terminally (an unbounded
+        # injected kernel fault, zero retries).  The supervisor still
+        # completes and journals the memory-side pairs before raising.
+        from repro.analysis import reset_telemetry, telemetry
+        from repro.resilience import faults
+        from repro.resilience.supervisor import TaskFailedError
+        from repro.sim.run import reset_simulate_calls, simulate_calls
+        monkeypatch.setenv("REPRO_STACKED", "0")
+        monkeypatch.setenv("REPRO_RETRIES", "0")
+        specs = [tiny_spec("res-a"), tiny_spec("res-b")]
+        orgs = ["memory-side", "sm-side"]
+        with faults.armed("kernel.solve_error:sm-side@1*"):
+            with pytest.raises(TaskFailedError) as excinfo:
+                run_matrix(specs, orgs, accesses_per_epoch=256,
+                           cache_dir=tmp_path)
+        assert set(excinfo.value.failures) == {"res-a:sm-side",
+                                               "res-b:sm-side"}
+        # Second pass, fault disarmed, memo dropped: the journaled pairs
+        # come back from disk as resumed, only the two incomplete pairs
+        # re-simulate.
+        clear_cache()
+        reset_telemetry()
+        reset_simulate_calls()
+        results = run_matrix(specs, orgs, accesses_per_epoch=256,
+                             cache_dir=tmp_path)
+        assert len(results) == 4
+        assert simulate_calls() == 2
+        assert telemetry().disk_hits == 2
+        assert telemetry().resumed_pairs == 2
+        assert telemetry().simulated == 2
+
+    def test_duplicate_submission_guard_dedupes_lost_pairs(
+            self, tmp_path, monkeypatch):
+        # A pair the manifest journaled as done but whose payload went
+        # missing lands in both the pending scan and the manifest's
+        # re-dispatch list; without the guard it would simulate twice.
+        from repro.analysis import reset_telemetry, runner, telemetry
+        from repro.analysis.diskcache import ResultCache
+        from repro.sim.run import reset_simulate_calls, simulate_calls
+        monkeypatch.setenv("REPRO_STACKED", "0")
+        specs = [tiny_spec("res-c")]
+        orgs = ["memory-side", "sm-side"]
+        run_matrix(specs, orgs, accesses_per_epoch=256, cache_dir=tmp_path)
+        dkey = runner._disk_key(
+            specs[0], "sm-side", runner._resolve_config(None),
+            runner.DEFAULT_SCALE, 256, runner._resolve_params(None))
+        payload = ResultCache(tmp_path)._path(dkey)
+        assert payload.is_file()
+        payload.unlink()
+        clear_cache()
+        reset_telemetry()
+        reset_simulate_calls()
+        results = run_matrix(specs, orgs, accesses_per_epoch=256,
+                             cache_dir=tmp_path)
+        assert len(results) == 2
+        assert telemetry().deduped_submissions == 1
+        assert telemetry().simulated == 1
+        assert simulate_calls() == 1
+
+    def test_worker_crash_respawns_and_loses_nothing(
+            self, tmp_path, monkeypatch):
+        from repro.analysis import reset_telemetry, telemetry
+        from repro.resilience import faults
+        monkeypatch.setenv("REPRO_STACKED", "0")
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "worker.crash:crash-a:memory-side")
+        monkeypatch.setenv("REPRO_FAULT_STATE", str(tmp_path / "state"))
+        faults.reset()
+        reset_telemetry()
+        specs = [tiny_spec("crash-a"), tiny_spec("crash-b")]
+        orgs = ["memory-side", "sm-side"]
+        results = run_matrix(specs, orgs, accesses_per_epoch=256, n_jobs=2)
+        assert len(results) == 4
+        assert telemetry().respawns == 1
+        assert telemetry().retries >= 1
+        # Survivor-equivalence: the crashed-and-retried matrix matches a
+        # clean serial run bit for bit.
+        monkeypatch.delenv("REPRO_FAULTS")
+        faults.reset()
+        clear_cache()
+        reference = run_matrix(specs, orgs, accesses_per_epoch=256,
+                               n_jobs=1)
+        for pair, stats in results.items():
+            assert stats.comparable_dict() == \
+                reference[pair].comparable_dict(), pair

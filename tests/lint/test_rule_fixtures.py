@@ -396,3 +396,82 @@ def test_bare_except_silent_on_narrow_or_handled():
                 raise RuntimeError(path) from exc
         """, ELSEWHERE, rule="bare-except")
     assert findings == []
+
+
+# -- broad-except -----------------------------------------------------------
+
+def test_broad_except_fires_on_swallow_and_substitute():
+    findings = lint_text("""\
+        def load(path):
+            try:
+                return parse(path)
+            except Exception:
+                return None
+        """, ELSEWHERE, rule="broad-except")
+    assert len(findings) == 1
+    assert findings[0].line == 4
+
+
+def test_broad_except_fires_on_base_exception():
+    findings = lint_text("""\
+        def load(path):
+            try:
+                return parse(path)
+            except BaseException:
+                return default()
+        """, ELSEWHERE, rule="broad-except")
+    assert len(findings) == 1
+
+
+def test_broad_except_silent_when_exception_is_used():
+    findings = lint_text("""\
+        def load(path, errors):
+            try:
+                return parse(path)
+            except Exception as error:
+                errors.append(error)
+                return None
+        """, ELSEWHERE, rule="broad-except")
+    assert findings == []
+
+
+def test_broad_except_silent_on_reraise_or_log():
+    findings = lint_text("""\
+        def load(path):
+            try:
+                return parse(path)
+            except Exception:
+                log.warning("unreadable payload at %s", path)
+                return None
+
+        def must(path):
+            try:
+                return parse(path)
+            except Exception:
+                raise RuntimeError(path)
+        """, ELSEWHERE, rule="broad-except")
+    assert findings == []
+
+
+def test_broad_except_leaves_silent_bodies_to_bare_except():
+    # `except Exception: pass` is bare-except's finding; broad-except
+    # must not double-report it.
+    findings = lint_text("""\
+        def load(path):
+            try:
+                return parse(path)
+            except Exception:
+                pass
+        """, ELSEWHERE, rule="broad-except")
+    assert findings == []
+
+
+def test_broad_except_silent_on_narrow_handlers():
+    findings = lint_text("""\
+        def load(path):
+            try:
+                return parse(path)
+            except (OSError, ValueError):
+                return None
+        """, ELSEWHERE, rule="broad-except")
+    assert findings == []

@@ -1,0 +1,56 @@
+"""SweepManifest journal semantics: append, resume, torn-line tolerance."""
+
+from repro.resilience.manifest import SweepManifest
+
+
+def test_missing_journal_loads_empty(tmp_path):
+    manifest = SweepManifest(tmp_path, "sweep1")
+    assert manifest.load() == set()
+
+
+def test_mark_done_round_trips(tmp_path):
+    manifest = SweepManifest(tmp_path, "sweep1")
+    manifest.mark_done("k1", "tiny:sac")
+    manifest.mark_done("k2", "tiny:static")
+    fresh = SweepManifest(tmp_path, "sweep1")
+    assert fresh.load() == {"k1", "k2"}
+    assert fresh.entries() == {"k1": "tiny:sac", "k2": "tiny:static"}
+
+
+def test_sweeps_are_isolated_by_id(tmp_path):
+    SweepManifest(tmp_path, "a").mark_done("k1")
+    assert SweepManifest(tmp_path, "b").load() == set()
+
+
+def test_rejournaling_is_idempotent(tmp_path):
+    manifest = SweepManifest(tmp_path, "sweep1")
+    manifest.mark_done("k1", "old")
+    manifest.mark_done("k1", "new")
+    assert manifest.load() == {"k1"}
+    assert manifest.entries()["k1"] == "new"
+
+
+def test_torn_trailing_line_is_skipped(tmp_path):
+    manifest = SweepManifest(tmp_path, "sweep1")
+    manifest.mark_done("k1")
+    # A writer killed mid-append leaves a partial JSON line behind.
+    with manifest.path.open("a", encoding="utf-8") as handle:
+        handle.write('{"key": "k2", "lab')
+    assert manifest.load() == {"k1"}
+
+
+def test_garbage_line_does_not_poison_later_entries(tmp_path):
+    manifest = SweepManifest(tmp_path, "sweep1")
+    manifest.mark_done("k1")
+    with manifest.path.open("a", encoding="utf-8") as handle:
+        handle.write("not json at all\n")
+    manifest.mark_done("k2")
+    assert manifest.load() == {"k1", "k2"}
+
+
+def test_discard_removes_journal(tmp_path):
+    manifest = SweepManifest(tmp_path, "sweep1")
+    manifest.mark_done("k1")
+    manifest.discard()
+    assert manifest.load() == set()
+    manifest.discard()  # idempotent on a missing file

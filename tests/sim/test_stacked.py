@@ -9,6 +9,7 @@ per-lane charge accumulators are pure execution-path changes.
 import pytest
 
 from repro.arch import baseline, presets
+from repro.resilience import faults
 from repro.sim import (
     ORGANIZATIONS,
     EngineParams,
@@ -269,3 +270,81 @@ class TestDuplicateLanes:
         assert result.telemetry.duplicate_lanes == 0
         assert result.stats[0].comparable_dict() == \
             result.stats[1].comparable_dict()
+
+
+class TestLaneQuarantine:
+    """Fault containment: one faulting lane degrades, never aborts.
+
+    ``lane.raise:<org>@2`` fires on the lane's second pump — mid-drive,
+    after the shared run is underway — so surviving lanes must finish
+    the co-run untouched and the quarantined lane must come back from
+    its solo re-run, both bit-identical to standalone ``simulate()``.
+    """
+
+    @pytest.fixture(autouse=True)
+    def disarm(self):
+        faults.reset()
+        yield
+        faults.reset()
+
+    @pytest.mark.parametrize("victim", ORGANIZATIONS)
+    def test_each_organization_quarantines_cleanly(self, victim):
+        spec = tiny_spec(name="stacked-quar")
+        with faults.armed(f"lane.raise:{victim}@2"):
+            result = simulate_stacked(spec, list(ORGANIZATIONS),
+                                      scale=SCALE,
+                                      accesses_per_epoch=DENSITY)
+        index = list(ORGANIZATIONS).index(victim)
+        assert result.telemetry.quarantined_lanes == [index]
+        assert result.telemetry.demoted_lanes == []
+        for i, org in enumerate(ORGANIZATIONS):
+            solo = standalone(spec, org)
+            assert result.stats[i].comparable_dict() == \
+                solo.comparable_dict(), org
+            assert result.stats[i].lane_quarantined == (1 if i == index
+                                                        else 0)
+            assert result.stats[i].lane_demoted == 0
+
+    def test_mid_stream_dynamic_repartition_lane_quarantines(self):
+        # The faulting lane is a DynamicLLC instance that repartitions
+        # mid-stream; its solo re-run starts from a pristine pre-drive
+        # snapshot, so the re-run still reproduces the repartition.
+        spec = tiny_spec(name="stacked-quar-dyn", epochs=8, iterations=2)
+        config = scaled_config(baseline(), SCALE)
+        stacked_org = make_organization("dynamic", config)
+        solo_org = make_organization("dynamic", config)
+        with faults.armed("lane.raise:dynamic@3"):
+            result = simulate_stacked(spec, ["memory-side", stacked_org],
+                                      scale=SCALE,
+                                      accesses_per_epoch=DENSITY)
+        assert result.telemetry.quarantined_lanes == [1]
+        solo = standalone(spec, solo_org)
+        initial = config.chip.llc_slice.associativity // 2
+        assert solo_org.remote_ways != initial
+        assert result.stats[1].comparable_dict() == solo.comparable_dict()
+        survivor = standalone(spec, "memory-side")
+        assert result.stats[0].comparable_dict() == \
+            survivor.comparable_dict()
+
+    def test_kernel_fault_demotes_solo_rerun_to_scalar(self):
+        # An unbounded kernel.solve_error on one lane faults the shared
+        # group call; the solo fallback pins it on the static lane, and
+        # its re-run must demote to the scalar engine (the vector path
+        # is the thing that faulted) yet stay bit-identical.
+        spec = tiny_spec(name="stacked-quar-kern")
+        orgs = ["memory-side", "static", "sm-side"]
+        with faults.armed("kernel.solve_error:static@1*"):
+            result = simulate_stacked(spec, orgs, scale=SCALE,
+                                      accesses_per_epoch=DENSITY)
+        assert result.telemetry.quarantined_lanes == [1]
+        assert result.telemetry.demoted_lanes == [1]
+        assert result.stats[1].lane_quarantined == 1
+        assert result.stats[1].lane_demoted == 1
+        for i, org in enumerate(orgs):
+            solo = standalone(spec, org)
+            assert result.stats[i].comparable_dict() == \
+                solo.comparable_dict(), org
+
+    def test_quarantine_fields_are_telemetry_not_physics(self):
+        assert "lane_quarantined" in TELEMETRY_FIELDS
+        assert "lane_demoted" in TELEMETRY_FIELDS
