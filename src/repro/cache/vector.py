@@ -84,6 +84,7 @@ from typing import (
 import numpy as np
 
 from ..arch.config import CacheConfig
+from ..core import sanitize as _sanitize
 from .cache import (
     UNPARTITIONED,
     AccessResult,
@@ -308,7 +309,13 @@ def _encode_stream(rows: np.ndarray, tg: np.ndarray, wr: np.ndarray,
             if sub.size:
                 buckets.append(_encode_bucket(
                     rows, tg, wr, sec, rank, sub, start, nrows))
-    return _StreamEncoding(m, nrows, tuple(buckets))
+    enc = _StreamEncoding(m, nrows, tuple(buckets))
+    if _sanitize.enabled():
+        # Every array in the encoding is freshly allocated above, so
+        # freezing cannot alias caller-owned state; replay reads the
+        # encoding only (its sole derived mutable is a .copy()).
+        _sanitize.freeze(enc)
+    return enc
 
 
 def _encode_bucket(rows: np.ndarray, tg: np.ndarray, wr: np.ndarray,
@@ -895,10 +902,10 @@ class _SetReplay:
         stamp = store.stamp
         assert stamp is not None
         entries = []
-        for s in range(store.num_slots):  # repro: noqa(hot-loop)
+        for s in range(store.num_slots):
             cnt = int(store.count[s, ci, index])
             pid = store.slot_ids[s]
-            for k in range(cnt):  # repro: noqa(hot-loop)
+            for k in range(cnt):
                 entries.append([
                     int(store.tags[s, ci, index, k]),
                     int(store.dirty[s, ci, index, k]),
@@ -909,7 +916,7 @@ class _SetReplay:
         entries.sort(key=lambda e: e[4])
         by_tag: Dict[int, List[List[int]]] = {}
         occ: Dict[int, int] = {}
-        for e in entries:  # repro: noqa(hot-loop)
+        for e in entries:
             by_tag.setdefault(e[0], []).append(e)
             occ[e[3]] = occ.get(e[3], 0) + 1
         self._rows[key] = entries
@@ -1022,8 +1029,8 @@ class _SetReplay:
     def flush_back(self) -> None:
         """Write every touched set back into the slot arrays."""
         store = self._store
-        for entries in self._rows.values():  # repro: noqa(hot-loop)
-            for e in entries:  # repro: noqa(hot-loop)
+        for entries in self._rows.values():
+            for e in entries:
                 store.ensure_slot(e[3])
         tags = store.tags
         dirty = store.dirty
@@ -1034,15 +1041,15 @@ class _SetReplay:
         num_slots = store.num_slots
         for (ci, index), entries in self._rows.items():
             per: Dict[int, List[List[int]]] = {}
-            for e in entries:  # repro: noqa(hot-loop)
+            for e in entries:
                 per.setdefault(store.slot_of[e[3]], []).append(e)
-            for s in range(num_slots):  # repro: noqa(hot-loop)
+            for s in range(num_slots):
                 lst = per.get(s)
                 if lst is None:
                     count[s, ci, index] = 0
                     continue
                 count[s, ci, index] = len(lst)
-                for k, e in enumerate(lst):  # repro: noqa(hot-loop)
+                for k, e in enumerate(lst):
                     tags[s, ci, index, k] = e[0]
                     dirty[s, ci, index, k] = bool(e[1])
                     if sector is not None:
@@ -1418,7 +1425,7 @@ class VectorCache:
             tg_l = tg[ir].tolist()
             wr_l = writes[ir].tolist()
             sec_l = sec[ir].tolist() if sec is not None else None
-            for k in range(ir.size):  # repro: noqa(hot-loop)
+            for k in range(ir.size):
                 j = int(ir[k])
                 try:
                     h, smiss, filled, ea, ed = rep.touch(
@@ -1511,7 +1518,7 @@ class VectorCache:
         store = self._store
         index, tag = self._index_tag(addr)
         ci = self._index
-        for s in range(store.num_slots):  # repro: noqa(hot-loop)
+        for s in range(store.num_slots):
             cnt = int(store.count[s, ci, index])
             if not cnt:
                 continue
@@ -1549,7 +1556,7 @@ class VectorCache:
         addr_parts: List[np.ndarray] = []
         invalidated = 0
         ndirty = 0
-        for s in slots:  # repro: noqa(hot-loop)
+        for s in slots:
             cnt = store.count[s, ci]
             if not cnt.any():
                 continue
@@ -1595,7 +1602,7 @@ class VectorCache:
         store = self._store
         index, tag = self._index_tag(addr)
         ci = self._index
-        for s in range(store.num_slots):  # repro: noqa(hot-loop)
+        for s in range(store.num_slots):
             cnt = int(store.count[s, ci, index])
             if not cnt:
                 continue
@@ -1629,7 +1636,7 @@ class VectorCache:
     def occupancy_by_partition(self) -> Dict[int, int]:
         store = self._store
         out: Dict[int, int] = {}
-        for s in range(store.num_slots):  # repro: noqa(hot-loop)
+        for s in range(store.num_slots):
             total = int(store.count[s, self._index].sum())
             if total:
                 out[store.slot_ids[s]] = total
@@ -1644,9 +1651,9 @@ class VectorCache:
         stamp = store.stamp
         for index in range(geo.num_sets):
             entries: List[Tuple[int, int, int]] = []
-            for s in range(store.num_slots):  # repro: noqa(hot-loop)
+            for s in range(store.num_slots):
                 cnt = int(store.count[s, ci, index])
-                for k in range(cnt):  # repro: noqa(hot-loop)
+                for k in range(cnt):
                     st = int(stamp[s, ci, index, k]) \
                         if stamp is not None else k
                     entries.append((st, s, k))
@@ -1667,7 +1674,7 @@ class VectorCache:
         ci = self._index
         A = geo.associativity
         parts: List[np.ndarray] = []
-        for s in range(store.num_slots):  # repro: noqa(hot-loop)
+        for s in range(store.num_slots):
             cnt = store.count[s, ci]
             if not cnt.any():
                 continue
@@ -1686,7 +1693,7 @@ class VectorCache:
         store = self._store
         ci = self._index
         parts: List[np.ndarray] = []
-        for s in range(store.num_slots):  # repro: noqa(hot-loop)
+        for s in range(store.num_slots):
             cnt = store.count[s, ci]
             total = int(cnt.sum())
             if not total:
@@ -1755,6 +1762,21 @@ class VectorBank:
         must not force *this* lane off the kernel.  Omitted, the whole
         bank is one lane (the single-engine behaviour).
         """
+        if not _sanitize.enabled():
+            return self._grouped_epoch(cache_idx, addrs, writes, lanes)
+        site = "VectorBank.access_many_grouped"
+        n = addrs.shape[0]
+        _sanitize.expect(site, "addrs", addrs, "int64", n)
+        _sanitize.expect(site, "writes", writes, "bool", n)
+        _sanitize.expect(site, "cache_idx", cache_idx, "int64", n)
+        with _sanitize.guarded(site):
+            return self._grouped_epoch(cache_idx, addrs, writes, lanes)
+
+    def _grouped_epoch(self, cache_idx: np.ndarray, addrs: np.ndarray,
+                       writes: np.ndarray,
+                       lanes: Optional[Sequence[Tuple[int, int]]]
+                       ) -> Optional[BatchResult]:
+        """Kernel body of :meth:`access_many_grouped`."""
         geo = self._geo
         store = self._store
         if not geo.write_allocate:
@@ -1819,6 +1841,21 @@ class VectorBank:
         ``None`` (the caller falls back for those lanes only); the
         other lanes still share.
         """
+        if not _sanitize.enabled():
+            return self._grouped_shared_epochs(calls)
+        site = "VectorBank.access_many_grouped_shared"
+        for call in calls:
+            n = call.addrs.shape[0]
+            _sanitize.expect(site, "addrs", call.addrs, "int64", n)
+            _sanitize.expect(site, "writes", call.writes, "bool", n)
+            _sanitize.expect(site, "cache_idx", call.cache_idx, "int64", n)
+        with _sanitize.guarded(site):
+            return self._grouped_shared_epochs(calls)
+
+    def _grouped_shared_epochs(
+            self, calls: Sequence[GroupedLaneCall]
+    ) -> List[Optional[BatchResult]]:
+        """Kernel body of :meth:`access_many_grouped_shared`."""
         geo = self._geo
         store = self._store
         results: List[Optional[BatchResult]] = [None] * len(calls)
@@ -1951,7 +1988,7 @@ class VectorBank:
             if c1.any():
                 flagged[idx1[c1], sets[c1]] = True
         replay = np.zeros(n, dtype=bool)
-        for _ in range(n + 1):  # repro: noqa(hot-loop)
+        for _ in range(n + 1):
             r0 = flagged[idx0, sets]
             r1 = np.zeros(n, dtype=bool)
             r1[two_stage] = flagged[idx1[two_stage], sets[two_stage]]
@@ -1993,7 +2030,7 @@ class VectorBank:
         out0: List[Tuple[bool, bool, bool, int, int]] = []
         j1: List[int] = []
         out1: List[Tuple[bool, bool, bool, int, int]] = []
-        for k in range(len(ir_l)):  # repro: noqa(hot-loop)
+        for k in range(len(ir_l)):
             j = ir_l[k]
             st_i = st_l[k]
             t_i = tg_l[k]
@@ -2104,6 +2141,29 @@ class VectorBank:
         replay closure only propagates through addressed (cache, set)
         pairs, so their flagged sets are inert.
         """
+        if not _sanitize.enabled():
+            return self._staged_epoch(addrs, writes, idx0, part0,
+                                      two_stage, idx1, part1, lanes)
+        site = "VectorBank.access_many_staged"
+        n = addrs.shape[0]
+        _sanitize.expect(site, "addrs", addrs, "int64", n)
+        _sanitize.expect(site, "writes", writes, "bool", n)
+        _sanitize.expect(site, "idx0", idx0, "int64", n)
+        _sanitize.expect(site, "part0", part0, "int64", n)
+        _sanitize.expect(site, "two_stage", two_stage, "bool", n)
+        _sanitize.expect(site, "idx1", idx1, "int64", n)
+        _sanitize.expect(site, "part1", part1, "int64", n)
+        with _sanitize.guarded(site):
+            return self._staged_epoch(addrs, writes, idx0, part0,
+                                      two_stage, idx1, part1, lanes)
+
+    def _staged_epoch(self, addrs: np.ndarray, writes: np.ndarray,
+                      idx0: np.ndarray, part0: np.ndarray,
+                      two_stage: np.ndarray, idx1: np.ndarray,
+                      part1: np.ndarray,
+                      lanes: Optional[Sequence[Tuple[int, int]]]
+                      ) -> Optional[StagedResult]:
+        """Kernel body of :meth:`access_many_staged`."""
         if not self.config.write_allocate or not self.caches:
             return None
         ranges = tuple(lanes) if lanes is not None else \
@@ -2249,6 +2309,25 @@ class VectorBank:
         requirement come back as ``None`` (those lanes fall back; the
         rest still share).
         """
+        if not _sanitize.enabled():
+            return self._staged_shared_epochs(calls)
+        site = "VectorBank.access_many_staged_shared"
+        for call in calls:
+            n = call.addrs.shape[0]
+            _sanitize.expect(site, "addrs", call.addrs, "int64", n)
+            _sanitize.expect(site, "writes", call.writes, "bool", n)
+            _sanitize.expect(site, "idx0", call.idx0, "int64", n)
+            _sanitize.expect(site, "part0", call.part0, "int64", n)
+            _sanitize.expect(site, "two_stage", call.two_stage, "bool", n)
+            _sanitize.expect(site, "idx1", call.idx1, "int64", n)
+            _sanitize.expect(site, "part1", call.part1, "int64", n)
+        with _sanitize.guarded(site):
+            return self._staged_shared_epochs(calls)
+
+    def _staged_shared_epochs(
+            self, calls: Sequence[StagedLaneCall]
+    ) -> List[Optional[StagedResult]]:
+        """Kernel body of :meth:`access_many_staged_shared`."""
         results: List[Optional[StagedResult]] = [None] * len(calls)
         if not self.config.write_allocate or not self.caches:
             return results

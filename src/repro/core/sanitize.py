@@ -1,0 +1,172 @@
+"""Runtime kernel-contract sanitizer (``REPRO_SANITIZE=1``).
+
+The static half of the encoding-aliasing defence is the
+``shared-encoding-alias`` lint rule; this module is the dynamic half.
+With ``REPRO_SANITIZE=1`` in the environment:
+
+* every reuse encoding built by ``repro.cache.vector._encode_stream``
+  is frozen (:func:`freeze` marks its arrays ``writeable=False``), so
+  a replay or driver that mutates shared encoding state raises
+  immediately instead of corrupting every later lane bit-for-bit;
+* the vector-bank entry points assert their dtype/shape contracts
+  (:func:`expect`) before touching state — a float address array or a
+  mismatched lane batch fails loudly at the boundary, not as a silently
+  wrong verdict deep in the kernel; and
+* kernel bodies run under ``np.errstate(all="raise")`` inside
+  :func:`guarded`, which translates numpy's read-only ``ValueError``
+  and ``FloatingPointError`` into :class:`SanitizerError` after
+  recording a :class:`Violation` in the process-wide
+  :func:`report` (surfaced per run as ``RunStats.sanitizer_violations``).
+
+The sanitizer never changes verdicts: with the flag unset every helper
+is a cheap no-op, and with it set a clean run is bit-identical to an
+unsanitized one (freezing and error traps only *observe*).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, NamedTuple, Optional
+
+import numpy as np
+
+__all__ = [
+    "SanitizerError",
+    "SanitizerReport",
+    "Violation",
+    "enabled",
+    "expect",
+    "freeze",
+    "guarded",
+    "report",
+]
+
+
+def enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` is set (and not ``0``) right now.
+
+    Read from the environment on every call — entry points are
+    per-epoch, so the lookup is negligible, and tests can flip the flag
+    without re-importing anything.
+    """
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+class Violation(NamedTuple):
+    """One recorded sanitizer violation."""
+
+    kind: str    # "encoding-write" | "contract" | "fp-error"
+    site: str    # entry point or kernel phase, e.g. "VectorBank.access_many_grouped"
+    detail: str
+
+
+class SanitizerError(RuntimeError):
+    """A kernel contract was violated while ``REPRO_SANITIZE`` was active."""
+
+
+@dataclass
+class SanitizerReport:
+    """Accumulated violations of one process.
+
+    The engine snapshots :attr:`count` around each run and stores the
+    delta in ``RunStats.sanitizer_violations``, so a violation is
+    attributable even when the raising :class:`SanitizerError` is
+    swallowed by a fault-containment layer upstream.
+    """
+
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.violations)
+
+    def record(self, kind: str, site: str, detail: str) -> Violation:
+        violation = Violation(kind, site, detail)
+        self.violations.append(violation)
+        return violation
+
+    def clear(self) -> None:
+        self.violations.clear()
+
+    def summary(self) -> str:
+        if not self.violations:
+            return "sanitizer: clean"
+        lines = [f"sanitizer: {self.count} violation(s)"]
+        lines.extend(f"  [{v.kind}] {v.site}: {v.detail}"
+                     for v in self.violations)
+        return "\n".join(lines)
+
+
+_REPORT = SanitizerReport()
+
+
+def report() -> SanitizerReport:
+    """The process-wide violation report."""
+    return _REPORT
+
+
+def freeze(obj: object) -> None:
+    """Recursively mark every ndarray inside ``obj`` read-only.
+
+    Encodings are NamedTuples of arrays (nesting more tuples), so a
+    tuple walk covers them; non-array leaves pass through untouched.
+    Safe only for freshly-allocated arrays the producer owns — callers
+    must never hand it a view of caller-owned state.
+    """
+    if isinstance(obj, np.ndarray):
+        obj.setflags(write=False)
+    elif isinstance(obj, tuple):
+        for item in obj:
+            freeze(item)
+
+
+def _fail(kind: str, site: str, detail: str) -> "SanitizerError":
+    _REPORT.record(kind, site, detail)
+    return SanitizerError(f"{site}: {detail}")
+
+
+def expect(site: str, name: str, value: object, dtype: str,
+           length: Optional[int] = None) -> None:
+    """Assert one entry-point array contract (1-D, exact dtype, length).
+
+    Raises :class:`SanitizerError` (after recording the violation) on
+    the first mismatch.  Callers gate on :func:`enabled` themselves so
+    the disabled path pays nothing.
+    """
+    if not isinstance(value, np.ndarray):
+        raise _fail("contract", site,
+                    f"{name} is {type(value).__name__}, expected a "
+                    f"1-D ndarray[{dtype}]")
+    if value.dtype != np.dtype(dtype):
+        raise _fail("contract", site,
+                    f"{name} has dtype {value.dtype}, expected {dtype}")
+    if value.ndim != 1:
+        raise _fail("contract", site,
+                    f"{name} has ndim {value.ndim}, expected 1")
+    if length is not None and value.shape[0] != length:
+        raise _fail("contract", site,
+                    f"{name} has length {value.shape[0]}, expected "
+                    f"{length}")
+
+
+@contextmanager
+def guarded(site: str) -> Iterator[None]:
+    """Run a kernel body under the sanitizer's error traps.
+
+    Inside the block numpy floating-point anomalies raise
+    (``np.errstate(all="raise")``), and both those and writes to frozen
+    encoding arrays (numpy's read-only ``ValueError``) are re-raised as
+    :class:`SanitizerError` after being recorded.  Unrelated
+    ``ValueError``\\ s propagate untouched.
+    """
+    try:
+        with np.errstate(all="raise"):
+            yield
+    except FloatingPointError as exc:
+        raise _fail("fp-error", site, str(exc)) from exc
+    except ValueError as exc:
+        if "read-only" in str(exc):
+            raise _fail("encoding-write", site, str(exc)) from exc
+        raise

@@ -14,7 +14,8 @@ Use ``python -m repro.lint`` to run it; see :mod:`repro.lint.cli`.
 from __future__ import annotations
 
 from .baseline import Baseline
-from .core import REGISTRY, Finding, Rule, Severity, register
+from .core import REGISTRY, Finding, ProjectRule, Rule, Severity, register
+from .graph import ProjectGraph, build_graph
 from .runner import Report, check_source, run
 from .source import SourceFile
 from . import rules as _rules  # noqa: F401  (populates REGISTRY on import)
@@ -22,11 +23,14 @@ from . import rules as _rules  # noqa: F401  (populates REGISTRY on import)
 __all__ = [
     "Baseline",
     "Finding",
+    "ProjectGraph",
+    "ProjectRule",
     "REGISTRY",
     "Report",
     "Rule",
     "Severity",
     "SourceFile",
+    "build_graph",
     "check_source",
     "register",
     "run",

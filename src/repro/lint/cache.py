@@ -1,0 +1,221 @@
+"""On-disk finding cache — unchanged files are never re-analyzed.
+
+One JSON document (``<cache_dir>/findings.json``) holds, per analyzed
+file, the content hash it was analyzed at plus the findings that run
+produced (kept and ``noqa``-suppressed, fully serialized), the file's
+noqa comment lines and which of them actually suppressed something.
+Project-rule findings are keyed by a *tree token* — the hash of every
+analyzed file's (relpath, content hash) pair — since any file edit can
+change cross-module results.
+
+Every token bakes in the **registry token**: a hash over the source of
+the whole ``repro.lint`` package, so editing any rule, the graph layer
+or this module invalidates the cache wholesale.  Caching only engages
+for full-registry runs (a ``--select`` subset would poison entries) and
+is opt-in via the runner's ``cache_dir`` argument; a missing/corrupt
+cache file degrades to a cold run, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .core import Finding, Severity
+
+_FORMAT = "repro.lint-cache/1"
+
+#: Filename inside the cache directory.
+_CACHE_NAME = "findings.json"
+
+
+def registry_token() -> str:
+    """Hash of the analyzer's own source; changes invalidate everything."""
+    digest = hashlib.sha256(_FORMAT.encode("utf-8"))
+    package = Path(__file__).resolve().parent
+    for path in sorted(package.rglob("*.py")):
+        digest.update(path.relative_to(package).as_posix().encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def content_hash(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def tree_token(files: Iterable[Tuple[str, str]]) -> str:
+    """Token over (relpath, content hash) pairs of the analyzed set."""
+    digest = hashlib.sha256()
+    for relpath, sha in sorted(files):
+        digest.update(relpath.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(sha.encode("utf-8"))
+        digest.update(b"\x01")
+    return digest.hexdigest()[:16]
+
+
+def _finding_to_dict(finding: Finding) -> Dict[str, object]:
+    return {
+        "rule": finding.rule,
+        "severity": finding.severity.value,
+        "path": finding.path,
+        "line": finding.line,
+        "column": finding.column,
+        "message": finding.message,
+        "source_line": finding.source_line,
+    }
+
+
+def _finding_from_dict(payload: Dict[str, object]) -> Finding:
+    return Finding(
+        rule=str(payload["rule"]),
+        severity=Severity(str(payload["severity"])),
+        path=str(payload["path"]),
+        line=int(payload["line"]),        # type: ignore[arg-type]
+        column=int(payload["column"]),    # type: ignore[arg-type]
+        message=str(payload["message"]),
+        source_line=str(payload.get("source_line", "")),
+    )
+
+
+class FileEntry:
+    """Cached per-file analysis result."""
+
+    def __init__(self, sha: str, kept: List[Finding],
+                 suppressed: List[Finding],
+                 noqa_lines: Dict[int, List[str]],
+                 used_lines: List[int]) -> None:
+        self.sha = sha
+        self.kept = kept
+        self.suppressed = suppressed
+        self.noqa_lines = noqa_lines
+        self.used_lines = used_lines
+
+
+class ProjectEntry:
+    """Cached project-rule result for one exact tree."""
+
+    def __init__(self, tree: str, kept: List[Finding],
+                 suppressed: List[Finding],
+                 used_lines: Dict[str, List[int]]) -> None:
+        self.tree = tree
+        self.kept = kept
+        self.suppressed = suppressed
+        self.used_lines = used_lines
+
+
+class LintCache:
+    """The cache document plus load/store plumbing."""
+
+    def __init__(self, path: Optional[Path], token: str) -> None:
+        self.path = path
+        self.token = token
+        self.files: Dict[str, FileEntry] = {}
+        self.project: Optional[ProjectEntry] = None
+        self._dirty = False
+
+    # -- Persistence -----------------------------------------------------
+
+    @classmethod
+    def load(cls, cache_dir: Path) -> "LintCache":
+        token = registry_token()
+        path = cache_dir / _CACHE_NAME
+        cache = cls(path, token)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(payload, dict) or \
+                payload.get("format") != _FORMAT or \
+                payload.get("token") != token:
+            return cache
+        try:
+            for relpath, entry in payload.get("files", {}).items():
+                cache.files[relpath] = FileEntry(
+                    sha=str(entry["sha"]),
+                    kept=[_finding_from_dict(f) for f in entry["kept"]],
+                    suppressed=[_finding_from_dict(f)
+                                for f in entry["suppressed"]],
+                    noqa_lines={int(k): list(v) for k, v in
+                                entry.get("noqa_lines", {}).items()},
+                    used_lines=[int(v) for v in
+                                entry.get("used_lines", [])])
+            project = payload.get("project")
+            if isinstance(project, dict):
+                cache.project = ProjectEntry(
+                    tree=str(project["tree"]),
+                    kept=[_finding_from_dict(f) for f in project["kept"]],
+                    suppressed=[_finding_from_dict(f)
+                                for f in project["suppressed"]],
+                    used_lines={k: [int(v) for v in vs] for k, vs in
+                                project.get("used_lines", {}).items()})
+        except (KeyError, TypeError, ValueError):
+            # Partially-corrupt document: fall back to a cold cache.
+            return cls(path, token)
+        return cache
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload: Dict[str, object] = {
+            "format": _FORMAT,
+            "token": self.token,
+            "files": {
+                relpath: {
+                    "sha": entry.sha,
+                    "kept": [_finding_to_dict(f) for f in entry.kept],
+                    "suppressed": [_finding_to_dict(f)
+                                   for f in entry.suppressed],
+                    "noqa_lines": {str(k): v for k, v in
+                                   sorted(entry.noqa_lines.items())},
+                    "used_lines": sorted(entry.used_lines),
+                }
+                for relpath, entry in sorted(self.files.items())
+            },
+        }
+        if self.project is not None:
+            payload["project"] = {
+                "tree": self.project.tree,
+                "kept": [_finding_to_dict(f) for f in self.project.kept],
+                "suppressed": [_finding_to_dict(f)
+                               for f in self.project.suppressed],
+                "used_lines": {k: sorted(v) for k, v in
+                               sorted(self.project.used_lines.items())},
+            }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=1) + "\n",
+                       encoding="utf-8")
+        tmp.replace(self.path)
+
+    # -- Queries/updates -------------------------------------------------
+
+    def file_entry(self, relpath: str, sha: str) -> Optional[FileEntry]:
+        entry = self.files.get(relpath)
+        if entry is not None and entry.sha == sha:
+            return entry
+        return None
+
+    def store_file(self, relpath: str, entry: FileEntry) -> None:
+        self.files[relpath] = entry
+        self._dirty = True
+
+    def prune(self, keep: Iterable[str]) -> None:
+        """Drop entries for files no longer in the analyzed set."""
+        alive = set(keep)
+        for relpath in list(self.files):
+            if relpath not in alive:
+                del self.files[relpath]
+                self._dirty = True
+
+    def project_entry(self, tree: str) -> Optional[ProjectEntry]:
+        if self.project is not None and self.project.tree == tree:
+            return self.project
+        return None
+
+    def store_project(self, entry: ProjectEntry) -> None:
+        self.project = entry
+        self._dirty = True

@@ -3,7 +3,14 @@
 Exit status: 0 when no new error-severity findings (and no parse
 errors), 1 when new findings exist, 2 on usage errors.  Baselined and
 ``noqa``-suppressed findings never fail the run; stale baseline entries
-are reported so the committed file can shrink.
+are reported (and removed by ``--prune-baseline``) so the committed
+file shrinks over time.
+
+Findings are cached under ``$REPRO_CACHE_DIR/lint`` (default
+``.repro_cache/lint``) keyed by file content hash, so re-runs over an
+unchanged tree re-analyze nothing; ``--no-cache`` disables it.
+``--format github`` emits workflow-command annotations for CI,
+``--format json`` a stable machine-readable document.
 """
 
 from __future__ import annotations
@@ -13,10 +20,12 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from ..core import flags as _flags
 from . import rules as _rules  # noqa: F401  (imports populate REGISTRY)
 from .baseline import Baseline
 from .core import REGISTRY
-from .runner import Report, run
+from .formats import FORMATS, render
+from .runner import run
 
 #: Default baseline filename, looked up in the current directory.
 DEFAULT_BASELINE = "lint_baseline.json"
@@ -28,6 +37,10 @@ def _default_paths() -> List[Path]:
     if candidate.is_dir():
         return [candidate]
     return [Path(__file__).resolve().parent.parent]
+
+
+def _default_cache_dir() -> Path:
+    return Path(_flags.read("REPRO_CACHE_DIR")) / "lint"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -49,12 +62,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--update-baseline", action="store_true",
         help="write the current findings to the baseline file and exit 0")
     parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="rewrite the baseline file without its stale entries "
+             "(fingerprints that no longer match any finding)")
+    parser.add_argument(
         "--justification", default="grandfathered", metavar="TEXT",
         help="justification recorded for entries written by "
              "--update-baseline")
     parser.add_argument(
         "--select", action="append", default=None, metavar="RULE",
-        help="run only this rule (repeatable)")
+        help="run only this rule (repeatable; disables the cache)")
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text", dest="fmt",
+        help="output format (default: text; github emits ::error "
+             "workflow annotations for CI)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk finding cache "
+             "($REPRO_CACHE_DIR/lint)")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="describe every registered rule and exit")
@@ -73,32 +98,6 @@ def _list_rules() -> str:
                       f"    {rule.description}\n"
                       f"    contract: {rule.contract}")
     return "\n".join(chunks)
-
-
-def _render_report(report: Report, show_suppressed: bool,
-                   quiet: bool) -> str:
-    lines: List[str] = []
-    if not quiet:
-        for finding in report.new:
-            lines.append(finding.render())
-        for finding in report.baselined:
-            lines.append(f"{finding.render()} (baselined)")
-        if show_suppressed:
-            for finding in report.suppressed:
-                lines.append(f"{finding.render()} (noqa)")
-        for fp in report.stale_baseline:
-            lines.append(f"stale baseline entry {fp}: no longer matches "
-                         f"anything (remove it)")
-        for error in report.parse_errors:
-            lines.append(f"parse error: {error}")
-    lines.append(
-        f"repro.lint: {report.files_checked} files, "
-        f"{len(report.new)} new finding(s), "
-        f"{len(report.baselined)} baselined, "
-        f"{len(report.suppressed)} suppressed, "
-        f"{len(report.stale_baseline)} stale baseline entr"
-        f"{'y' if len(report.stale_baseline) == 1 else 'ies'}")
-    return "\n".join(lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -132,10 +131,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"repro.lint: {exc}", file=sys.stderr)
             return 2
 
+    cache_dir = None if args.no_cache else _default_cache_dir()
     paths = list(args.paths) if args.paths else _default_paths()
     try:
         report = run(paths, baseline=baseline, rules=selected,
-                     root=Path.cwd())
+                     root=Path.cwd(), cache_dir=cache_dir)
     except FileNotFoundError as exc:
         print(f"repro.lint: {exc}", file=sys.stderr)
         return 2
@@ -149,7 +149,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"finding(s) to {target}")
         return 0
 
-    print(_render_report(report, args.show_suppressed, args.quiet))
+    if args.prune_baseline:
+        if baseline_path is None:
+            print("repro.lint: --prune-baseline needs a baseline file",
+                  file=sys.stderr)
+            return 2
+        for fp in report.stale_baseline:
+            baseline.entries.pop(fp, None)
+        baseline.save(baseline_path)
+        print(f"repro.lint: pruned {len(report.stale_baseline)} stale "
+              f"entr{'y' if len(report.stale_baseline) == 1 else 'ies'} "
+              f"from {baseline_path}")
+        report.stale_baseline = []
+
+    print(render(report, args.fmt, show_suppressed=args.show_suppressed,
+                 quiet=args.quiet))
     return 1 if report.failed else 0
 
 

@@ -1,0 +1,143 @@
+"""Rule ``env-flag-registry`` — every ``REPRO_*`` env flag is declared.
+
+Environment flags are the package's ad-hoc configuration surface:
+``REPRO_JOBS``, ``REPRO_FAULTS``, ``REPRO_SANITIZE`` and friends are
+read wherever they are consumed, so nothing structural ever guaranteed
+a flag was spelled once, documented, or discoverable.
+``repro/core/flags.py`` is the registry — one :class:`EnvFlag`
+declaration per flag, with its default and one-line contract — and this
+rule closes the loop: any ``os.environ``/``os.getenv`` access of a
+``REPRO_*`` name anywhere in the analyzed set that is not declared in
+the registry is an error, as is a declaration with an empty
+description.
+
+The rule is silent when the registry module is not part of the
+analyzed file set (single-file runs, fixture trees without one).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..core import Finding, ProjectRule, Severity, register
+from ..graph import ProjectGraph
+from ..source import SourceFile
+from ._common import dotted_name
+
+#: Module holding the flag registry.
+FLAGS_MODULES = ("repro/core/flags.py",)
+
+#: Dotted call targets that read one environment variable by name.
+_READ_CALLS = frozenset({
+    "os.environ.get", "environ.get", "os.getenv", "getenv",
+    "os.environ.pop", "environ.pop",
+    "os.environ.setdefault", "environ.setdefault",
+})
+
+#: Dotted names whose subscript is an environment access.
+_ENVIRON_NAMES = frozenset({"os.environ", "environ"})
+
+
+def _flag_literal(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str) \
+            and node.value.startswith("REPRO_"):
+        return node.value
+    return None
+
+
+def declared_flags(source: SourceFile) -> Dict[str, ast.Call]:
+    """``EnvFlag("NAME", ...)`` declarations in the registry module."""
+    declarations: Dict[str, ast.Call] = {}
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None or name.split(".")[-1] != "EnvFlag":
+            continue
+        if node.args:
+            flag = _flag_literal(node.args[0])
+            if flag is not None:
+                declarations[flag] = node
+    return declarations
+
+
+def _env_reads(source: SourceFile) -> Iterator[Tuple[str, ast.AST]]:
+    """(flag name, node) for every literal ``REPRO_*`` environ access."""
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Call):
+            target = dotted_name(node.func)
+            if target in _READ_CALLS and node.args:
+                flag = _flag_literal(node.args[0])
+                if flag is not None:
+                    yield flag, node
+        elif isinstance(node, ast.Subscript):
+            target = dotted_name(node.value)
+            if target in _ENVIRON_NAMES:
+                flag = _flag_literal(node.slice)
+                if flag is not None:
+                    yield flag, node
+        elif isinstance(node, ast.Compare):
+            # ``"REPRO_X" in os.environ`` membership probes.
+            if len(node.ops) == 1 and \
+                    isinstance(node.ops[0], (ast.In, ast.NotIn)) and \
+                    dotted_name(node.comparators[0]) in _ENVIRON_NAMES:
+                flag = _flag_literal(node.left)
+                if flag is not None:
+                    yield flag, node
+
+
+def _description_arg(call: ast.Call) -> Optional[ast.AST]:
+    for kw in call.keywords:
+        if kw.arg == "description":
+            return kw.value
+    if len(call.args) >= 3:
+        return call.args[2]
+    return None
+
+
+@register
+class EnvFlagRegistryRule(ProjectRule):
+    name = "env-flag-registry"
+    severity = Severity.ERROR
+    description = ("REPRO_* environment flag accessed without a "
+                   "declaration in repro/core/flags.py")
+    contract = ("every environment flag the package reads is declared "
+                "exactly once in the repro.core.flags registry with a "
+                "default and a one-line contract; the README flag table "
+                "is generated from it")
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        registry_source: Optional[SourceFile] = None
+        for relpath, source in graph.sources.items():
+            if any(relpath == m or relpath.endswith("/" + m)
+                   for m in FLAGS_MODULES):
+                registry_source = source
+                break
+        if registry_source is None:
+            return
+        declarations = declared_flags(registry_source)
+        declared: Set[str] = set(declarations)
+        for flag, call in sorted(declarations.items()):
+            desc = _description_arg(call)
+            if isinstance(desc, ast.Constant) and \
+                    isinstance(desc.value, str) and not desc.value.strip():
+                yield self.finding_at(
+                    registry_source, call,
+                    f"flag {flag} is declared with an empty description; "
+                    f"document its contract (the README table is "
+                    f"generated from it)")
+        hits: List[Tuple[str, str, ast.AST, SourceFile]] = []
+        for source in graph.sources.values():
+            if source is registry_source:
+                continue
+            for flag, node in _env_reads(source):
+                if flag not in declared:
+                    hits.append((source.relpath, flag, node, source))
+        for _, flag, node, source in sorted(
+                hits, key=lambda h: (h[0], h[2].lineno)):
+            yield self.finding_at(
+                source, node,
+                f"environment flag {flag} is read here but not declared "
+                f"in the repro.core.flags registry; add an EnvFlag entry "
+                f"(name, default, one-line contract)")

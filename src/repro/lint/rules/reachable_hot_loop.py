@@ -1,0 +1,91 @@
+"""Rule ``reachable-hot-loop`` — hot-loop discipline follows the calls.
+
+The per-file ``hot-loop`` rule is scoped to a fixed module list
+(``HOT_MODULES``/``DRIVER_MODULES``); helper code *called from* the hot
+path but living elsewhere escaped it — move a per-access loop into
+``repro/sim/util.py`` and the lint goes quiet while the throughput
+regression stays.  This rule extends the same per-access heuristics to
+every function **reachable** (via the project call graph) from the
+kernel round loops:
+
+* ``SimulationEngine._run_epoch_batched`` — the batched epoch kernel,
+  and
+* the stacked driver's ``_drive`` pump,
+
+minus functions in modules the per-file rule already covers (no double
+reporting).  Reachability is the call-graph closure, so a helper two
+hops away is still held to the discipline; code unreachable from the
+kernels may loop however it likes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from ..core import Finding, ProjectRule, Severity, register
+from ..graph import ProjectGraph
+from ._common import module_matches
+from .hot_loop import (
+    DRIVER_MODULES,
+    HOT_MODULES,
+    _loop_suspects,
+    _mentions_access_array,
+)
+
+#: (module suffix, dotted function name) roots of the hot region.
+HOT_ROOTS: Tuple[Tuple[str, str], ...] = (
+    ("repro/sim/engine.py", "SimulationEngine._run_epoch_batched"),
+    ("repro/sim/stacked.py", "_drive"),
+)
+
+
+@register
+class ReachableHotLoopRule(ProjectRule):
+    name = "reachable-hot-loop"
+    severity = Severity.ERROR
+    description = ("per-access Python loop in a helper reachable from "
+                   "the kernel round loops")
+    contract = ("the hot-loop discipline follows the call graph: any "
+                "function the batched epoch kernel or the stacked pump "
+                "can reach is hot-path code, wherever it lives")
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        roots: List[str] = []
+        for suffix, name in HOT_ROOTS:
+            info = graph.function_at(suffix, name)
+            if info is not None:
+                roots.append(info.qualname)
+        if not roots:
+            return
+        hot = graph.reachable(roots)
+        hits: List[Tuple[str, int, Finding]] = []
+        seen: Set[Tuple[str, int, int]] = set()
+        for qual in sorted(hot):
+            func = graph.functions[qual]
+            # The fixed module lists are the per-file rule's beat.
+            if module_matches(func.source, HOT_MODULES) or \
+                    module_matches(func.source, DRIVER_MODULES):
+                continue
+            for node in ast.walk(func.node):
+                for expr, subject in _loop_suspects(node):
+                    if isinstance(expr, (ast.Tuple, ast.List)):
+                        continue
+                    if not _mentions_access_array(expr):
+                        continue
+                    key = (func.source.relpath, node.lineno,
+                           node.col_offset)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    finding = self.finding_at(
+                        func.source, node,
+                        f"per-access Python loop ({subject} touches a "
+                        f"trace/access array) in {func.name}, which is "
+                        f"reachable from the kernel round loops; "
+                        f"vectorize it or justify with "
+                        f"'# repro: noqa(reachable-hot-loop)'")
+                    hits.append((key[0], key[1], finding))
+                    break
+        for _, _, finding in sorted(hits, key=lambda h: (h[0], h[1])):
+            yield finding

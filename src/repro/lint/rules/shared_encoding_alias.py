@@ -1,0 +1,256 @@
+"""Rule ``shared-encoding-alias`` — shared reuse encodings are immutable.
+
+The stacked driver's whole point (PR 6) is that one
+``_StreamEncoding`` — the config-independent reuse encoding of an
+access stream — is built once and *replayed* against many lanes'
+state.  That sharing is only sound because replay treats the encoding
+as read-only: a single in-place write (a subscript store, an
+``arr.sort()``, an ``np.put``, a ``flags.writeable`` flip) poisons
+every other lane that replays the same object, and nothing crashes —
+the results are just silently wrong for some subset of lanes.
+
+This rule enforces the contract statically, project-wide.  Using the
+graph's type inference it classifies expressions as encoding objects
+(``_StreamEncoding``/``_BucketEncoding``), containers of them, or
+encoding-owned arrays (``ndarray``-typed fields of an encoding, and
+locals assigned from one), and flags every mutation sink whose receiver
+is encoding-owned:
+
+* subscript/attribute stores and augmented assignments,
+* mutating ndarray method calls (``sort``, ``fill``, ``put``,
+  ``partition``, ``setflags``, ``resize``, ``itemset``, ``byteswap``),
+* ``np.put``/``np.place``/``np.copyto``/``np.putmask`` with an
+  encoding array as the destination, and ``out=`` kwargs aimed at one,
+* ``flags.writeable`` tampering.
+
+Taint is broken by materializing a copy (``.copy()``, ``.astype()``,
+``np.array(...)``) — ``pi = bk.pi_chain.copy()`` is the sanctioned
+replay idiom.  The dynamic half of the same contract is
+``REPRO_SANITIZE=1``, which freezes encoding buffers at build time
+(see ``repro.core.sanitize``); this rule catches what a run doesn't
+execute.  Silent when the encoding classes are not in the analyzed set.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..core import Finding, ProjectRule, Severity, register
+from ..graph import FunctionInfo, ProjectGraph, _unpack_targets
+from ._common import dotted_name
+
+#: The encoding classes whose instances are shared across lanes.
+ENCODING_CLASSES = ("_StreamEncoding", "_BucketEncoding")
+
+#: ndarray methods that mutate the receiver in place.
+MUTATING_METHODS = frozenset({
+    "sort", "fill", "put", "partition", "setflags", "resize",
+    "itemset", "byteswap",
+})
+
+#: numpy module-level functions whose *first* argument is mutated.
+_NP_MUTATOR_NAMES = frozenset({"put", "place", "copyto", "putmask"})
+_NP_HEADS = frozenset({"np", "numpy"})
+
+#: Type strings counted as raw array fields of an encoding.
+_ARRAY_TYPES = frozenset({"ndarray"})
+
+#: Taint kinds.
+_ENC = "enc"                # an encoding instance
+_ENC_CONTAINER = "enc-c"    # list/tuple/dict of encodings
+_ENC_ARRAY = "enc-a"        # an ndarray owned by an encoding
+
+
+def _kind_of_type(type_str: Optional[str]) -> Optional[str]:
+    if type_str is None:
+        return None
+    if type_str in ENCODING_CLASSES:
+        return _ENC
+    for prefix in ("list:", "dict:"):
+        if type_str.startswith(prefix):
+            inner = _kind_of_type(type_str[len(prefix):])
+            if inner in (_ENC, _ENC_CONTAINER):
+                return _ENC_CONTAINER
+    return None
+
+
+class _Taint:
+    """Per-function classifier over the graph's type inference."""
+
+    def __init__(self, graph: ProjectGraph, func: FunctionInfo) -> None:
+        self.graph = graph
+        self.func = func
+        self.local: Dict[str, str] = {}
+        self._build_locals()
+
+    def _build_locals(self) -> None:
+        """Names assigned encoding-owned values.
+
+        A name *ever* assigned a clean value is dropped entirely —
+        ``pi = bk.pi_chain`` then ``pi = pi.copy()`` untracks ``pi``
+        (a false negative beats flagging the sanctioned copy idiom).
+        """
+        cleaned: Set[str] = set()
+        for _ in range(2):
+            for node in ast.walk(self.func.node):
+                if not (isinstance(node, ast.Assign)
+                        and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)):
+                    continue
+                name = node.targets[0].id
+                kind = self.classify(node.value)
+                if kind is not None:
+                    self.local[name] = kind
+                else:
+                    cleaned.add(name)
+        for name in cleaned:
+            self.local.pop(name, None)
+
+    def classify(self, expr: ast.AST) -> Optional[str]:
+        """Taint kind of ``expr``, or None (untracked/clean)."""
+        if isinstance(expr, ast.Name):
+            kind = self.local.get(expr.id)
+            if kind is not None:
+                return kind
+            return _kind_of_type(self.graph.infer(self.func, expr))
+        if isinstance(expr, ast.Attribute):
+            base_kind = self.classify(expr.value)
+            if base_kind == _ENC:
+                cls_name = self.graph.infer(self.func, expr.value)
+                cls = self.graph.classes.get(cls_name or "")
+                if cls is None:
+                    return None
+                attr_type = cls.attr_types.get(expr.attr)
+                if attr_type in _ARRAY_TYPES:
+                    return _ENC_ARRAY
+                return _kind_of_type(attr_type)
+            return _kind_of_type(self.graph.infer(self.func, expr))
+        if isinstance(expr, ast.Subscript):
+            base_kind = self.classify(expr.value)
+            if base_kind == _ENC_CONTAINER:
+                # Element of a container of encodings.
+                return _kind_of_type(
+                    self.graph.infer(self.func, expr)) or _ENC
+            return None
+        if isinstance(expr, (ast.Call, ast.IfExp)):
+            # Calls go through inference only: constructors taint,
+            # ``.copy()``/``np.array(...)`` have no encoding return
+            # annotation and come back clean.
+            return _kind_of_type(self.graph.infer(self.func, expr))
+        return None
+
+
+@register
+class SharedEncodingAliasRule(ProjectRule):
+    name = "shared-encoding-alias"
+    severity = Severity.ERROR
+    description = ("in-place mutation of a shared reuse encoding "
+                   "(replayed across lanes; must stay immutable)")
+    contract = ("a _StreamEncoding is built once and replayed against "
+                "every lane sharing the stream; replay-side code never "
+                "writes through it — derive per-lane state via .copy()")
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        if not any(name in graph.classes for name in ENCODING_CLASSES):
+            return
+        hits: List[Tuple[str, int, int, Finding]] = []
+        for func in graph.functions.values():
+            taint = _Taint(graph, func)
+            if not taint.local and not self._may_touch(graph, func):
+                continue
+            for node, message in self._sinks(taint):
+                finding = self.finding_at(func.source, node, message)
+                hits.append((func.source.relpath, node.lineno,
+                             node.col_offset, finding))
+        seen: Set[Tuple[str, int, int]] = set()
+        for path, line, col, finding in sorted(
+                hits, key=lambda h: (h[0], h[1], h[2])):
+            if (path, line, col) in seen:
+                continue
+            seen.add((path, line, col))
+            yield finding
+
+    @staticmethod
+    def _may_touch(graph: ProjectGraph, func: FunctionInfo) -> bool:
+        """Cheap pre-filter: does any expression in ``func`` possibly
+        involve an encoding?  Parameter/attribute types are enough —
+        the classifier re-checks precisely."""
+        env = graph._env(func)
+        if any(_kind_of_type(t) for t in env.values()):
+            return True
+        if func.class_name:
+            cls = graph.classes.get(func.class_name)
+            if cls and any(_kind_of_type(t)
+                           for t in cls.attr_types.values()):
+                return True
+        return False
+
+    def _sinks(self, taint: _Taint) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(taint.func.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign,
+                                 ast.AnnAssign)):
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                else:
+                    targets = [node.target]
+                for target in targets:
+                    for leaf in _unpack_targets(target):
+                        message = self._store_message(taint, leaf)
+                        if message is not None:
+                            yield node, message
+            elif isinstance(node, ast.Call):
+                message = self._call_message(taint, node)
+                if message is not None:
+                    yield node, message
+
+    def _store_message(self, taint: _Taint,
+                       target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Subscript):
+            if taint.classify(target.value) == _ENC_ARRAY:
+                return ("subscript store into a shared encoding array; "
+                        "the encoding is replayed by every lane sharing "
+                        "the stream — write into a .copy() instead")
+        elif isinstance(target, ast.Attribute):
+            if target.attr == "writeable" and \
+                    isinstance(target.value, ast.Attribute) and \
+                    target.value.attr == "flags" and \
+                    taint.classify(target.value.value) == _ENC_ARRAY:
+                return ("re-enables writes on a shared encoding array "
+                        "(flags.writeable); encodings are frozen under "
+                        "REPRO_SANITIZE and must stay immutable")
+            base_kind = taint.classify(target.value)
+            if base_kind == _ENC:
+                return ("assignment to a field of a shared encoding; "
+                        "encodings are immutable once built — construct "
+                        "a new one instead")
+            if base_kind == _ENC_ARRAY:
+                return ("attribute store on a shared encoding array "
+                        "mutates buffer metadata in place; operate on a "
+                        ".copy() instead")
+        return None
+
+    def _call_message(self, taint: _Taint,
+                      call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Attribute) and \
+                func.attr in MUTATING_METHODS and \
+                taint.classify(func.value) == _ENC_ARRAY:
+            return (f".{func.attr}() mutates a shared encoding array in "
+                    f"place; take a .copy() first (replay must not "
+                    f"write through the encoding)")
+        dotted = dotted_name(func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            if len(parts) == 2 and parts[0] in _NP_HEADS and \
+                    parts[1] in _NP_MUTATOR_NAMES and call.args and \
+                    taint.classify(call.args[0]) == _ENC_ARRAY:
+                return (f"{dotted}() writes into a shared encoding "
+                        f"array; destination must be a lane-local copy")
+        for kw in call.keywords:
+            if kw.arg == "out" and \
+                    taint.classify(kw.value) == _ENC_ARRAY:
+                return ("out= aims a numpy kernel at a shared encoding "
+                        "array; allocate a lane-local destination")
+        return None

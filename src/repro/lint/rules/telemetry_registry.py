@@ -1,0 +1,101 @@
+"""Rule ``telemetry-registry`` — stats writes hit registered fields only.
+
+The per-file ``stats-drift`` rule keeps the *declarations* of the stats
+dataclasses honest: every annotated field of ``RunStats``/
+``KernelStats`` must be classified as physics (``comparable_dict()``)
+or host telemetry (``TELEMETRY_FIELDS``).  That check cannot see a
+write site in another module inventing an attribute the dataclass never
+declared — ``stats.new_counter += 1`` in the stacked driver silently
+grows unclassified state that neither the differential tests nor the
+cache-key schema ever notice.
+
+This cross-module rule closes that hole using the project graph's type
+inference: every attribute *write* whose receiver types as one of the
+tracked stats classes (``RunStats``, ``KernelStats``,
+``StackedTelemetry``), in any analyzed module, must name a string
+registered in ``TELEMETRY_FIELDS`` or used as a ``comparable_dict()``
+key.  Unknown receivers are untracked (false negatives over false
+positives), and the rule is silent when the stats module is not part of
+the analyzed set.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..core import Finding, ProjectRule, Severity, register
+from ..graph import FunctionInfo, ProjectGraph, iter_attribute_writes
+from ..source import SourceFile
+from ._common import module_matches
+from .stats_drift import STATS_MODULES, _registry_strings, _string_keys
+
+#: Classes whose attribute writes must land on registered fields.
+#: ``StackedTelemetry`` lives in ``repro/sim/stacked.py`` but shares the
+#: registry in the stats module.
+TRACKED_CLASSES = ("KernelStats", "RunStats", "StackedTelemetry")
+
+
+def _registered_names(stats: SourceFile) -> Set[str]:
+    """TELEMETRY_FIELDS strings plus comparable_dict() dict keys."""
+    names: Set[str] = set(_registry_strings(stats.tree) or ())
+    for node in ast.walk(stats.tree):
+        if isinstance(node, ast.FunctionDef) and \
+                node.name == "comparable_dict":
+            names |= _string_keys(node)
+    return names
+
+
+@register
+class TelemetryRegistryRule(ProjectRule):
+    name = "telemetry-registry"
+    severity = Severity.ERROR
+    description = ("write to a stats/telemetry attribute that is not "
+                   "registered in TELEMETRY_FIELDS or comparable_dict()")
+    contract = ("no module can grow unclassified state on RunStats/"
+                "KernelStats/StackedTelemetry; every attribute written "
+                "anywhere is either compared across execution paths or "
+                "declared host telemetry")
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        stats_source: Optional[SourceFile] = None
+        for source in graph.sources.values():
+            if module_matches(source, STATS_MODULES):
+                stats_source = source
+                break
+        if stats_source is None:
+            return
+        registered = _registered_names(stats_source)
+        tracked = {name for name in TRACKED_CLASSES
+                   if name in graph.classes}
+        if not tracked:
+            return
+        hits: List[Tuple[str, int, Finding]] = []
+        for func in graph.functions.values():
+            for target, stmt in iter_attribute_writes(func):
+                receiver = graph.infer(func, target.value)
+                if receiver not in tracked:
+                    continue
+                if target.attr in registered:
+                    continue
+                if self._is_declaration(func, target, stmt):
+                    continue
+                finding = self.finding_at(
+                    func.source, stmt,
+                    f"{receiver}.{target.attr} is written here but "
+                    f"registered in neither TELEMETRY_FIELDS nor "
+                    f"comparable_dict() (repro/sim/stats.py); classify "
+                    f"it before growing the telemetry surface")
+                hits.append((func.source.relpath, stmt.lineno, finding))
+        for _, _, finding in sorted(hits, key=lambda h: (h[0], h[1])):
+            yield finding
+
+    @staticmethod
+    def _is_declaration(func: FunctionInfo, target: ast.Attribute,
+                        stmt: ast.AST) -> bool:
+        """``self.x`` inits inside the tracked class itself are the
+        dataclass's own declarations; ``stats-drift`` already polices
+        those against the registry."""
+        return (func.class_name in TRACKED_CLASSES
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self")

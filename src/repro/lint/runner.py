@@ -1,17 +1,55 @@
-"""Running the rule set over a file tree and classifying the results."""
+"""Running the rule set over a file tree and classifying the results.
+
+A run has two analysis tiers.  Per-file rules check each parsed
+:class:`SourceFile` independently; *project* rules
+(:class:`repro.lint.core.ProjectRule`) run once against the
+:class:`repro.lint.graph.ProjectGraph` built over every parsed file and
+yield findings anchored to concrete locations, so suppression and
+baselining treat both tiers identically.
+
+With a ``cache_dir`` the runner persists findings keyed by content
+hash (per file) and tree token (project tier) — see
+:mod:`repro.lint.cache`.  A fully unchanged tree re-parses nothing:
+files are read and hashed, every finding is served from the cache, and
+:attr:`Report.files_analyzed` stays at zero.
+
+Full-registry runs also emit ``unused-suppression`` warnings for
+``# repro: noqa`` comments that suppressed no finding in either tier,
+so dead suppressions are flushed out instead of accreting.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .baseline import Baseline
-from .core import REGISTRY, Finding, Rule, Severity
-from .source import SourceFile
+from .cache import (
+    FileEntry,
+    LintCache,
+    ProjectEntry,
+    content_hash,
+    tree_token,
+)
+from .core import REGISTRY, Finding, ProjectRule, Rule, Severity
+from .graph import build_graph
+from .source import SourceFile, relpath_of
 
 #: Directories never descended into.
 _SKIP_DIRS = {"__pycache__", ".git", ".repro_cache"}
+
+#: Rule id of the runner-emitted dead-suppression warning.
+UNUSED_SUPPRESSION = "unused-suppression"
 
 
 def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
@@ -37,6 +75,12 @@ class Report:
     suppressed: List[Finding] = field(default_factory=list)
     stale_baseline: List[str] = field(default_factory=list)
     files_checked: int = 0
+    #: Files whose per-file rules actually executed this run.
+    files_analyzed: int = 0
+    #: Files whose findings were served from the on-disk cache.
+    files_from_cache: int = 0
+    #: Whether the project tier was served from the cache.
+    project_from_cache: bool = False
     parse_errors: List[str] = field(default_factory=list)
 
     @property
@@ -53,11 +97,13 @@ class Report:
 
 def check_source(source: SourceFile,
                  rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
-    """Run ``rules`` (default: every registered rule) over one file.
+    """Run per-file ``rules`` (default: every registered rule) over one
+    file.
 
-    Findings suppressed by inline ``noqa`` comments are *not* filtered
-    here; :func:`run` classifies them so reports can show what a
-    suppression is hiding.
+    Project rules contribute nothing here (their ``check`` is inert);
+    findings suppressed by inline ``noqa`` comments are *not* filtered —
+    :func:`run` classifies them so reports can show what a suppression
+    is hiding.
     """
     if rules is None:
         rules = REGISTRY.instantiate()
@@ -68,36 +114,196 @@ def check_source(source: SourceFile,
     return findings
 
 
+class _Run:
+    """State of one analyzer pass (file IO, caching, classification)."""
+
+    def __init__(self, rule_list: List[Rule], root: Optional[Path],
+                 cache: Optional[LintCache]) -> None:
+        self.per_file_rules = [r for r in rule_list
+                               if not isinstance(r, ProjectRule)]
+        self.project_rules = [r for r in rule_list
+                              if isinstance(r, ProjectRule)]
+        self.root = root
+        self.cache = cache
+        self.report = Report()
+        #: (path, relpath, text, content hash) of every discovered file.
+        self.texts: List[Tuple[Path, str, str, str]] = []
+        self.findings: List[Finding] = []  # unsuppressed, pre-baseline
+        self.sources: Dict[str, SourceFile] = {}
+        #: relpath -> noqa comment line -> rule names (as written).
+        self.noqa_lines: Dict[str, Dict[int, List[str]]] = {}
+        #: relpath -> comment lines that suppressed something.
+        self.used_lines: Dict[str, Set[int]] = {}
+
+    # -- Per-file tier ---------------------------------------------------
+
+    def scan(self, paths: Sequence[Path]) -> str:
+        """Read + hash every file; returns the tree token."""
+        for path in iter_python_files(paths):
+            text = path.read_text(encoding="utf-8")
+            relpath = relpath_of(path, self.root)
+            self.texts.append((path, relpath, text, content_hash(text)))
+        return tree_token((r, s) for _, r, _, s in self.texts)
+
+    def per_file(self, need_parse_all: bool) -> None:
+        for path, relpath, text, sha in self.texts:
+            self.report.files_checked += 1
+            cached = self.cache.file_entry(relpath, sha) \
+                if self.cache is not None else None
+            source: Optional[SourceFile] = None
+            if cached is None or need_parse_all:
+                try:
+                    source = SourceFile.from_text(text, path,
+                                                  root=self.root)
+                except SyntaxError as exc:
+                    self.report.parse_errors.append(f"{path}: {exc}")
+                    continue
+                self.sources[relpath] = source
+            if cached is not None:
+                self.report.files_from_cache += 1
+                self.findings.extend(cached.kept)
+                self.report.suppressed.extend(cached.suppressed)
+                self.noqa_lines[relpath] = dict(cached.noqa_lines)
+                self.used_lines.setdefault(relpath, set()).update(
+                    cached.used_lines)
+                continue
+            assert source is not None
+            self.report.files_analyzed += 1
+            self._analyze(relpath, sha, source)
+
+    def _analyze(self, relpath: str, sha: str,
+                 source: SourceFile) -> None:
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        used: Set[int] = set()
+        for finding in check_source(source, self.per_file_rules):
+            if source.is_suppressed(finding.rule, finding.line):
+                suppressed.append(finding)
+                used |= _suppressors(source, finding)
+            else:
+                kept.append(finding)
+        self.findings.extend(kept)
+        self.report.suppressed.extend(suppressed)
+        self.noqa_lines[relpath] = {
+            line: sorted(names)
+            for line, names in source.noqa_comments.items()}
+        self.used_lines.setdefault(relpath, set()).update(used)
+        if self.cache is not None:
+            self.cache.store_file(relpath, FileEntry(
+                sha=sha, kept=kept, suppressed=suppressed,
+                noqa_lines={line: sorted(names) for line, names
+                            in source.noqa_comments.items()},
+                used_lines=sorted(used)))
+
+    # -- Project tier ----------------------------------------------------
+
+    def project(self, tree: str, cached: Optional[ProjectEntry]) -> None:
+        if not self.project_rules:
+            return
+        if cached is not None:
+            self.report.project_from_cache = True
+            self.findings.extend(cached.kept)
+            self.report.suppressed.extend(cached.suppressed)
+            for relpath, lines in cached.used_lines.items():
+                self.used_lines.setdefault(relpath, set()).update(lines)
+            return
+        graph = build_graph(list(self.sources.values()))
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        used: Dict[str, Set[int]] = {}
+        raw: List[Finding] = []
+        for rule in self.project_rules:
+            raw.extend(rule.check_project(graph))
+        raw.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+        for finding in raw:
+            source = self.sources.get(finding.path)
+            if source is not None and \
+                    source.is_suppressed(finding.rule, finding.line):
+                suppressed.append(finding)
+                used.setdefault(finding.path, set()).update(
+                    _suppressors(source, finding))
+            else:
+                kept.append(finding)
+        self.findings.extend(kept)
+        self.report.suppressed.extend(suppressed)
+        for relpath, lines in used.items():
+            self.used_lines.setdefault(relpath, set()).update(lines)
+        if self.cache is not None:
+            self.cache.store_project(ProjectEntry(
+                tree=tree, kept=kept, suppressed=suppressed,
+                used_lines={k: sorted(v) for k, v in used.items()}))
+
+    # -- Dead suppressions -----------------------------------------------
+
+    def unused_suppressions(self) -> None:
+        for relpath in sorted(self.noqa_lines):
+            used = self.used_lines.get(relpath, set())
+            for line, names in sorted(self.noqa_lines[relpath].items()):
+                if line in used:
+                    continue
+                listed = ", ".join(sorted(names))
+                source = self.sources.get(relpath)
+                self.findings.append(Finding(
+                    rule=UNUSED_SUPPRESSION, severity=Severity.WARNING,
+                    path=relpath, line=line, column=0,
+                    message=(f"noqa comment suppresses nothing "
+                             f"(names: {listed}); remove it or fix the "
+                             f"rule name"),
+                    source_line=source.line_text(line)
+                    if source is not None else ""))
+
+
+def _suppressors(source: SourceFile, finding: Finding) -> Set[int]:
+    """Comment lines whose names actually cover ``finding``."""
+    lines: Set[int] = set()
+    for line in source.noqa_sources.get(finding.line, [finding.line]):
+        names = source.noqa_comments.get(line, frozenset())
+        if "*" in names or finding.rule in names:
+            lines.add(line)
+    return lines
+
+
 def run(paths: Sequence[Path], baseline: Optional[Baseline] = None,
         rules: Optional[Iterable[Rule]] = None,
-        root: Optional[Path] = None) -> Report:
+        root: Optional[Path] = None,
+        cache_dir: Optional[Path] = None) -> Report:
     """Analyze every python file under ``paths`` and classify findings.
 
     Each finding lands in exactly one bucket: ``suppressed`` (an inline
     ``noqa`` covers it), ``baselined`` (its fingerprint is in the
     committed baseline) or ``new`` (fails the run when of error
-    severity).
+    severity).  ``cache_dir`` enables the on-disk finding cache; it only
+    engages for full-registry runs (``rules`` left to the default).
     """
-    rule_list = list(rules) if rules is not None else REGISTRY.instantiate()
+    full_registry = rules is None
+    rule_list = list(rules) if rules is not None \
+        else REGISTRY.instantiate()
     baseline = baseline if baseline is not None else Baseline()
-    report = Report()
-    unsuppressed: List[Finding] = []
-    for path in iter_python_files(paths):
-        try:
-            source = SourceFile.load(path, root=root)
-        except SyntaxError as exc:
-            report.parse_errors.append(f"{path}: {exc}")
-            continue
-        report.files_checked += 1
-        for finding in check_source(source, rule_list):
-            if source.is_suppressed(finding.rule, finding.line):
-                report.suppressed.append(finding)
-            else:
-                unsuppressed.append(finding)
-    for finding in unsuppressed:
+    cache = LintCache.load(cache_dir) \
+        if cache_dir is not None and full_registry else None
+
+    state = _Run(rule_list, root, cache)
+    tree = state.scan(paths)
+    project_cached = cache.project_entry(tree) \
+        if cache is not None else None
+    # Project rules need every file parsed — unless the whole tier is a
+    # cache hit, in which case unchanged files skip parsing entirely.
+    need_parse_all = bool(state.project_rules) and project_cached is None
+    state.per_file(need_parse_all)
+    state.project(tree, project_cached)
+    if full_registry:
+        state.unused_suppressions()
+
+    report = state.report
+    for finding in state.findings:
         if finding in baseline:
             report.baselined.append(finding)
         else:
             report.new.append(finding)
-    report.stale_baseline = baseline.stale_fingerprints(unsuppressed)
+    report.new.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    report.baselined.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    report.stale_baseline = baseline.stale_fingerprints(state.findings)
+    if cache is not None:
+        cache.prune(relpath for _, relpath, _, _ in state.texts)
+        cache.save()
     return report

@@ -7,6 +7,15 @@ from ``# repro: noqa(rule-a, rule-b)`` comments (a bare
 ``# repro: noqa`` suppresses every rule on that line).  Suppressions
 are matched against the line a finding is anchored to, so a noqa on a
 ``for`` statement suppresses the hot-loop finding it would raise.
+
+Findings anchor at a statement's *first* line, but the statement (or
+its header, for compound statements) may span several physical lines —
+a wrapped ``for`` iterable, a decorated ``def``.  A noqa comment on any
+line of that span therefore also suppresses findings anchored at the
+statement's first line; :attr:`SourceFile.noqa_comments` keeps the raw
+per-comment map and :attr:`SourceFile.noqa_sources` the reverse anchor
+-> comment-line mapping, which the runner uses to flag comments that
+suppress nothing (unused-suppression).
 """
 
 from __future__ import annotations
@@ -19,7 +28,8 @@ from io import StringIO
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterator, List, Optional
 
-#: ``# repro: noqa`` or ``# repro: noqa(rule-a, rule-b)``.
+#: Matches the bare form and the rule-list form ``noqa(rule-a, rule-b)``
+#: of the project's suppression comment.
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa\s*(?:\(\s*(?P<rules>[\w,\s-]*)\s*\))?", re.IGNORECASE)
 
@@ -57,6 +67,52 @@ def _parse_noqa(text: str) -> Dict[int, FrozenSet[str]]:
     return suppressions
 
 
+def relpath_of(path: Path, root: Optional[Path] = None) -> str:
+    """Repo-relative posix path used in reports, baselines and caches."""
+    relpath = path.as_posix()
+    if root is not None:
+        try:
+            relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return relpath
+
+
+#: Compound statements whose *header* (first line through the line
+#: before the first body statement) can wrap; a noqa on any header line
+#: suppresses findings anchored at the statement's first line.
+_COMPOUND = (ast.If, ast.For, ast.AsyncFor, ast.While, ast.With,
+             ast.AsyncWith, ast.Try, ast.FunctionDef,
+             ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _statement_spans(tree: ast.AST) -> List[tuple]:
+    """(anchor, first, last) line intervals of statements and handlers.
+
+    ``anchor`` is where findings for the statement land (its
+    ``lineno``); ``first``..``last`` is the physical span a noqa
+    comment may sit on — the whole statement for simple statements, the
+    header (including decorators) for compound ones.
+    """
+    spans: List[tuple] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.stmt, ast.excepthandler)):
+            continue
+        anchor = node.lineno
+        first = anchor
+        decorators = getattr(node, "decorator_list", [])
+        if decorators:
+            first = min([d.lineno for d in decorators] + [anchor])
+        body = getattr(node, "body", None)
+        if isinstance(node, _COMPOUND + (ast.excepthandler,)) and body:
+            last = max(anchor, body[0].lineno - 1)
+        else:
+            last = getattr(node, "end_lineno", anchor) or anchor
+        if first != last or first != anchor:
+            spans.append((anchor, first, last))
+    return spans
+
+
 @dataclass
 class SourceFile:
     """One parsed python file, ready for rule checks."""
@@ -66,22 +122,30 @@ class SourceFile:
     text: str
     tree: ast.AST
     lines: List[str]
+    #: anchor line -> suppressed rule names (statement spans expanded).
     noqa: Dict[int, FrozenSet[str]]
+    #: physical comment line -> rule names, exactly as written.
+    noqa_comments: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    #: anchor line -> the comment lines contributing suppressions to it.
+    noqa_sources: Dict[int, List[int]] = field(default_factory=dict)
     _parents: Dict[int, ast.AST] = field(default_factory=dict)
 
     @classmethod
     def from_text(cls, text: str, path: Path,
                   root: Optional[Path] = None) -> "SourceFile":
-        relpath = path.as_posix()
-        if root is not None:
-            try:
-                relpath = path.resolve().relative_to(
-                    root.resolve()).as_posix()
-            except ValueError:
-                pass
         tree = ast.parse(text, filename=str(path))
-        source = cls(path=path, relpath=relpath, text=text, tree=tree,
-                     lines=text.splitlines(), noqa=_parse_noqa(text))
+        comments = _parse_noqa(text)
+        noqa = dict(comments)
+        sources = {line: [line] for line in comments}
+        if comments:
+            for anchor, first, last in _statement_spans(tree):
+                for line, names in comments.items():
+                    if first <= line <= last and line != anchor:
+                        noqa[anchor] = noqa.get(anchor, frozenset()) | names
+                        sources.setdefault(anchor, []).append(line)
+        source = cls(path=path, relpath=relpath_of(path, root), text=text,
+                     tree=tree, lines=text.splitlines(), noqa=noqa,
+                     noqa_comments=comments, noqa_sources=sources)
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):
                 source._parents[id(child)] = parent

@@ -51,6 +51,7 @@ from ..cache.vector import BatchResult, StagedResult, VectorBank
 from ..cache.waycache import make_cache
 from ..coherence.hardware import HardwareCoherence
 from ..coherence.software import SoftwareCoherence
+from ..core import sanitize as _sanitize
 from ..llc.base import LLCOrganization, RoutePlan
 from ..memory.dram import DramSystem
 from ..memory.mapping import AddressMapping
@@ -481,9 +482,15 @@ class SimulationEngine:
         executes, which is what keeps stacked lanes bit-identical.
         """
         self.stats.benchmark = benchmark
+        base_violations = _sanitize.report().count
         for kernel in kernels:
             yield from self._run_kernel(kernel)
         self._finalize_allocation_stats()
+        # Violations recorded while this lane ran (0 unless
+        # REPRO_SANITIZE was active and a kernel contract broke but the
+        # raising error was contained upstream).
+        self.stats.sanitizer_violations = \
+            _sanitize.report().count - base_violations
 
     def _run_kernel(self, kernel: KernelTrace) -> ProbeGen:
         kstats = KernelStats(name=kernel.name)

@@ -367,7 +367,7 @@ def _drive(engines: Sequence[SimulationEngine],
     steps: List[ProbeGen] = [
         engine.run_steps(kernels, benchmark) for engine in engines]
     probes: List[Optional[BankProbe]] = []
-    for i, step in enumerate(steps):  # repro: noqa(hot-loop)
+    for i, step in enumerate(steps):
         probe, error = _pump(step, None, engines[i].organization.name)
         if error is not None:
             quarantined[i] = error
@@ -452,7 +452,7 @@ def _solo_fallback(probes: List[BankProbe], group_error: BaseException
     outcomes: List[ProbeOutcome] = []
     failed: Dict[int, BaseException] = {}
     started = perf_counter()
-    for pos, probe in enumerate(probes):  # repro: noqa(hot-loop)
+    for pos, probe in enumerate(probes):
         try:
             outcomes.append(probe.invoke())
         except Exception as error:
@@ -508,7 +508,7 @@ def _invoke_group(probes: List[BankProbe]
     # touches shared state, so the driver's solo fallback can replay the
     # round from scratch.  (Single-probe rounds hit the same site inside
     # ``BankProbe.invoke``.)
-    for p in probes:  # repro: noqa(hot-loop)
+    for p in probes:
         if fault_fire("kernel.solve_error", key=p.fault_key) is not None:
             raise KernelSolveError("kernel.solve_error", key=p.fault_key)
     first = probes[0]

@@ -20,12 +20,17 @@ ORIGIN_REMOTE_MEM = "remote_mem"
 ORIGINS = (ORIGIN_LOCAL_LLC, ORIGIN_REMOTE_LLC,
            ORIGIN_LOCAL_MEM, ORIGIN_REMOTE_MEM)
 
-#: Host-side telemetry fields of :class:`RunStats` — wall-clock timings
-#: and execution-path counters that legitimately differ between two runs
-#: of the same workload, and are therefore excluded from
+#: Host-side telemetry fields — wall-clock timings and execution-path
+#: counters that legitimately differ between two runs of the same
+#: workload, and are therefore excluded from
 #: :meth:`RunStats.comparable_dict`.  Every ``RunStats`` field must be in
 #: exactly one of ``comparable_dict()`` or this registry (enforced by the
-#: ``stats-drift`` lint rule).
+#: ``stats-drift`` lint rule), and every attribute *write* to a
+#: ``RunStats``/``KernelStats``/``StackedTelemetry`` object anywhere
+#: under ``src/repro`` must target a name registered here or in
+#: ``comparable_dict()`` (the cross-module ``telemetry-registry`` rule);
+#: the ``repro.sim.stacked.StackedTelemetry`` counters are therefore
+#: listed too.
 TELEMETRY_FIELDS = frozenset({
     "wall_seconds",
     "fast_epochs",
@@ -41,6 +46,17 @@ TELEMETRY_FIELDS = frozenset({
     "stacked_shared_streams",
     "lane_quarantined",
     "lane_demoted",
+    "sanitizer_violations",
+    # StackedTelemetry counters (repro/sim/stacked.py).
+    "lanes",
+    "solo_lanes",
+    "duplicate_lanes",
+    "banks",
+    "bank_invocations",
+    "shared_encodings",
+    "shared_replays",
+    "quarantined_lanes",
+    "demoted_lanes",
 })
 
 
@@ -135,6 +151,11 @@ class RunStats:
     # because the vector kernel itself faulted.
     lane_quarantined: int = 0
     lane_demoted: int = 0
+    # Kernel-contract violations the runtime sanitizer recorded during
+    # this run (always 0 unless ``REPRO_SANITIZE=1``; see
+    # ``repro.core.sanitize``).  A nonzero count survives even when the
+    # raising ``SanitizerError`` was absorbed by a containment layer.
+    sanitizer_violations: int = 0
 
     @property
     def llc_hit_rate(self) -> float:
@@ -228,6 +249,7 @@ class RunStats:
             "stacked_shared_streams": self.stacked_shared_streams,
             "lane_quarantined": self.lane_quarantined,
             "lane_demoted": self.lane_demoted,
+            "sanitizer_violations": self.sanitizer_violations,
         }
 
     def comparable_dict(self) -> Dict[str, object]:

@@ -1,0 +1,61 @@
+"""The environment-flag registry and its generated README table."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core import flags
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+_TABLE_RE = re.compile(
+    r"<!-- env-flags:begin[^>]*-->\n(.*?)\n<!-- env-flags:end -->",
+    re.DOTALL)
+
+
+class TestRegistry:
+    def test_names_are_prefixed_sorted_and_unique(self):
+        names = flags.declared_names()
+        assert len(set(names)) == len(names)
+        assert list(names) == sorted(names)
+        assert all(name.startswith("REPRO_") for name in names)
+
+    def test_every_flag_has_a_description(self):
+        assert all(flag.description.strip() for flag in flags.FLAGS)
+
+    def test_bad_declarations_are_rejected(self):
+        with pytest.raises(ValueError):
+            flags.EnvFlag("NOT_PREFIXED", "", "whatever")
+        with pytest.raises(ValueError):
+            flags.EnvFlag("REPRO_NO_DESC", "", "   ")
+
+    def test_read_applies_the_declared_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RETRIES", raising=False)
+        assert flags.read("REPRO_RETRIES") == "1"
+        monkeypatch.setenv("REPRO_RETRIES", "7")
+        assert flags.read("REPRO_RETRIES") == "7"
+
+    def test_read_rejects_undeclared_names(self):
+        with pytest.raises(KeyError):
+            flags.read("REPRO_TYPO")
+
+    def test_declared_lookup(self):
+        assert flags.declared("REPRO_SANITIZE").name == "REPRO_SANITIZE"
+        with pytest.raises(KeyError):
+            flags.declared("REPRO_TYPO")
+
+
+class TestReadmeTable:
+    def test_readme_table_matches_the_registry(self):
+        match = _TABLE_RE.search(README.read_text(encoding="utf-8"))
+        assert match, "README.md lost its env-flags markers"
+        assert match.group(1) == flags.markdown_table(), (
+            "README env-flag table is stale — regenerate it with "
+            "`python -m repro.core.flags` and paste between the "
+            "env-flags markers")
+
+    def test_table_lists_every_flag_once(self):
+        table = flags.markdown_table()
+        for name in flags.declared_names():
+            assert table.count(f"| `{name}` |") == 1

@@ -1,0 +1,194 @@
+"""The runtime kernel-contract sanitizer (``REPRO_SANITIZE=1``)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import CacheConfig
+from repro.cache.vector import VectorBank, _encode_stream
+from repro.core import sanitize
+
+LINE = 128
+
+
+@pytest.fixture(autouse=True)
+def clean_report():
+    sanitize.report().clear()
+    yield
+    sanitize.report().clear()
+
+
+@pytest.fixture
+def on(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+
+
+def small_bank():
+    config = CacheConfig(size_bytes=16 * 4 * LINE, associativity=4,
+                         line_size=LINE)
+    return VectorBank(config, ["s0", "s1"])
+
+
+def batch(n=32, seed=5):
+    rng = np.random.default_rng(seed)
+    addrs = (rng.integers(0, 64, size=n) * LINE).astype(np.int64)
+    writes = rng.random(n) < 0.3
+    cache_idx = rng.integers(0, 2, size=n).astype(np.int64)
+    return cache_idx, addrs, writes
+
+
+class TestEnabled:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitize.enabled()
+
+    def test_zero_is_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not sanitize.enabled()
+
+    def test_one_is_on(self, on):
+        assert sanitize.enabled()
+
+
+class TestFreeze:
+    def test_freezes_arrays_in_nested_tuples(self):
+        inner = np.arange(3)
+        obj = (1, (inner, "x"), np.zeros(2))
+        sanitize.freeze(obj)
+        assert not inner.flags.writeable
+        assert not obj[2].flags.writeable
+
+    def test_non_arrays_pass_through(self):
+        sanitize.freeze(("a", 3, None))  # must not raise
+
+
+class TestExpect:
+    def test_valid_array_passes(self):
+        sanitize.expect("site", "x", np.zeros(4, dtype=np.int64),
+                        "int64", 4)
+        assert sanitize.report().count == 0
+
+    @pytest.mark.parametrize("value, detail", [
+        ([1, 2], "is list"),
+        (np.zeros(4, dtype=np.float64), "dtype float64"),
+        (np.zeros((2, 2), dtype=np.int64), "ndim 2"),
+        (np.zeros(3, dtype=np.int64), "length 3"),
+    ])
+    def test_contract_breaches_raise_and_record(self, value, detail):
+        with pytest.raises(sanitize.SanitizerError):
+            sanitize.expect("site", "x", value, "int64", 4)
+        [violation] = sanitize.report().violations
+        assert violation.kind == "contract"
+        assert violation.site == "site"
+
+
+class TestGuarded:
+    def test_read_only_write_becomes_encoding_write(self):
+        frozen = np.arange(4)
+        frozen.setflags(write=False)
+        with pytest.raises(sanitize.SanitizerError):
+            with sanitize.guarded("kernel"):
+                frozen[0] = 9
+        [violation] = sanitize.report().violations
+        assert violation.kind == "encoding-write"
+        assert violation.site == "kernel"
+
+    def test_fp_anomalies_raise(self):
+        with pytest.raises(sanitize.SanitizerError):
+            with sanitize.guarded("kernel"):
+                np.float64(1.0) / np.float64(0.0)
+        [violation] = sanitize.report().violations
+        assert violation.kind == "fp-error"
+
+    def test_unrelated_value_errors_propagate(self):
+        with pytest.raises(ValueError, match="unrelated"):
+            with sanitize.guarded("kernel"):
+                raise ValueError("unrelated")
+        assert sanitize.report().count == 0
+
+
+class TestReport:
+    def test_summary_lists_violations(self):
+        report = sanitize.report()
+        assert report.summary() == "sanitizer: clean"
+        report.record("contract", "site", "boom")
+        assert "1 violation(s)" in report.summary()
+        assert "[contract] site: boom" in report.summary()
+
+
+def encode_small_stream():
+    rows = np.array([0, 1, 0, 1, 0], dtype=np.int64)
+    tg = np.array([10, 20, 10, 30, 40], dtype=np.int64)
+    wr = np.array([False, True, False, False, True])
+    return _encode_stream(rows, tg, wr, 2)
+
+
+class TestEncodingFreeze:
+    def test_sanitized_encodings_are_read_only(self, on):
+        enc = encode_small_stream()
+        for bucket in enc.buckets:
+            assert not bucket.idx.flags.writeable
+            assert not bucket.pi_chain.flags.writeable
+
+    def test_unsanitized_encodings_stay_writeable(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        enc = encode_small_stream()
+        assert enc.buckets[0].idx.flags.writeable
+
+    def test_seeded_replay_side_mutation_is_detected(self, on):
+        # Regression: a deliberately injected write to a shared
+        # encoding buffer during replay must surface as a recorded
+        # encoding-write violation, not silently corrupt later lanes.
+        enc = encode_small_stream()
+        bucket = enc.buckets[0]
+        with pytest.raises(sanitize.SanitizerError):
+            with sanitize.guarded("_replay_encoding"):
+                bucket.pi_chain[0] = 99
+        [violation] = sanitize.report().violations
+        assert violation.kind == "encoding-write"
+        assert violation.site == "_replay_encoding"
+        # The frozen buffer really was protected.
+        assert bucket.pi_chain[0] != 99
+
+
+class TestEntryPointContracts:
+    def test_clean_batch_is_identical_to_unsanitized(self, monkeypatch):
+        cache_idx, addrs, writes = batch()
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        plain = small_bank().access_many_grouped(cache_idx, addrs, writes)
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        guarded = small_bank().access_many_grouped(cache_idx, addrs, writes)
+        assert plain is not None and guarded is not None
+        np.testing.assert_array_equal(plain.hits, guarded.hits)
+        np.testing.assert_array_equal(plain.evicted_addr,
+                                      guarded.evicted_addr)
+        np.testing.assert_array_equal(plain.evicted_dirty,
+                                      guarded.evicted_dirty)
+        assert sanitize.report().count == 0
+
+    def test_float_addresses_fail_the_contract(self, on):
+        cache_idx, addrs, writes = batch()
+        with pytest.raises(sanitize.SanitizerError):
+            small_bank().access_many_grouped(
+                cache_idx, addrs.astype(np.float64), writes)
+        [violation] = sanitize.report().violations
+        assert violation.kind == "contract"
+        assert violation.site == "VectorBank.access_many_grouped"
+
+    def test_mismatched_lengths_fail_the_contract(self, on):
+        cache_idx, addrs, writes = batch()
+        with pytest.raises(sanitize.SanitizerError):
+            small_bank().access_many_grouped(cache_idx, addrs, writes[:-1])
+        [violation] = sanitize.report().violations
+        assert violation.kind == "contract"
+
+    def test_disabled_sanitizer_skips_the_contract(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        cache_idx, addrs, writes = batch()
+        # Wrong dtype goes straight to the kernel (and blows up there
+        # or not) without a recorded violation — the sanitizer is off.
+        try:
+            small_bank().access_many_grouped(
+                cache_idx, addrs.astype(np.float64), writes)
+        except Exception:
+            pass
+        assert sanitize.report().count == 0

@@ -2,11 +2,13 @@
 
 import textwrap
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import pytest
 
-from repro.lint import Finding, SourceFile, check_source
+from repro.lint import Finding, SourceFile, check_source, run
+from repro.lint.graph import ProjectGraph, build_graph
+from repro.lint.runner import Report
 
 
 def lint_text(code: str, relpath: str,
@@ -23,6 +25,29 @@ def lint_text(code: str, relpath: str,
     if rule is not None:
         findings = [f for f in findings if f.rule == rule]
     return findings
+
+
+def write_tree(root: Path, files: Dict[str, str]) -> None:
+    """Materialize ``relpath -> code`` under ``root`` (dedented)."""
+    for relpath, code in files.items():
+        target = root / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(code), encoding="utf-8")
+
+
+def lint_tree(root: Path, files: Dict[str, str], **kwargs) -> Report:
+    """Write ``files`` under ``root`` and run the full analyzer."""
+    write_tree(root, files)
+    return run([root], root=root, **kwargs)
+
+
+def project_graph(files: Dict[str, str]) -> ProjectGraph:
+    """Build a ProjectGraph over in-memory sources (no filesystem)."""
+    sources = [
+        SourceFile.from_text(textwrap.dedent(code), Path(relpath))
+        for relpath, code in files.items()
+    ]
+    return build_graph(sources)
 
 
 @pytest.fixture

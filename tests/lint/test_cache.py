@@ -1,0 +1,130 @@
+"""Per-file finding cache: warm hits, invalidation, registry token."""
+
+import json
+
+from repro.lint.cache import LintCache, content_hash
+
+from .conftest import lint_tree, write_tree
+
+FILES = {
+    "repro/sim/engine.py": """\
+        def serve(addrs):
+            for i in range(len(addrs)):  # repro: noqa(hot-loop)
+                touch(addrs[i])
+        """,
+    "repro/sim/timing.py": """\
+        def ready(t):
+            return t > 0.5
+        """,
+    "repro/core/util.py": """\
+        def ident(x):
+            return x
+        """,
+}
+
+
+def test_second_run_performs_zero_reanalyses(tmp_path):
+    cache_dir = tmp_path / "cache"
+    root = tmp_path / "tree"
+    root.mkdir()
+    cold = lint_tree(root, FILES, cache_dir=cache_dir)
+    assert cold.files_analyzed == len(FILES)
+    assert cold.files_from_cache == 0
+    assert not cold.project_from_cache
+
+    warm = lint_tree(root, {}, cache_dir=cache_dir)
+    assert warm.files_analyzed == 0
+    assert warm.files_from_cache == len(FILES)
+    assert warm.project_from_cache
+    # The cached run reproduces the findings verbatim.
+    assert [f.fingerprint() for f in warm.suppressed] == \
+        [f.fingerprint() for f in cold.suppressed]
+    assert [f.fingerprint() for f in warm.new] == \
+        [f.fingerprint() for f in cold.new]
+
+
+def test_editing_one_file_invalidates_only_that_file(tmp_path):
+    cache_dir = tmp_path / "cache"
+    root = tmp_path / "tree"
+    root.mkdir()
+    lint_tree(root, FILES, cache_dir=cache_dir)
+
+    edited = lint_tree(root, {
+        "repro/sim/timing.py": """\
+            def ready(t):
+                return t > 0.25
+            """,
+    }, cache_dir=cache_dir)
+    assert edited.files_analyzed == 1
+    assert edited.files_from_cache == len(FILES) - 1
+    # The project tier keys on the whole tree, so an edit anywhere
+    # re-runs it.
+    assert not edited.project_from_cache
+
+
+def test_no_cache_dir_means_no_cache_io(tmp_path):
+    root = tmp_path / "tree"
+    root.mkdir()
+    report = lint_tree(root, FILES)
+    assert report.files_analyzed == len(FILES)
+    again = lint_tree(root, {})
+    assert again.files_analyzed == len(FILES)
+    assert again.files_from_cache == 0
+
+
+def test_rule_subset_runs_bypass_the_cache(tmp_path):
+    from repro.lint import REGISTRY
+    cache_dir = tmp_path / "cache"
+    root = tmp_path / "tree"
+    root.mkdir()
+    lint_tree(root, FILES, cache_dir=cache_dir)
+    subset = lint_tree(root, {}, cache_dir=cache_dir,
+                       rules=[REGISTRY.rules["hot-loop"]()])
+    # Cached entries hold the full registry's findings; a subset run
+    # must not serve them.
+    assert subset.files_from_cache == 0
+
+
+def test_corrupt_cache_is_a_cold_start(tmp_path):
+    cache_dir = tmp_path / "cache"
+    root = tmp_path / "tree"
+    root.mkdir()
+    lint_tree(root, FILES, cache_dir=cache_dir)
+    (cache_dir / "findings.json").write_text("{not json", encoding="utf-8")
+    report = lint_tree(root, {}, cache_dir=cache_dir)
+    assert report.files_analyzed == len(FILES)
+    # And the rewrite leaves a loadable cache behind.
+    again = lint_tree(root, {}, cache_dir=cache_dir)
+    assert again.files_analyzed == 0
+
+
+def test_registry_token_mismatch_drops_entries(tmp_path):
+    cache_dir = tmp_path / "cache"
+    root = tmp_path / "tree"
+    root.mkdir()
+    lint_tree(root, FILES, cache_dir=cache_dir)
+    payload = json.loads(
+        (cache_dir / "findings.json").read_text(encoding="utf-8"))
+    payload["token"] = "0" * 16
+    (cache_dir / "findings.json").write_text(
+        json.dumps(payload), encoding="utf-8")
+    report = lint_tree(root, {}, cache_dir=cache_dir)
+    assert report.files_analyzed == len(FILES)
+
+
+def test_deleted_files_are_pruned_from_the_cache(tmp_path):
+    cache_dir = tmp_path / "cache"
+    root = tmp_path / "tree"
+    root.mkdir()
+    lint_tree(root, FILES, cache_dir=cache_dir)
+    (root / "repro/core/util.py").unlink()
+    lint_tree(root, {}, cache_dir=cache_dir)
+    cache = LintCache.load(cache_dir)
+    assert "repro/sim/engine.py" in cache.files
+    assert "repro/core/util.py" not in cache.files
+
+
+def test_content_hash_is_stable_and_short():
+    assert content_hash("x = 1\n") == content_hash("x = 1\n")
+    assert content_hash("x = 1\n") != content_hash("x = 2\n")
+    assert len(content_hash("")) == 16

@@ -1,0 +1,119 @@
+"""Output formats (--format json/github) and --prune-baseline."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint.cli import main
+from repro.lint.formats import render
+
+_BAD = textwrap.dedent("""\
+    def serve(addrs):
+        for i in range(len(addrs)):
+            touch(addrs[i])
+    """)
+
+_CLEAN = textwrap.dedent("""\
+    def serve(addrs):
+        return vector_probe(addrs)
+    """)
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "repro" / "sim" / "engine.py"
+    target.parent.mkdir(parents=True)
+    return target
+
+
+class TestJsonFormat:
+    def test_document_shape(self, tree, capsys):
+        tree.write_text(_BAD)
+        assert main([str(tree.parents[1]), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro.lint-report/1"
+        assert payload["failed"] is True
+        assert payload["files_checked"] == 1
+        [finding] = payload["new"]
+        assert finding["rule"] == "hot-loop"
+        assert finding["path"].endswith("repro/sim/engine.py")
+        assert finding["line"] == 2
+        assert len(finding["fingerprint"]) == 16
+        assert payload["baselined"] == []
+        assert payload["parse_errors"] == []
+
+    def test_clean_tree_document(self, tree, capsys):
+        tree.write_text(_CLEAN)
+        assert main([str(tree.parents[1]), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] is False
+        assert payload["new"] == []
+
+
+class TestGithubFormat:
+    def test_error_annotation_lines(self, tree, capsys):
+        tree.write_text(_BAD)
+        assert main([str(tree.parents[1]), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        [annotation] = [l for l in out.splitlines()
+                        if l.startswith("::error ")]
+        assert "file=" in annotation and ",line=2,col=" in annotation
+        assert "title=repro.lint hot-loop::" in annotation
+        # The raw-log summary still prints after the annotations.
+        assert "1 new finding(s)" in out
+
+    def test_property_escaping(self, tree):
+        # Messages with newlines/commas must stay one annotation line.
+        from repro.lint.core import Finding, Severity
+        from repro.lint.runner import Report
+
+        report = Report()
+        report.files_checked = 1
+        report.new = [Finding(
+            rule="hot-loop", severity=Severity.ERROR,
+            path="a,b.py", line=1, column=0,
+            message="bad: 50%\nreally", source_line="x")]
+        out = render(report, "github")
+        [annotation] = [l for l in out.splitlines()
+                        if l.startswith("::error ")]
+        assert "file=a%2Cb.py" in annotation
+        # Data escaping covers %, CR and LF (colons are legal there).
+        assert annotation.endswith("::bad: 50%25%0Areally")
+
+    def test_unknown_format_raises(self):
+        from repro.lint.runner import Report
+        with pytest.raises(ValueError):
+            render(Report(), "yaml")
+
+
+class TestPruneBaseline:
+    def test_prunes_stale_entries(self, tree, tmp_path, capsys):
+        tree.write_text(_BAD)
+        root = str(tree.parents[1])
+        assert main([root, "--update-baseline"]) == 0
+        # The finding disappears; its baseline entry goes stale.
+        tree.write_text(_CLEAN)
+        capsys.readouterr()
+        assert main([root, "--prune-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 stale entry" in out
+        assert "0 stale baseline entries" in out
+        payload = json.loads((tmp_path / "lint_baseline.json").read_text())
+        assert payload["findings"] == {}
+
+    def test_keeps_live_entries(self, tree, tmp_path, capsys):
+        tree.write_text(_BAD)
+        root = str(tree.parents[1])
+        assert main([root, "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert main([root, "--prune-baseline"]) == 0
+        assert "pruned 0 stale entries" in capsys.readouterr().out
+        payload = json.loads((tmp_path / "lint_baseline.json").read_text())
+        assert len(payload["findings"]) == 1
+
+    def test_without_baseline_file_exits_two(self, tree, capsys):
+        tree.write_text(_CLEAN)
+        assert main([str(tree.parents[1]), "--prune-baseline"]) == 2
+        assert "needs a baseline file" in capsys.readouterr().err

@@ -1,0 +1,172 @@
+"""The project graph layer: modules, calls, reachability, inference."""
+
+from .conftest import project_graph
+
+from repro.lint.graph import module_name_of
+
+
+class TestModuleNaming:
+    def test_anchored_at_last_repro_segment(self):
+        assert module_name_of("src/repro/sim/engine.py") == \
+            "repro.sim.engine"
+        assert module_name_of("repro/cache/vector.py") == \
+            "repro.cache.vector"
+
+    def test_init_names_the_package(self):
+        assert module_name_of("src/repro/sim/__init__.py") == "repro.sim"
+
+    def test_outside_any_repro_tree_falls_back_to_stem(self):
+        assert module_name_of("scripts/tool.py") == "tool"
+
+
+class TestCallGraph:
+    def test_same_module_and_imported_calls(self):
+        graph = project_graph({
+            "src/repro/a.py": """\
+                from .b import helper
+                def top():
+                    helper()
+                    local()
+                def local():
+                    pass
+                """,
+            "src/repro/b.py": """\
+                def helper():
+                    leaf()
+                def leaf():
+                    pass
+                """,
+        })
+        reach = graph.reachable(["repro.a:top"])
+        assert "repro.b:helper" in reach
+        assert "repro.b:leaf" in reach
+        assert "repro.a:local" in reach
+
+    def test_typed_receiver_method_dispatch(self):
+        graph = project_graph({
+            "src/repro/m.py": """\
+                class Engine:
+                    def run(self):
+                        self.step()
+                    def step(self):
+                        pass
+                def drive(engine: Engine):
+                    engine.run()
+                """,
+        })
+        reach = graph.reachable(["repro.m:drive"])
+        assert "repro.m:Engine.run" in reach
+        assert "repro.m:Engine.step" in reach
+
+    def test_subclass_cone_covers_dynamic_dispatch(self):
+        # The declared base lacks the method; the project subclass
+        # implementing it must still be an edge (reachability
+        # over-approximates).
+        graph = project_graph({
+            "src/repro/m.py": """\
+                class Base:
+                    pass
+                class Impl(Base):
+                    def observe_batch(self):
+                        pass
+                def drive(org: Base):
+                    org.observe_batch()
+                """,
+        })
+        assert "repro.m:Impl.observe_batch" in \
+            graph.reachable(["repro.m:drive"])
+
+    def test_constructor_edges_to_init(self):
+        graph = project_graph({
+            "src/repro/m.py": """\
+                class Bank:
+                    def __init__(self):
+                        prime()
+                def build():
+                    Bank()
+                def prime():
+                    pass
+                """,
+        })
+        assert "repro.m:prime" in graph.reachable(["repro.m:build"])
+
+
+class TestInference:
+    def test_param_annotation_and_attribute_types(self):
+        graph = project_graph({
+            "src/repro/m.py": """\
+                import numpy as np
+                class Stats:
+                    cycles: int
+                class Engine:
+                    def __init__(self):
+                        self.stats = Stats()
+                    def touch(self):
+                        s = self.stats
+                        return s
+                """,
+        })
+        func = graph.functions["repro.m:Engine.touch"]
+        import ast
+        ret = func.node.body[-1]
+        assert isinstance(ret, ast.Return)
+        assert graph.infer(func, ret.value) == "Stats"
+
+    def test_container_annotations_and_subscript(self):
+        graph = project_graph({
+            "src/repro/m.py": """\
+                from typing import Dict, List
+                class Lane:
+                    pass
+                def pick(lanes: List[Lane], by_id: Dict[int, Lane]):
+                    a = lanes[0]
+                    b = by_id.get(3)
+                    return a, b
+                """,
+        })
+        func = graph.functions["repro.m:pick"]
+        env = graph._env(func)
+        assert env["lanes"] == "list:Lane"
+        assert env["by_id"] == "dict:Lane"
+        assert env["a"] == "Lane"
+        assert env["b"] == "Lane"
+
+    def test_conflicting_assignments_untrack(self):
+        graph = project_graph({
+            "src/repro/m.py": """\
+                class A:
+                    pass
+                class B:
+                    pass
+                def f(flag):
+                    x = A()
+                    if flag:
+                        x = B()
+                    return x
+                """,
+        })
+        func = graph.functions["repro.m:f"]
+        assert "x" not in graph._env(func)
+
+    def test_ambiguous_class_names_are_untracked(self):
+        graph = project_graph({
+            "src/repro/a.py": "class Dup:\n    pass\n",
+            "src/repro/b.py": "class Dup:\n    pass\n",
+        })
+        assert "Dup" not in graph.classes
+        assert "Dup" in graph.ambiguous
+
+    def test_return_annotation_types_calls(self):
+        graph = project_graph({
+            "src/repro/m.py": """\
+                class Enc:
+                    pass
+                def make() -> Enc:
+                    return Enc()
+                def use():
+                    e = make()
+                    return e
+                """,
+        })
+        func = graph.functions["repro.m:use"]
+        assert graph._env(func)["e"] == "Enc"

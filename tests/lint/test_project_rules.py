@@ -1,0 +1,276 @@
+"""Good/bad fixture pairs for the four cross-module project rules."""
+
+import textwrap
+
+from repro.lint.rules.env_flag_registry import EnvFlagRegistryRule
+from repro.lint.rules.reachable_hot_loop import ReachableHotLoopRule
+from repro.lint.rules.shared_encoding_alias import SharedEncodingAliasRule
+from repro.lint.rules.telemetry_registry import TelemetryRegistryRule
+
+from .conftest import project_graph
+
+
+def findings_of(rule, files):
+    return list(rule.check_project(project_graph(files)))
+
+
+STATS_MODULE = textwrap.dedent("""\
+    TELEMETRY_FIELDS = frozenset({"wall_seconds", "lanes"})
+    class RunStats:
+        cycles: int = 0
+        wall_seconds: float = 0.0
+        def comparable_dict(self):
+            return {"cycles": self.cycles}
+    class StackedTelemetry:
+        lanes: int = 0
+    """)
+
+
+class TestTelemetryRegistry:
+    def test_bad_unregistered_write_is_flagged(self):
+        findings = findings_of(TelemetryRegistryRule(), {
+            "src/repro/sim/stats.py": STATS_MODULE,
+            "src/repro/sim/driver.py": """\
+                from .stats import RunStats
+                def go():
+                    s = RunStats()
+                    s.new_counter = 3
+                """,
+        })
+        assert [f.rule for f in findings] == ["telemetry-registry"]
+        assert "RunStats.new_counter" in findings[0].message
+        assert findings[0].path == "src/repro/sim/driver.py"
+
+    def test_good_registered_writes_pass(self):
+        findings = findings_of(TelemetryRegistryRule(), {
+            "src/repro/sim/stats.py": STATS_MODULE,
+            "src/repro/sim/driver.py": """\
+                from .stats import RunStats, StackedTelemetry
+                def go(t: StackedTelemetry):
+                    s = RunStats()
+                    s.wall_seconds = 1.0
+                    s.cycles += 5
+                    t.lanes += 1
+                """,
+        })
+        assert findings == []
+
+    def test_untracked_receiver_is_not_flagged(self):
+        # A write through an unknown type must stay a false negative,
+        # never a false positive.
+        findings = findings_of(TelemetryRegistryRule(), {
+            "src/repro/sim/stats.py": STATS_MODULE,
+            "src/repro/sim/driver.py": """\
+                def go(mystery):
+                    mystery.new_counter = 3
+                """,
+        })
+        assert findings == []
+
+    def test_silent_without_stats_module(self):
+        findings = findings_of(TelemetryRegistryRule(), {
+            "src/repro/sim/driver.py": """\
+                class RunStats:
+                    pass
+                def go():
+                    s = RunStats()
+                    s.anything = 1
+                """,
+        })
+        assert findings == []
+
+
+FLAGS_MODULE = textwrap.dedent("""\
+    class EnvFlag:
+        def __init__(self, name, default, description):
+            pass
+    FLAGS = (
+        EnvFlag("REPRO_JOBS", "", description="worker count"),
+    )
+    """)
+
+
+class TestEnvFlagRegistry:
+    def test_bad_undeclared_read_is_flagged(self):
+        findings = findings_of(EnvFlagRegistryRule(), {
+            "src/repro/core/flags.py": FLAGS_MODULE,
+            "src/repro/sim/run.py": """\
+                import os
+                A = os.environ.get("REPRO_SECRET", "")
+                B = os.environ["REPRO_OTHER"]
+                C = "REPRO_THIRD" in os.environ
+                """,
+        })
+        assert sorted(f.message.split()[2] for f in findings) == \
+            ["REPRO_OTHER", "REPRO_SECRET", "REPRO_THIRD"]
+
+    def test_good_declared_reads_pass(self):
+        findings = findings_of(EnvFlagRegistryRule(), {
+            "src/repro/core/flags.py": FLAGS_MODULE,
+            "src/repro/sim/run.py": """\
+                import os
+                A = os.environ.get("REPRO_JOBS", "")
+                B = "REPRO_JOBS" in os.environ
+                """,
+        })
+        assert findings == []
+
+    def test_empty_description_is_flagged(self):
+        findings = findings_of(EnvFlagRegistryRule(), {
+            "src/repro/core/flags.py": """\
+                class EnvFlag:
+                    def __init__(self, name, default, description):
+                        pass
+                FLAGS = (EnvFlag("REPRO_X", "", description=""),)
+                """,
+        })
+        assert len(findings) == 1
+        assert "empty description" in findings[0].message
+
+    def test_silent_without_flags_module(self):
+        findings = findings_of(EnvFlagRegistryRule(), {
+            "src/repro/sim/run.py": """\
+                import os
+                A = os.environ.get("REPRO_ANYTHING", "")
+                """,
+        })
+        assert findings == []
+
+
+ENCODING_MODULE = textwrap.dedent("""\
+    import numpy as np
+    from typing import NamedTuple, Tuple
+    class _BucketEncoding(NamedTuple):
+        idx: np.ndarray
+        pi_chain: np.ndarray
+        mwidth: int
+    class _StreamEncoding(NamedTuple):
+        n: int
+        buckets: Tuple[_BucketEncoding, ...]
+    """)
+
+
+BAD_REPLAY = textwrap.dedent("""\
+    def _replay(enc: _StreamEncoding) -> None:
+        bk = enc.buckets[0]
+        bk.idx[0] = 7
+        bk.idx.sort()
+        np.put(bk.pi_chain, 0, 1)
+        bk.idx.flags.writeable = True
+        np.add(bk.idx, 1, out=bk.idx)
+    """)
+
+GOOD_REPLAY = textwrap.dedent("""\
+    def _replay(enc: _StreamEncoding) -> None:
+        bk = enc.buckets[0]
+        pi = bk.pi_chain.copy()
+        pi[0] = 3
+        pi.sort()
+        local = np.array(bk.idx)
+        local += 1
+        total = bk.idx.sum()
+    """)
+
+AUG_REPLAY = textwrap.dedent("""\
+    def _replay(bk: _BucketEncoding) -> None:
+        bk.idx[0] += 1
+    """)
+
+
+class TestSharedEncodingAlias:
+    def test_bad_mutations_are_flagged(self):
+        findings = findings_of(SharedEncodingAliasRule(), {
+            "src/repro/cache/vector.py": ENCODING_MODULE + BAD_REPLAY,
+        })
+        assert len(findings) == 5
+        assert {f.rule for f in findings} == {"shared-encoding-alias"}
+
+    def test_good_copy_idiom_passes(self):
+        findings = findings_of(SharedEncodingAliasRule(), {
+            "src/repro/cache/vector.py": ENCODING_MODULE + GOOD_REPLAY,
+        })
+        assert findings == []
+
+    def test_mutation_in_another_module_is_flagged(self):
+        findings = findings_of(SharedEncodingAliasRule(), {
+            "src/repro/cache/vector.py": ENCODING_MODULE,
+            "src/repro/sim/stacked.py": """\
+                from ..cache.vector import _StreamEncoding
+                def poke(enc: _StreamEncoding):
+                    enc.buckets[0].idx[3] = 9
+                """,
+        })
+        assert len(findings) == 1
+        assert findings[0].path == "src/repro/sim/stacked.py"
+
+    def test_augmented_assign_is_flagged(self):
+        findings = findings_of(SharedEncodingAliasRule(), {
+            "src/repro/cache/vector.py": ENCODING_MODULE + AUG_REPLAY,
+        })
+        assert len(findings) == 1
+
+    def test_silent_without_encoding_classes(self):
+        findings = findings_of(SharedEncodingAliasRule(), {
+            "src/repro/sim/other.py": """\
+                def f(arr):
+                    arr[0] = 1
+                """,
+        })
+        assert findings == []
+
+
+class TestReachableHotLoop:
+    ENGINE = """\
+        from ..util import crunch
+        class SimulationEngine:
+            def _run_epoch_batched(self):
+                crunch([1, 2])
+        """
+
+    def test_bad_reachable_helper_loop_is_flagged(self):
+        findings = findings_of(ReachableHotLoopRule(), {
+            "src/repro/sim/engine.py": self.ENGINE,
+            "src/repro/util.py": """\
+                def crunch(addrs):
+                    for a in addrs:
+                        touch(a)
+                """,
+        })
+        assert len(findings) == 1
+        assert findings[0].rule == "reachable-hot-loop"
+        assert findings[0].path == "src/repro/util.py"
+
+    def test_good_unreachable_loop_passes(self):
+        findings = findings_of(ReachableHotLoopRule(), {
+            "src/repro/sim/engine.py": self.ENGINE,
+            "src/repro/util.py": """\
+                def crunch(addrs):
+                    return len(addrs)
+                def offline_report(addrs):
+                    for a in addrs:
+                        print(a)
+                """,
+        })
+        assert findings == []
+
+    def test_hot_modules_are_left_to_the_per_file_rule(self):
+        # engine.py is HOT_MODULES turf; no double reporting.
+        findings = findings_of(ReachableHotLoopRule(), {
+            "src/repro/sim/engine.py": """\
+                class SimulationEngine:
+                    def _run_epoch_batched(self):
+                        for a in self.addrs:
+                            pass
+                """,
+        })
+        assert findings == []
+
+    def test_silent_without_roots(self):
+        findings = findings_of(ReachableHotLoopRule(), {
+            "src/repro/util.py": """\
+                def crunch(addrs):
+                    for a in addrs:
+                        pass
+                """,
+        })
+        assert findings == []
