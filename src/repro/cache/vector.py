@@ -70,6 +70,7 @@ exactly because the kernel is equivalent to replaying the chunk.
 
 from __future__ import annotations
 
+import time
 from typing import (
     Dict,
     Iterator,
@@ -477,6 +478,108 @@ def _replay_encoding(enc: _StreamEncoding, tags: np.ndarray,
                        stamp_vals, sm_out)
 
 
+class _LaneEncoding(NamedTuple):
+    """Lane-major tiling of one stream encoding across ``lanes`` lanes.
+
+    The tiling folds the lane axis into the kernel's group axis: every
+    per-group table gains ``lanes`` copies whose group ids, bucket
+    positions and stream positions are offset per lane, and whose rows
+    carry each lane's absolute row offset baked in.  One
+    :func:`_replay_encoding_lanes` call over the folded buckets then
+    resolves all lanes' verdicts and state writes at once —
+    bit-identical to ``lanes`` sequential :func:`_replay_encoding`
+    calls, because the kernel's histograms, chains and verdicts are
+    strictly per-group and lanes own disjoint store rows.
+    """
+
+    lanes: int
+    n: int                  # per-lane stream length
+    buckets: Tuple[_BucketEncoding, ...]
+
+
+def _tile_encoding_lanes(enc: _StreamEncoding,
+                         row_offsets: Sequence[int]) -> _LaneEncoding:
+    """Fold a stream encoding across lanes at the given row offsets.
+
+    ``row_offsets`` (multiples of the set count, one per lane) relocate
+    the encoding's stream-local rows into each lane's rows of the state
+    arrays; outputs of a replay over the tiled encoding are lane-major,
+    ``lanes * n`` long, lane ``k`` owning ``[k * n, (k + 1) * n)``.
+    """
+    L = len(row_offsets)
+    n = enc.n
+    offs = np.asarray(row_offsets, dtype=np.int64)[:, None]
+    lane_idx = (np.arange(L, dtype=np.int64) * n)[:, None]
+    buckets: List[_BucketEncoding] = []
+    for bk in enc.buckets:
+        ml = bk.idx.size
+        G = bk.rows_l.size
+        pos = (np.arange(L, dtype=np.int64) * ml)[:, None]
+        grp = (np.arange(L, dtype=np.int64) * G)[:, None]
+        nxt = np.where(bk.nxt[None, :] >= 0,
+                       bk.nxt[None, :] + pos, -1).reshape(-1)
+        buckets.append(_BucketEncoding(
+            idx=(bk.idx[None, :] + lane_idx).reshape(-1),
+            rows_l=(bk.rows_l[None, :] + offs).reshape(-1),
+            gl=(bk.gl[None, :] + grp).reshape(-1),
+            rl=np.tile(bk.rl, L),
+            stg=np.tile(bk.stg, L),
+            wl=np.tile(bk.wl, L),
+            o2=(bk.o2[None, :] + pos).reshape(-1),
+            nxt=nxt,
+            first=(bk.first[None, :] + pos).reshape(-1),
+            chain_head=np.tile(bk.chain_head, L),
+            pi_chain=np.tile(bk.pi_chain, L),
+            acc_tab=(bk.acc_tab[None, :, :]
+                     + lane_idx[:, :, None]).reshape(L * G, bk.mwidth),
+            gro=(bk.gro[None, :] + pos).reshape(-1),
+            first_gro=(bk.first_gro[None, :] + pos).reshape(-1),
+            mwidth=bk.mwidth,
+            sec_l=np.tile(bk.sec_l, L) if bk.sec_l is not None else None))
+    lenc = _LaneEncoding(L, n, tuple(buckets))
+    if _sanitize.enabled():
+        # Tiled arrays are freshly allocated above; freezing them makes
+        # any cross-lane in-place write raise, exactly as for the
+        # per-stream encoding the tiling derives from.
+        _sanitize.freeze(lenc)
+    return lenc
+
+
+def _replay_encoding_lanes(lenc: _LaneEncoding, tags: np.ndarray,
+                           dirty: np.ndarray, count: np.ndarray,
+                           geo: _Geometry,
+                           caps: Union[int, np.ndarray],
+                           hits: np.ndarray, ev_addr: np.ndarray,
+                           ev_dirty: np.ndarray,
+                           ok: Optional[np.ndarray] = None,
+                           sector: Optional[np.ndarray] = None,
+                           stamp: Optional[np.ndarray] = None,
+                           stamp_vals: Optional[np.ndarray] = None,
+                           sm_out: Optional[np.ndarray] = None) -> None:
+    """Replay all lanes of a tiled encoding in one batched kernel pass.
+
+    ``caps``/``ok``/``stamp_vals`` and the output arrays are lane-major
+    (``lanes * n`` long, lane ``k`` at ``[k * n, (k + 1) * n)``); row
+    offsets are already baked into the tiled buckets, so the replay
+    runs at offset zero.  Bit-identical per lane to ``lanes``
+    sequential :func:`_replay_encoding` calls.
+    """
+    for bk in lenc.buckets:
+        ngroups = bk.rows_l.size
+        if isinstance(caps, np.ndarray):
+            capg = np.zeros(ngroups, dtype=np.int64)
+            capg[bk.gl] = caps[bk.idx]
+        else:
+            capg = np.full(ngroups, int(caps), dtype=np.int64)
+        okg: Optional[np.ndarray] = None
+        if ok is not None:
+            okg = np.zeros(ngroups, dtype=bool)
+            okg[bk.gl] = ok[bk.idx]
+        _replay_bucket(bk, tags, dirty, count, geo, 0, capg,
+                       okg, hits, ev_addr, ev_dirty, sector, stamp,
+                       stamp_vals, sm_out)
+
+
 def _replay_bucket(bk: _BucketEncoding, tags: np.ndarray,
                    dirty: np.ndarray, count: np.ndarray, geo: _Geometry,
                    row_offset: int, capg: np.ndarray,
@@ -801,6 +904,10 @@ class _SlotStore:
         #: first time multi-slot state needs a cross-slot LRU order.
         self.stamp: Optional[np.ndarray] = None
         self.clock = 0
+        #: Batch-path uses of the :class:`_SetReplay` interpreter
+        #: (scalar ``access``/``fill`` calls are not counted: they are
+        #: legitimate single-probe uses, not kernel demotions).
+        self.set_replay_batches = 0
         #: slot index -> partition id (slot 0 is always UNPARTITIONED).
         self.slot_ids: List[int] = [UNPARTITIONED]
         #: partition id -> slot index.
@@ -1420,6 +1527,7 @@ class VectorCache:
 
         ir = np.flatnonzero(replay_sel)
         if ir.size:
+            store.set_replay_batches += 1
             rep = _SetReplay(store, geo)
             sets_l = sets[ir].tolist()
             tg_l = tg[ir].tolist()
@@ -1742,6 +1850,16 @@ class VectorBank:
         #: by the shared-stream entry points (host telemetry).
         self.shared_encodings = 0
         self.shared_replays = 0
+        #: Rounds resolved by one lane-major batched replay call (>= 2
+        #: lanes folded into a single kernel pass) and the wall seconds
+        #: spent inside replay kernel passes (host telemetry).
+        self.lane_batched_rounds = 0
+        self.replay_seconds = 0.0
+
+    @property
+    def set_replay_batches(self) -> int:
+        """Stream-order interpreter batches the shared store resolved."""
+        return self._store.set_replay_batches
 
     def access_many_grouped(self, cache_idx: np.ndarray, addrs: np.ndarray,
                             writes: np.ndarray,
@@ -1855,75 +1973,150 @@ class VectorBank:
     def _grouped_shared_epochs(
             self, calls: Sequence[GroupedLaneCall]
     ) -> List[Optional[BatchResult]]:
-        """Kernel body of :meth:`access_many_grouped_shared`."""
+        """Kernel body of :meth:`access_many_grouped_shared`.
+
+        Same-stream lanes are folded into one lane-major replay
+        (:func:`_replay_encoding_lanes`): per round the encoding pass
+        runs once per unique stream and the replay pass once per
+        *stream group*, not once per lane.  Per-lane clock bases follow
+        call order, exactly as the sequential path stamps them — lanes
+        own disjoint store rows, so batched state writes commute.
+        """
         geo = self._geo
         store = self._store
         results: List[Optional[BatchResult]] = [None] * len(calls)
         if not geo.write_allocate:
             return results
         S = geo.num_sets
-        encodings: Dict[int, Tuple[_StreamEncoding, np.ndarray,
-                                   Optional[np.ndarray]]] = {}
+        # Per-lane eligibility gate, then stream grouping of survivors.
+        eligible: List[int] = []
         for k, call in enumerate(calls):
             lo, hi = call.lane
             if any(c._ways is not None for c in self.caches[lo:hi]):
                 continue
             if store.num_slots > 1 and store.count[1:, lo:hi].any():
                 continue
-            cached = encodings.get(call.stream)
+            eligible.append(k)
+        if not eligible:
+            return results
+        groups: Dict[int, List[int]] = {}
+        for k in eligible:
+            groups.setdefault(calls[k].stream, []).append(k)
+        bases: Dict[int, int] = {}
+        clock = store.clock
+        if store.stamp is not None:
+            for k in eligible:
+                bases[k] = clock
+                clock += calls[k].addrs.shape[0]
+            store.clock = clock
+        encodings: Dict[int, Tuple[_StreamEncoding, np.ndarray,
+                                   Optional[np.ndarray]]] = {}
+        for sid, members in groups.items():
+            first_call = calls[members[0]]
+            cached = encodings.get(sid)
             if cached is None:
-                sets, tg = geo.split(call.addrs)
-                rows = call.cache_idx * np.int64(S) + sets
-                sec = geo.sector_of(call.addrs) if geo.sectored else None
-                cached = (_encode_stream(rows, tg, call.writes,
+                sets, tg = geo.split(first_call.addrs)
+                rows = first_call.cache_idx * np.int64(S) + sets
+                sec = geo.sector_of(first_call.addrs) if geo.sectored \
+                    else None
+                cached = (_encode_stream(rows, tg, first_call.writes,
                                          len(self.caches) * S, sec=sec),
                           tg, sec)
-                encodings[call.stream] = cached
+                encodings[sid] = cached
                 self.shared_encodings += 1
             enc, tg, sec = cached
-            n = call.addrs.shape[0]
+            n = first_call.addrs.shape[0]
+            lanes_lo = [calls[k].lane[0] for k in members]
+            batched = n > 0 and len(members) > 1 and \
+                len(set(lanes_lo)) == len(lanes_lo)
             ftags, fdirty, fcount, fsector, fstamp = store.flat()
-            stamp_vals = None
-            if fstamp is not None:
-                stamp_vals = np.arange(store.clock, store.clock + n,
-                                       dtype=np.int64)
-                store.clock += n
-            hits = np.zeros(n, dtype=bool)
-            ev_addr = np.full(n, -1, dtype=np.int64)
-            ev_dirty = np.zeros(n, dtype=bool)
-            sm_out = np.zeros(n, dtype=bool) if fsector is not None \
-                else None
-            if n:
-                _replay_encoding(enc, ftags, fdirty, fcount, geo, lo * S,
-                                 geo.associativity, hits, ev_addr,
-                                 ev_dirty, sector=fsector, stamp=fstamp,
-                                 stamp_vals=stamp_vals, sm_out=sm_out)
-            self.shared_replays += 1
-            results[k] = BatchResult(hits, ev_addr, ev_dirty, sm_out)
-            width = hi - lo
-            acc = np.bincount(call.cache_idx, minlength=width)
-            hit = np.bincount(call.cache_idx[hits], minlength=width)
-            ev = np.bincount(call.cache_idx[ev_addr >= 0],
-                             minlength=width)
-            dev = np.bincount(call.cache_idx[ev_dirty], minlength=width)
-            if sm_out is not None:
-                smc = np.bincount(call.cache_idx[sm_out],
-                                  minlength=width)
+            t0 = time.perf_counter()
+            if batched:
+                L = len(members)
+                lenc = _tile_encoding_lanes(enc, [lo * S
+                                                  for lo in lanes_lo])
+                stamp_vals = None
+                if fstamp is not None:
+                    stamp_vals = np.concatenate(
+                        [np.arange(bases[k], bases[k] + n,
+                                   dtype=np.int64) for k in members])
+                hits = np.zeros(L * n, dtype=bool)
+                ev_addr = np.full(L * n, -1, dtype=np.int64)
+                ev_dirty = np.zeros(L * n, dtype=bool)
+                sm_out = np.zeros(L * n, dtype=bool) \
+                    if fsector is not None else None
+                _replay_encoding_lanes(lenc, ftags, fdirty, fcount, geo,
+                                       geo.associativity, hits, ev_addr,
+                                       ev_dirty, sector=fsector,
+                                       stamp=fstamp,
+                                       stamp_vals=stamp_vals,
+                                       sm_out=sm_out)
+                self.shared_replays += L
+                self.lane_batched_rounds += 1
+                for j, k in enumerate(members):
+                    sl = slice(j * n, (j + 1) * n)
+                    results[k] = BatchResult(
+                        hits[sl], ev_addr[sl], ev_dirty[sl],
+                        sm_out[sl] if sm_out is not None else None)
             else:
-                smc = np.zeros(width, dtype=np.int64)
-            for i in range(lo, hi):
-                stats = self.caches[i].stats
-                ni = int(acc[i - lo])
-                nhits = int(hit[i - lo])
-                nsm = int(smc[i - lo])
-                stats.accesses += ni
-                stats.hits += nhits
-                stats.misses += ni - nhits
-                stats.sector_misses += nsm
-                stats.fills += ni - nhits - nsm
-                stats.evictions += int(ev[i - lo])
-                stats.dirty_evictions += int(dev[i - lo])
+                for k in members:
+                    ftags, fdirty, fcount, fsector, fstamp = store.flat()
+                    stamp_vals = None
+                    if fstamp is not None:
+                        stamp_vals = np.arange(bases[k], bases[k] + n,
+                                               dtype=np.int64)
+                    hits = np.zeros(n, dtype=bool)
+                    ev_addr = np.full(n, -1, dtype=np.int64)
+                    ev_dirty = np.zeros(n, dtype=bool)
+                    sm_out = np.zeros(n, dtype=bool) \
+                        if fsector is not None else None
+                    if n:
+                        _replay_encoding(
+                            enc, ftags, fdirty, fcount, geo,
+                            calls[k].lane[0] * S, geo.associativity,
+                            hits, ev_addr, ev_dirty, sector=fsector,
+                            stamp=fstamp, stamp_vals=stamp_vals,
+                            sm_out=sm_out)
+                    self.shared_replays += 1
+                    results[k] = BatchResult(hits, ev_addr, ev_dirty,
+                                             sm_out)
+            self.replay_seconds += time.perf_counter() - t0
+            for k in members:
+                self._charge_lane_stats(calls[k].lane, calls[k].cache_idx,
+                                        results[k])
         return results
+
+    def _charge_lane_stats(self, lane: Tuple[int, int],
+                           cache_idx: np.ndarray,
+                           result: Optional[BatchResult]) -> None:
+        """Fold one lane's batch outcome into its per-cache stats."""
+        if result is None:
+            return
+        lo, hi = lane
+        width = hi - lo
+        acc = np.bincount(cache_idx, minlength=width)
+        hit = np.bincount(cache_idx[result.hits], minlength=width)
+        ev = np.bincount(cache_idx[result.evicted_addr >= 0],
+                         minlength=width)
+        dev = np.bincount(cache_idx[result.evicted_dirty],
+                          minlength=width)
+        if result.sector_miss is not None:
+            smc = np.bincount(cache_idx[result.sector_miss],
+                              minlength=width)
+        else:
+            smc = np.zeros(width, dtype=np.int64)
+        for i in range(lo, hi):
+            stats = self.caches[i].stats
+            ni = int(acc[i - lo])
+            nhits = int(hit[i - lo])
+            nsm = int(smc[i - lo])
+            stats.accesses += ni
+            stats.hits += nhits
+            stats.misses += ni - nhits
+            stats.sector_misses += nsm
+            stats.fills += ni - nhits - nsm
+            stats.evictions += int(ev[i - lo])
+            stats.dirty_evictions += int(dev[i - lo])
 
     def _partition_caps(self, ways_list: Sequence[Optional[Dict[int, int]]]
                         ) -> np.ndarray:
@@ -1945,10 +2138,14 @@ class VectorBank:
         return cap_of
 
     def _slots_for(self, parts: np.ndarray) -> np.ndarray:
-        """Map per-access partition ids to store slot indices (-1: none)."""
+        """Map per-access partition ids to store slot indices (-1: none).
+
+        Iterates the slot map (a handful of partitions) instead of the
+        access array's unique values — no 32k-element sort per epoch.
+        """
         out = np.full(parts.shape, -1, dtype=np.int64)
-        for pid in np.unique(parts).tolist():
-            out[parts == pid] = self._store.slot_of.get(int(pid), -1)
+        for pid, slot in self._store.slot_of.items():
+            out[parts == pid] = slot
         return out
 
     def _flag_replay_rows(self, flagged: np.ndarray, idx0: np.ndarray,
@@ -1971,22 +2168,55 @@ class VectorBank:
         store = self._store
         A = self._geo.associativity
         n = idx0.shape[0]
-        ar = np.arange(A, dtype=np.int64)[None, :]
+        active = []
         for q in range(store.num_slots):
-            cq = store.count[q]                    # (C, S)
-            if not any(cq[lo:hi].any() for lo, hi in ranges):
-                continue
-            tq = store.tags[q]                     # (C, S, A)
-            live0 = ar < cq[idx0, sets][:, None]
-            c0 = ((tq[idx0, sets] == tg[:, None]) & live0).any(axis=1) \
-                & (slot0 != q)
-            if c0.any():
-                flagged[idx0[c0], sets[c0]] = True
-            live1 = ar < cq[idx1, sets][:, None]
-            c1 = ((tq[idx1, sets] == tg[:, None]) & live1).any(axis=1) \
-                & (slot1 != q) & two_stage
-            if c1.any():
-                flagged[idx1[c1], sets[c1]] = True
+            if any(store.count[q][lo:hi].any() for lo, hi in ranges):
+                active.append(q)
+        if active and n:
+            # Streams reuse lines heavily, so the per-slot tag scans run
+            # over the unique (cache, set, tag) probes — typically far
+            # fewer than the accesses — and both probe stages share one
+            # pass.  Residency per slot lands in a bitmask; an access
+            # aliases when any slot other than its own holds its tag.
+            ts = np.flatnonzero(two_stage)
+            rows_all = np.concatenate((idx0, idx1[ts]))
+            sets_all = np.concatenate((sets, sets[ts]))
+            tg_all = np.concatenate((tg, tg[ts]))
+            slots_all = np.concatenate((slot0, slot1[ts]))
+            num_sets = store.count.shape[-1]
+            key_rs = rows_all * num_sets + sets_all
+            # A single packed sort key beats a two-key lexsort ~5x;
+            # fall back only when the tag span cannot pack exactly.
+            tmin = int(tg_all.min())
+            span = int(tg_all.max()) - tmin + 1
+            if span <= (1 << 62) // (int(key_rs.max()) + 1):
+                key = key_rs * np.int64(span) + (tg_all - np.int64(tmin))
+                order = np.argsort(key)
+                ks = key[order]
+                head = np.ones(ks.shape[0], dtype=bool)
+                head[1:] = ks[1:] != ks[:-1]
+            else:
+                order = np.lexsort((tg_all, key_rs))
+                ko, to = key_rs[order], tg_all[order]
+                head = np.ones(ko.shape[0], dtype=bool)
+                head[1:] = (ko[1:] != ko[:-1]) | (to[1:] != to[:-1])
+            uniq = order[head]
+            inv = np.empty(order.shape[0], dtype=np.int64)
+            inv[order] = np.cumsum(head) - 1
+            ur, us, ut = rows_all[uniq], sets_all[uniq], tg_all[uniq]
+            ar = np.arange(A, dtype=np.int64)[None, :]
+            hit_mask = np.zeros(ur.shape[0], dtype=np.int64)
+            for q in active:
+                live = ar < store.count[q][ur, us][:, None]
+                hit = ((store.tags[q][ur, us] == ut[:, None])
+                       & live).any(axis=1)
+                hit_mask[hit] |= np.int64(1) << q
+            own = np.where(slots_all >= 0,
+                           np.int64(1) << np.maximum(slots_all, 0),
+                           np.int64(0))
+            alias = (hit_mask[inv] & ~own) != 0
+            if alias.any():
+                flagged[rows_all[alias], sets_all[alias]] = True
         replay = np.zeros(n, dtype=bool)
         for _ in range(n + 1):
             r0 = flagged[idx0, sets]
@@ -2002,6 +2232,137 @@ class VectorBank:
             flagged = nf
         return flagged, replay
 
+    def _drain_rows_static(self, cap_of: np.ndarray, count0: np.ndarray
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+        """State-side drain eligibility per (cache, set) row.
+
+        A row qualifies when exactly one slot holds more lines than its
+        allotment (the *over* slot), the cache's allotments sum to the
+        associativity (so under-slot growth and over-slot surplus are
+        two views of one quantity) and the over slot keeps at least one
+        way.  Returns the candidate table and the per-row over slot.
+        """
+        A = self._geo.associativity
+        C = len(self.caches)
+        over = count0 > cap_of.T[:, :, None]          # (P, C, S)
+        o_slot = over.argmax(axis=0)                  # (C, S)
+        cand = over.sum(axis=0) == 1
+        cand &= (cap_of.sum(axis=1) == A)[:, None]
+        cand &= np.take_along_axis(
+            cap_of, o_slot.reshape(C, -1), axis=1).reshape(o_slot.shape) \
+            > 0
+        return cand, o_slot
+
+    def _drain_viol(self, o_slot: np.ndarray, idx0: np.ndarray,
+                    sets: np.ndarray, slot0: np.ndarray,
+                    idx1: np.ndarray, slot1: np.ndarray,
+                    two_stage: np.ndarray) -> np.ndarray:
+        """Stream-side drain disqualifications per (cache, set) row.
+
+        The drain model needs the phase split to mirror the interpreter
+        exactly: stage-0 probes of a drained row must target under
+        slots (they run in phase 1, before any drain) and later-phase
+        probes must target the over slot (they run in the multi-pass
+        phase 3, between drains).  Any probe on the wrong side marks
+        the row for the interpreter instead.
+        """
+        viol = np.zeros(o_slot.shape, dtype=bool)
+        o0 = o_slot[idx0, sets]
+        m = two_stage & (slot0 == o0)
+        viol[idx0[m], sets[m]] = True
+        m = ~two_stage & (slot0 != o0)
+        viol[idx0[m], sets[m]] = True
+        m = two_stage & (slot1 != o_slot[idx1, sets])
+        viol[idx1[m], sets[m]] = True
+        return viol
+
+    def _drain_events(self, drains: np.ndarray, o_slot: np.ndarray,
+                      count0: np.ndarray, cap0: np.ndarray,
+                      idx0: np.ndarray, sets: np.ndarray,
+                      two_stage: np.ndarray, replay: np.ndarray,
+                      f0: np.ndarray, krow0_abs: np.ndarray
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 np.ndarray, np.ndarray]:
+        """Order one epoch's over-slot drains from phase-1 growth fills.
+
+        An under-slot fill that lands in a *full* row (total occupancy
+        at the associativity) evicts the over slot's LRU line instead
+        of appending — the scalar interpreter's over-eviction.  Phase 1
+        has already solved the under slots natively; this derives, per
+        drained row, which of its fills grew occupancy (rank among the
+        row's fills below the allotment headroom), splits them into
+        free appends and drains at the row's free-slot cutoff, and
+        returns the drain events as (stream position, over kernel row,
+        row id, drain index) plus the per-row over-slot occupancy
+        snapshot that phase 3 uses as its pass-0 capacity.
+        """
+        geo = self._geo
+        S = geo.num_sets
+        A = geo.associativity
+        C = len(self.caches)
+        store = self._store
+        fcount0 = count0.reshape(-1)
+        rid_all = np.arange(C * S, dtype=np.int64)
+        occ_over = np.take_along_axis(
+            count0.reshape(store.num_slots, C * S),
+            o_slot.reshape(1, C * S), axis=0)[0]
+        over_krow = o_slot.reshape(-1) * np.int64(C * S) + rid_all
+        empty = np.zeros(0, dtype=np.int64)
+        gf = np.flatnonzero(f0 & two_stage & ~replay & drains[idx0, sets])
+        if not gf.size:
+            return empty, empty, empty, empty, occ_over
+
+        def _seg_rank(keys: np.ndarray) -> np.ndarray:
+            # Rank of each element within its key group, stream order.
+            order = np.argsort(keys, kind="stable")
+            ko = keys[order]
+            m = ko.size
+            pos = np.arange(m, dtype=np.int64)
+            starts = np.where(np.r_[True, ko[1:] != ko[:-1]], pos, 0)
+            ranks = pos - np.maximum.accumulate(starts)
+            out = np.empty(m, dtype=np.int64)
+            out[order] = ranks
+            return out
+
+        # Growth fills: the first (cap - occupancy) fills per under
+        # kernel row raise its occupancy; later fills replace in-slot.
+        rows_u = krow0_abs[gf]
+        growth = _seg_rank(rows_u) < cap0[gf] - fcount0[rows_u]
+        gfi = gf[growth]
+        if not gfi.size:
+            return empty, empty, empty, empty, occ_over
+        # Merge growth fills per (cache, set) row: below the row's free
+        # space they append; past it each one drains the over slot.
+        rid_g = idx0[gfi] * np.int64(S) + sets[gfi]
+        cut = A - count0.sum(axis=0).reshape(-1)[rid_g]
+        t_of = _seg_rank(rid_g) - cut
+        dsel = t_of >= 0
+        return (gfi[dsel], over_krow[rid_g[dsel]], rid_g[dsel],
+                t_of[dsel], occ_over)
+
+    def _apply_drain(self, rows_d: np.ndarray, pos_d: np.ndarray,
+                     ea0: np.ndarray, ed0: np.ndarray) -> None:
+        """Evict each row's over-slot LRU line into its draining access.
+
+        Kernel rows keep physical order as recency order (index 0 is
+        the LRU side), so the drain is a one-line shift: report line 0
+        as the eviction of the under-slot fill at ``pos_d``, slide the
+        row down and shrink its count.
+        """
+        store = self._store
+        geo = self._geo
+        ftags, fdirty, fcount, fsector, fstamp = store.flat()
+        ea0[pos_d] = geo.rebuild(rows_d % np.int64(geo.num_sets),
+                                 ftags[rows_d, 0])
+        ed0[pos_d] = fdirty[rows_d, 0]
+        ftags[rows_d, :-1] = ftags[rows_d, 1:]
+        fdirty[rows_d, :-1] = fdirty[rows_d, 1:]
+        if fsector is not None:
+            fsector[rows_d, :-1] = fsector[rows_d, 1:]
+        if fstamp is not None:
+            fstamp[rows_d, :-1] = fstamp[rows_d, 1:]
+        fcount[rows_d] -= 1
+
     def _replay_flagged(self, ir: np.ndarray, idx0: np.ndarray,
                         idx1: np.ndarray, sets: np.ndarray,
                         tg: np.ndarray, writes: np.ndarray,
@@ -2013,6 +2374,7 @@ class VectorBank:
                         h1: np.ndarray, sm1: np.ndarray, f1: np.ndarray,
                         ea1: np.ndarray, ed1: np.ndarray) -> None:
         """Stream-order replay of flagged sets (both stages)."""
+        self._store.set_replay_batches += 1
         rep = _SetReplay(self._store, self._geo)
         touch = rep.touch
         # Gather the replayed subset into plain lists once; per-access
@@ -2192,12 +2554,30 @@ class VectorBank:
         clock0 = store.clock
         sv = np.arange(clock0, clock0 + n, dtype=np.int64)
 
-        # Rows the capacity model cannot describe: over-allotment
-        # occupancy (post-repartition) and cross-slot tag aliases.
+        # Rows the capacity model cannot describe: cross-slot tag
+        # aliases, plus whatever over-allotment occupancy the drain
+        # model below cannot express.  Drain-eligible rows leave the
+        # flagged table *before* the replay closure — the closure can
+        # still pull one back (an access bridging it to a flagged row),
+        # and then the interpreter handles it exactly.
         flagged = (store.count > cap_of.T[:, :, None]).any(axis=0)  # (C, S)
+        drains: Optional[np.ndarray] = None
+        count0 = o_slot = None
+        if flagged.any():
+            count0 = store.count.copy()
+            cand, o_slot = self._drain_rows_static(cap_of, count0)
+            cand &= ~self._drain_viol(o_slot, idx0, sets, slot0, idx1,
+                                      slot1, two_stage)
+            if cand.any():
+                drains = cand
+                flagged &= ~drains
         flagged, replay = self._flag_replay_rows(
             flagged, idx0, sets, tg, slot0, idx1, slot1, two_stage,
             ranges)
+        if drains is not None:
+            drains &= ~flagged
+            if not drains.any():
+                drains = None
 
         krow0 = (np.maximum(slot0, 0) * np.int64(C) + idx0) * \
             np.int64(S) + sets
@@ -2205,10 +2585,12 @@ class VectorBank:
             np.int64(S) + sets
         sel_a = two_stage & ~replay
         sel_b0 = ~two_stage & ~replay
-        rows_a = np.unique(krow0[sel_a & (cap0 > 0)])
-        rows_b = np.unique(np.concatenate(
-            [krow0[sel_b0 & (cap0 > 0)], krow1[sel_a & (cap1 > 0)]]))
-        if np.intersect1d(rows_a, rows_b, assume_unique=True).size:
+        # Phase disjointness via a flat row-membership table — cheaper
+        # than sorting both phases' rows to uniques and intersecting.
+        in_a = np.zeros(store.num_slots * C * S, dtype=bool)
+        in_a[krow0[sel_a & (cap0 > 0)]] = True
+        if in_a[krow0[sel_b0 & (cap0 > 0)]].any() or \
+                in_a[krow1[sel_a & (cap1 > 0)]].any():
             return None
 
         h0 = np.zeros(n, dtype=bool)
@@ -2253,6 +2635,14 @@ class VectorBank:
         if ia.size:
             run_kernel(ia, krow0[ia], cap0[ia], h0, sm0, f0, ea0, ed0)
 
+        # Drained rows: phase 1 solved their under slots natively;
+        # derive which of those fills evict the over slot's LRU.
+        dr = None
+        if drains is not None:
+            assert count0 is not None and o_slot is not None
+            dr = self._drain_events(drains, o_slot, count0, cap0, idx0,
+                                    sets, two_stage, replay, f0, krow0)
+
         # Phase 2: stream-order replay of flagged sets (both stages).
         ir = np.flatnonzero(replay)
         if ir.size:
@@ -2262,10 +2652,13 @@ class VectorBank:
                                  h1, sm1, f1, ea1, ed1)
 
         # Phase 3: single-stage probes + stage-1 probes of stage-0
-        # misses, interleaved in stream order.
+        # misses, interleaved in stream order.  At drained rows the
+        # over slot behaves as a plain LRU of its current occupancy, so
+        # its probes run in passes between drain applications, each
+        # pass capped at the occupancy it observes.
         p1k = two_stage & ~replay & ~h0
         ib = np.flatnonzero(sel_b0 | p1k)
-        if ib.size:
+        if ib.size or (dr is not None and dr[0].size):
             use1 = p1k[ib]
             krow_b = np.where(use1, krow1[ib], krow0[ib])
             cap_b = np.where(use1, cap1[ib], cap0[ib])
@@ -2274,7 +2667,35 @@ class VectorBank:
             f_t = np.zeros(n, dtype=bool)
             ea_t = np.full(n, -1, dtype=np.int64)
             ed_t = np.zeros(n, dtype=bool)
-            run_kernel(ib, krow_b, cap_b, h_t, sm_t, f_t, ea_t, ed_t)
+            if dr is None:
+                run_kernel(ib, krow_b, cap_b, h_t, sm_t, f_t, ea_t, ed_t)
+            else:
+                dr_pos, dr_row, dr_rid, dr_t, occ_over = dr
+                rid_b = np.where(use1, idx1[ib], idx0[ib]) * \
+                    np.int64(S) + sets[ib]
+                at_drain = drains.reshape(-1)[rid_b]
+                pass_of = np.zeros(ib.size, dtype=np.int64)
+                max_t = int(dr_t.max()) + 1 if dr_t.size else 0
+                for t in range(max_t):
+                    sel_t = dr_t == t
+                    pos_at = np.full(len(self.caches) * S, n,
+                                     dtype=np.int64)
+                    pos_at[dr_rid[sel_t]] = dr_pos[sel_t]
+                    pass_of[at_drain] += \
+                        ib[at_drain] > pos_at[rid_b[at_drain]]
+                cap_b = np.where(at_drain,
+                                 occ_over[rid_b] - pass_of, cap_b)
+                for t in range(max_t + 1):
+                    selp = (pass_of == t) if t else \
+                        (~at_drain | (pass_of == 0))
+                    sub = np.flatnonzero(selp)
+                    if sub.size:
+                        run_kernel(ib[sub], krow_b[sub], cap_b[sub],
+                                   h_t, sm_t, f_t, ea_t, ed_t)
+                    if t < max_t:
+                        sel_t = dr_t == t
+                        self._apply_drain(dr_row[sel_t], dr_pos[sel_t],
+                                          ea0, ed0)
             b0 = ib[~use1]
             h0[b0] = h_t[b0]
             sm0[b0] = sm_t[b0]
@@ -2327,7 +2748,15 @@ class VectorBank:
     def _staged_shared_epochs(
             self, calls: Sequence[StagedLaneCall]
     ) -> List[Optional[StagedResult]]:
-        """Kernel body of :meth:`access_many_staged_shared`."""
+        """Kernel body of :meth:`access_many_staged_shared`.
+
+        Same-stream phase-1 replays are hoisted ahead of the per-plan
+        phase loop and fused lane-major (:func:`_replay_encoding_lanes`)
+        — exact because lanes own disjoint store rows, every stamp
+        window is explicit, and phase-1 ok-masks confine writes to
+        rows no other phase shares.  Post-repartition rows run the
+        vectorized over-allotment drain per plan, as in the solo path.
+        """
         results: List[Optional[StagedResult]] = [None] * len(calls)
         if not self.config.write_allocate or not self.caches:
             return results
@@ -2350,6 +2779,13 @@ class VectorBank:
         store.ensure_stamps()
         cap_of = self._partition_caps(ways_list)
         flagged = (store.count > cap_of.T[:, :, None]).any(axis=0)
+        count0: Optional[np.ndarray] = None
+        cand0 = o_slot = None
+        if flagged.any():
+            # Occupancy snapshot for the drain model: lanes own
+            # disjoint rows, so one round-start copy serves every plan.
+            count0 = store.count.copy()
+            cand0, o_slot = self._drain_rows_static(cap_of, count0)
 
         # Stream-keyed pieces every same-trace lane reuses: the address
         # split, the partition->slot maps and (lazily, at phase time)
@@ -2365,7 +2801,7 @@ class VectorBank:
                           np.ndarray, np.ndarray, np.ndarray,
                           Optional[np.ndarray], np.ndarray, np.ndarray,
                           np.ndarray, np.ndarray, np.ndarray,
-                          np.ndarray]] = []
+                          np.ndarray, Optional[np.ndarray]]] = []
         for k in live:
             call = calls[k]
             lo = call.lane[0]
@@ -2384,9 +2820,28 @@ class VectorBank:
                             cap_of[idx0a, np.maximum(slot0, 0)], 0)
             cap1 = np.where(slot1 >= 0,
                             cap_of[idx1a, np.maximum(slot1, 0)], 0)
+            # Drain-eligible rows of *this lane* leave the flagged
+            # table before the closure; the closure can pull one back
+            # (then the interpreter keeps it).  Other lanes' rows stay
+            # untouched — their plans judge their own rows.
+            drains_k: Optional[np.ndarray] = None
+            if cand0 is not None:
+                assert o_slot is not None
+                cand = cand0.copy()
+                cand[:lo] = False
+                cand[call.lane[1]:] = False
+                cand &= ~self._drain_viol(o_slot, idx0a, sets, slot0,
+                                          idx1a, slot1, call.two_stage)
+                if cand.any():
+                    drains_k = cand
+                    flagged &= ~drains_k
             flagged, replay = self._flag_replay_rows(
                 flagged, idx0a, sets, tg, slot0, idx1a, slot1,
                 call.two_stage, (call.lane,))
+            if drains_k is not None:
+                drains_k &= ~flagged
+                if not drains_k.any():
+                    drains_k = None
             # Lane-local kernel rows; the lane's cache offset is applied
             # as a row offset (a multiple of S) at replay time.
             krow0 = (np.maximum(slot0, 0) * np.int64(C) + call.idx0) * \
@@ -2395,19 +2850,88 @@ class VectorBank:
                 np.int64(S) + sets
             sel_a = call.two_stage & ~replay
             sel_b0 = ~call.two_stage & ~replay
-            rows_a = np.unique(krow0[sel_a & (cap0 > 0)])
-            rows_b = np.unique(np.concatenate(
-                [krow0[sel_b0 & (cap0 > 0)], krow1[sel_a & (cap1 > 0)]]))
-            if np.intersect1d(rows_a, rows_b, assume_unique=True).size:
+            # Same flat membership test as the single-call path.
+            in_a = np.zeros(store.num_slots * C * S, dtype=bool)
+            in_a[krow0[sel_a & (cap0 > 0)]] = True
+            if in_a[krow0[sel_b0 & (cap0 > 0)]].any() or \
+                    in_a[krow1[sel_a & (cap1 > 0)]].any():
                 continue
             plans.append((k, call, lo, idx0a, idx1a, sets, tg, sec,
-                          cap0, cap1, krow0, krow1, replay, sel_b0))
+                          cap0, cap1, krow0, krow1, replay, sel_b0,
+                          drains_k))
 
-        for (k, call, lo, idx0a, idx1a, sets, tg, sec, cap0, cap1,
-             krow0, krow1, replay, sel_b0) in plans:
+        # Per-plan clock windows, in plan order — identical to the
+        # sequential stamping the plan loop used to do.
+        bases: Dict[int, int] = {}
+        clock = store.clock
+        for p in plans:
+            bases[p[0]] = clock
+            clock += p[1].addrs.shape[0]
+        store.clock = clock
+
+        # Pre-pass: fuse same-stream phase-1 replays into one
+        # lane-major kernel call.  Plans whose phase 1 is fully masked
+        # (or whose stream appears once) keep the scalar replay below.
+        pre1: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray,
+                              np.ndarray, np.ndarray,
+                              Optional[np.ndarray]]] = {}
+        by_sid: Dict[int, List[Tuple[int, np.ndarray, np.ndarray]]] = {}
+        for i, p in enumerate(plans):
+            call, cap0, replay = p[1], p[8], p[12]
+            ia2 = np.flatnonzero(call.two_stage)
+            okv = (~replay & (cap0 > 0))[ia2]
+            if ia2.size and bool(okv.any()):
+                by_sid.setdefault(call.stream, []).append((i, ia2, okv))
+        for sid, members in by_sid.items():
+            los = [plans[i][2] for i, _, _ in members]
+            if len(members) < 2 or len(set(los)) != len(los):
+                continue
+            i0, ia2_0, _ = members[0]
+            p0 = plans[i0]
+            call0, tg0, sec0, krow0_0 = p0[1], p0[6], p0[7], p0[10]
+            enc = enc_of.get(sid)
+            if enc is None:
+                enc = _encode_stream(
+                    krow0_0[ia2_0], tg0[ia2_0], call0.writes[ia2_0],
+                    store.num_slots * C * S,
+                    sec=sec0[ia2_0] if sec0 is not None else None)
+                enc_of[sid] = enc
+                self.shared_encodings += 1
+            m = ia2_0.size
+            L = len(members)
+            caps_v = np.concatenate(
+                [plans[i][8][ia2] for i, ia2, _ in members])
+            ok_v = np.concatenate([okv for _, _, okv in members])
+            sv_v = np.concatenate(
+                [np.int64(bases[plans[i][0]]) + ia2
+                 for i, ia2, _ in members])
+            ftags, fdirty, fcount, fsector, fstamp = store.flat()
+            h_v = np.zeros(L * m, dtype=bool)
+            ea_v = np.full(L * m, -1, dtype=np.int64)
+            ed_v = np.zeros(L * m, dtype=bool)
+            sm_v = np.zeros(L * m, dtype=bool) if fsector is not None \
+                else None
+            t0 = time.perf_counter()
+            lenc = _tile_encoding_lanes(
+                enc, [plans[i][2] * S for i, _, _ in members])
+            _replay_encoding_lanes(lenc, ftags, fdirty, fcount, geo,
+                                   caps_v, h_v, ea_v, ed_v, ok=ok_v,
+                                   sector=fsector, stamp=fstamp,
+                                   stamp_vals=sv_v, sm_out=sm_v)
+            self.replay_seconds += time.perf_counter() - t0
+            self.lane_batched_rounds += 1
+            self.shared_replays += L
+            for j, (i, ia2, okv) in enumerate(members):
+                sl = slice(j * m, (j + 1) * m)
+                pre1[i] = (ia2, okv, h_v[sl], ea_v[sl], ed_v[sl],
+                           sm_v[sl] if sm_v is not None else None)
+
+        for i, (k, call, lo, idx0a, idx1a, sets, tg, sec, cap0, cap1,
+                krow0, krow1, replay, sel_b0,
+                drains_k) in enumerate(plans):
             n = call.addrs.shape[0]
             sid = call.stream
-            clock0 = store.clock
+            clock0 = bases[k]
             sv = np.arange(clock0, clock0 + n, dtype=np.int64)
             h0 = np.zeros(n, dtype=bool)
             sm0 = np.zeros(n, dtype=bool)
@@ -2424,33 +2948,11 @@ class VectorBank:
             # against the stream's shared encoding.  Flagged rows and
             # zero-way partitions are whole-group masks: they produce
             # default outcomes here (phase 2 overwrites the flagged
-            # ones) and no state writes.
-            ia2 = np.flatnonzero(call.two_stage)
-            okv = (~replay & (cap0 > 0))[ia2]
-            # Fully-masked lanes (e.g. every row flagged after a
-            # repartition) skip the kernel pass outright: a replay with
-            # an all-False ok-mask writes neither outputs nor state.
-            if ia2.size and bool(okv.any()):
-                enc = enc_of.get(sid)
-                if enc is None:
-                    enc = _encode_stream(
-                        krow0[ia2], tg[ia2], call.writes[ia2],
-                        store.num_slots * C * S,
-                        sec=sec[ia2] if sec is not None else None)
-                    enc_of[sid] = enc
-                    self.shared_encodings += 1
-                m = ia2.size
-                h_t = np.zeros(m, dtype=bool)
-                ea_t = np.full(m, -1, dtype=np.int64)
-                ed_t = np.zeros(m, dtype=bool)
-                ftags, fdirty, fcount, fsector, fstamp = store.flat()
-                sm_t = np.zeros(m, dtype=bool) if fsector is not None \
-                    else None
-                _replay_encoding(enc, ftags, fdirty, fcount, geo,
-                                 lo * S, cap0[ia2], h_t, ea_t, ed_t,
-                                 ok=okv, sector=fsector, stamp=fstamp,
-                                 stamp_vals=sv[ia2], sm_out=sm_t)
-                self.shared_replays += 1
+            # ones) and no state writes.  Lane-batched rounds land the
+            # outcomes via the pre-pass; singleton streams replay here.
+            hoisted = pre1.get(i)
+            if hoisted is not None:
+                ia2, okv, h_t, ea_t, ed_t, sm_t = hoisted
                 h0[ia2] = h_t
                 ea0[ia2] = ea_t
                 ed0[ia2] = ed_t
@@ -2459,6 +2961,54 @@ class VectorBank:
                     f0[ia2] = ~(h_t | sm_t) & okv
                 else:
                     f0[ia2] = ~h_t & okv
+            else:
+                ia2 = np.flatnonzero(call.two_stage)
+                okv = (~replay & (cap0 > 0))[ia2]
+                # Fully-masked lanes (e.g. every row flagged after a
+                # repartition) skip the kernel pass outright: a replay
+                # with an all-False ok-mask writes neither outputs nor
+                # state.
+                if ia2.size and bool(okv.any()):
+                    enc = enc_of.get(sid)
+                    if enc is None:
+                        enc = _encode_stream(
+                            krow0[ia2], tg[ia2], call.writes[ia2],
+                            store.num_slots * C * S,
+                            sec=sec[ia2] if sec is not None else None)
+                        enc_of[sid] = enc
+                        self.shared_encodings += 1
+                    m = ia2.size
+                    h_t = np.zeros(m, dtype=bool)
+                    ea_t = np.full(m, -1, dtype=np.int64)
+                    ed_t = np.zeros(m, dtype=bool)
+                    ftags, fdirty, fcount, fsector, fstamp = store.flat()
+                    sm_t = np.zeros(m, dtype=bool) \
+                        if fsector is not None else None
+                    t0 = time.perf_counter()
+                    _replay_encoding(enc, ftags, fdirty, fcount, geo,
+                                     lo * S, cap0[ia2], h_t, ea_t, ed_t,
+                                     ok=okv, sector=fsector, stamp=fstamp,
+                                     stamp_vals=sv[ia2], sm_out=sm_t)
+                    self.replay_seconds += time.perf_counter() - t0
+                    self.shared_replays += 1
+                    h0[ia2] = h_t
+                    ea0[ia2] = ea_t
+                    ed0[ia2] = ed_t
+                    if sm_t is not None:
+                        sm0[ia2] = sm_t
+                        f0[ia2] = ~(h_t | sm_t) & okv
+                    else:
+                        f0[ia2] = ~h_t & okv
+
+            # Drained rows: phase 1 solved their under slots natively;
+            # derive which of those fills evict the over slot's LRU.
+            dr = None
+            if drains_k is not None:
+                assert count0 is not None and o_slot is not None
+                dr = self._drain_events(drains_k, o_slot, count0, cap0,
+                                        idx0a, sets, call.two_stage,
+                                        replay, f0,
+                                        krow0 + np.int64(lo * S))
 
             # Phase 2: stream-order replay of flagged sets.
             ir = np.flatnonzero(replay)
@@ -2471,39 +3021,74 @@ class VectorBank:
 
             # Phase 3: single-stage probes + stage-1 probes of stage-0
             # misses, interleaved in stream order (per lane: the stream
-            # depends on this lane's stage-0 hits).
+            # depends on this lane's stage-0 hits).  Drained rows run
+            # in passes between drain applications, exactly as in the
+            # solo staged path.
             p1k = call.two_stage & ~replay & ~h0
             ib = np.flatnonzero(sel_b0 | p1k)
-            if ib.size:
+            if ib.size or (dr is not None and dr[0].size):
                 use1 = p1k[ib]
                 krow_b = np.where(use1, krow1[ib], krow0[ib]) + \
                     np.int64(lo * S)
                 cap_b = np.where(use1, cap1[ib], cap0[ib])
-                ftags, fdirty, fcount, fsector, fstamp = store.flat()
-                res = _batch_resolve(
-                    ftags, fdirty, fcount, geo, krow_b, tg[ib],
-                    call.writes[ib], cap=cap_b, sector=fsector,
-                    sec=sec[ib] if sec is not None else None,
-                    stamp=fstamp, stamp_vals=sv[ib])
-                pos = cap_b > 0
-                b0 = ib[~use1]
-                b1 = ib[use1]
-                if res.sector_miss is not None:
-                    fl_t = ~(res.hits | res.sector_miss) & pos
-                    sm0[b0] = res.sector_miss[~use1]
-                    sm1[b1] = res.sector_miss[use1]
-                else:
-                    fl_t = ~res.hits & pos
-                h0[b0] = res.hits[~use1]
-                f0[b0] = fl_t[~use1]
-                ea0[b0] = res.evicted_addr[~use1]
-                ed0[b0] = res.evicted_dirty[~use1]
-                h1[b1] = res.hits[use1]
-                f1[b1] = fl_t[use1]
-                ea1[b1] = res.evicted_addr[use1]
-                ed1[b1] = res.evicted_dirty[use1]
 
-            store.clock = clock0 + n
+                def run_b(sub: np.ndarray) -> None:
+                    ftags, fdirty, fcount, fsector, fstamp = store.flat()
+                    bi = ib[sub]
+                    res = _batch_resolve(
+                        ftags, fdirty, fcount, geo, krow_b[sub], tg[bi],
+                        call.writes[bi], cap=cap_b[sub], sector=fsector,
+                        sec=sec[bi] if sec is not None else None,
+                        stamp=fstamp, stamp_vals=sv[bi])
+                    pos = cap_b[sub] > 0
+                    u1 = use1[sub]
+                    b0 = bi[~u1]
+                    b1 = bi[u1]
+                    if res.sector_miss is not None:
+                        fl_t = ~(res.hits | res.sector_miss) & pos
+                        sm0[b0] = res.sector_miss[~u1]
+                        sm1[b1] = res.sector_miss[u1]
+                    else:
+                        fl_t = ~res.hits & pos
+                    h0[b0] = res.hits[~u1]
+                    f0[b0] = fl_t[~u1]
+                    ea0[b0] = res.evicted_addr[~u1]
+                    ed0[b0] = res.evicted_dirty[~u1]
+                    h1[b1] = res.hits[u1]
+                    f1[b1] = fl_t[u1]
+                    ea1[b1] = res.evicted_addr[u1]
+                    ed1[b1] = res.evicted_dirty[u1]
+
+                if dr is None:
+                    if ib.size:
+                        run_b(np.arange(ib.size, dtype=np.int64))
+                else:
+                    assert drains_k is not None
+                    dr_pos, dr_row, dr_rid, dr_t, occ_over = dr
+                    rid_b = np.where(use1, idx1a[ib], idx0a[ib]) * \
+                        np.int64(S) + sets[ib]
+                    at_drain = drains_k.reshape(-1)[rid_b]
+                    pass_of = np.zeros(ib.size, dtype=np.int64)
+                    max_t = int(dr_t.max()) + 1 if dr_t.size else 0
+                    for t in range(max_t):
+                        sel_t = dr_t == t
+                        pos_at = np.full(C * S, n, dtype=np.int64)
+                        pos_at[dr_rid[sel_t]] = dr_pos[sel_t]
+                        pass_of[at_drain] += \
+                            ib[at_drain] > pos_at[rid_b[at_drain]]
+                    cap_b = np.where(at_drain,
+                                     occ_over[rid_b] - pass_of, cap_b)
+                    for t in range(max_t + 1):
+                        selp = (pass_of == t) if t else \
+                            (~at_drain | (pass_of == 0))
+                        sub = np.flatnonzero(selp)
+                        if sub.size:
+                            run_b(sub)
+                        if t < max_t:
+                            sel_t = dr_t == t
+                            self._apply_drain(dr_row[sel_t],
+                                              dr_pos[sel_t], ea0, ed0)
+
             results[k] = self._staged_outcome(
                 [call.lane], idx0a, idx1a, call.two_stage, h0, sm0, f0,
                 ea0, ed0, h1, sm1, f1, ea1, ed1)

@@ -41,7 +41,11 @@ from ..graph import FunctionInfo, ProjectGraph, _unpack_targets
 from ._common import dotted_name
 
 #: The encoding classes whose instances are shared across lanes.
-ENCODING_CLASSES = ("_StreamEncoding", "_BucketEncoding")
+#: ``_LaneEncoding`` is the lane-stacked tiling of a shared stream
+#: (PR 10): its buckets alias per-lane views of one replay pass, so a
+#: cross-lane in-place write corrupts sibling lanes exactly like a
+#: write through the underlying stream encoding.
+ENCODING_CLASSES = ("_StreamEncoding", "_BucketEncoding", "_LaneEncoding")
 
 #: ndarray methods that mutate the receiver in place.
 MUTATING_METHODS = frozenset({

@@ -90,6 +90,15 @@ class StackedTelemetry:
     #: them; replays exceeding encodings is the shared path paying off.
     shared_encodings: int = 0
     shared_replays: int = 0
+    #: Rounds the shared banks resolved with one lane-major batched
+    #: replay call (>= 2 lanes folded into a single kernel pass), the
+    #: wall seconds spent inside replay kernel passes, and how many
+    #: times a bank fell back to the stream-order ``_SetReplay``
+    #: interpreter (0 when the vectorized drain covers every
+    #: repartition epoch).
+    lane_batched_rounds: int = 0
+    replay_seconds: float = 0.0
+    set_replay_batches: int = 0
     #: Lane indices that faulted mid-drive and were re-run solo, and the
     #: subset whose re-run was demoted to the scalar engine because the
     #: vector kernel itself faulted.
@@ -288,6 +297,9 @@ def simulate_stacked(spec: BenchmarkSpec,
         seen_banks.add(id(bank))
         telemetry.shared_encodings += bank.shared_encodings
         telemetry.shared_replays += bank.shared_replays
+        telemetry.lane_batched_rounds += bank.lane_batched_rounds
+        telemetry.replay_seconds += bank.replay_seconds
+        telemetry.set_replay_batches += bank.set_replay_batches
 
     # Host wall clock is a co-run quantity; attribute it evenly across
     # all lanes (duplicates included — they ride the same wall) so the
@@ -403,19 +415,28 @@ def _drive(engines: Sequence[SimulationEngine],
                 outcomes, elapsed, failed = _solo_fallback(
                     member_probes, group_error)
                 sids = None
-            if any(outcome is not None  # repro: noqa(hot-loop)
-                   for outcome in outcomes):
+            # Lane-major round accounting: the per-lane charge shares
+            # and shared-stream verdicts are computed as vector gathers
+            # over the member axis, so the pump loop below only scatters
+            # precomputed scalars into each lane's RunStats.
+            resolved = np.array([o is not None  # repro: noqa(hot-loop)
+                                 for o in outcomes], dtype=bool)
+            if resolved.any():
                 telemetry.bank_invocations += 1
             telemetry.probe_seconds += elapsed
-            total = sum(p.addrs.shape[0]  # repro: noqa(hot-loop)
-                        for p in member_probes)
-            lane_count: Dict[int, int] = {}
+            sizes = np.array([p.addrs.shape[0]  # repro: noqa(hot-loop)
+                              for p in member_probes], dtype=np.int64)
+            total = int(sizes.sum())
+            shares = elapsed * sizes / total if total \
+                else np.zeros(len(members))
+            shared = np.zeros(len(members), dtype=bool)
             if sids is not None:
-                for sid, outcome in zip(sids, outcomes):  # repro: noqa(hot-loop)
-                    if outcome is not None:
-                        lane_count[sid] = lane_count.get(sid, 0) + 1
-            for pos, (i, probe, outcome) in enumerate(  # repro: noqa(hot-loop)
-                    zip(members, member_probes, outcomes)):
+                sid_np = np.array(sids, dtype=np.int64)
+                per_sid = np.bincount(sid_np[resolved],
+                                      minlength=int(sid_np.max()) + 1)
+                shared = resolved & (per_sid[sid_np] >= 2)
+            for pos, (i, outcome) in enumerate(  # repro: noqa(hot-loop)
+                    zip(members, outcomes)):
                 if pos in failed:
                     quarantined[i] = failed[pos]
                     _retire(steps[i])
@@ -423,13 +444,11 @@ def _drive(engines: Sequence[SimulationEngine],
                     continue
                 stats = engines[i].stats
                 stats.stacked_probe_calls += 1
-                if sids is not None and outcome is not None \
-                        and lane_count.get(sids[pos], 0) >= 2:
+                if shared[pos]:
                     stats.stacked_shared_streams += 1
                 if total:
-                    lane_share = elapsed * probe.addrs.shape[0] / total
-                    stats.probe_seconds += lane_share
-                    stats.solve_seconds += lane_share
+                    stats.probe_seconds += float(shares[pos])
+                    stats.solve_seconds += float(shares[pos])
                 next_probe, error = _pump(
                     steps[i], outcome, engines[i].organization.name)
                 if error is not None:

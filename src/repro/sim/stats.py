@@ -47,6 +47,10 @@ TELEMETRY_FIELDS = frozenset({
     "lane_quarantined",
     "lane_demoted",
     "sanitizer_violations",
+    "lane_batched_rounds",
+    "replay_seconds",
+    "other_seconds",
+    "set_replay_batches",
     # StackedTelemetry counters (repro/sim/stacked.py).
     "lanes",
     "solo_lanes",
@@ -156,6 +160,21 @@ class RunStats:
     # ``repro.core.sanitize``).  A nonzero count survives even when the
     # raising ``SanitizerError`` was absorbed by a containment layer.
     sanitizer_violations: int = 0
+    # Lane-batched replay telemetry: rounds in which this lane's replay
+    # was fused into one lane-major kernel call with other same-stream
+    # lanes, and wall-clock spent inside replay kernel passes this run
+    # attributed to this lane (a subset of ``solve_seconds``).
+    lane_batched_rounds: int = 0
+    replay_seconds: float = 0.0
+    # Wall-clock of the batched-epoch pipeline that the
+    # probe/solve/charge brackets did not capture (directly measured,
+    # not a computed residual) — the timing-breakdown invariant bounds
+    # this at 5% of the run.
+    other_seconds: float = 0.0
+    # Epochs (or row batches) that demoted rows to the stream-order
+    # ``_SetReplay`` interpreter; stays 0 when the vectorized
+    # over-allotment drain covers every repartition epoch.
+    set_replay_batches: int = 0
 
     @property
     def llc_hit_rate(self) -> float:
@@ -250,6 +269,10 @@ class RunStats:
             "lane_quarantined": self.lane_quarantined,
             "lane_demoted": self.lane_demoted,
             "sanitizer_violations": self.sanitizer_violations,
+            "lane_batched_rounds": self.lane_batched_rounds,
+            "replay_seconds": self.replay_seconds,
+            "other_seconds": self.other_seconds,
+            "set_replay_batches": self.set_replay_batches,
         }
 
     def comparable_dict(self) -> Dict[str, object]:

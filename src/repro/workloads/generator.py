@@ -26,7 +26,7 @@ so that first-touch page allocation spreads shared pages across chips.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
@@ -59,6 +59,15 @@ class EpochTrace:
     addrs: np.ndarray
     writes: np.ndarray
     compute_cycles: float
+    #: Memo table for pure derivations of the (immutable) access arrays
+    #: — slice/channel hashes, the page-number decomposition.  Epochs are
+    #: shared across sweep lanes and cached across runs, so consumers key
+    #: entries by every parameter the derivation depends on and store
+    #: only read-only values.  Excluded from comparison: two epochs with
+    #: the same arrays are the same epoch regardless of what has been
+    #: memoized against them.
+    derived: Dict[tuple, object] = field(
+        default_factory=dict, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.addrs)

@@ -176,6 +176,26 @@ AUG_REPLAY = textwrap.dedent("""\
         bk.idx[0] += 1
     """)
 
+LANE_MODULE = textwrap.dedent("""\
+    class _LaneEncoding(NamedTuple):
+        lanes: int
+        n: int
+        buckets: Tuple[_BucketEncoding, ...]
+    """)
+
+BAD_LANE_REPLAY = textwrap.dedent("""\
+    def _replay_lanes(lenc: _LaneEncoding, k: int) -> None:
+        bk = lenc.buckets[0]
+        bk.idx[k] = 7
+    """)
+
+GOOD_LANE_REPLAY = textwrap.dedent("""\
+    def _replay_lanes(lenc: _LaneEncoding, k: int) -> None:
+        bk = lenc.buckets[0]
+        rows = bk.idx.copy()
+        rows[k] = 7
+    """)
+
 
 class TestSharedEncodingAlias:
     def test_bad_mutations_are_flagged(self):
@@ -208,6 +228,26 @@ class TestSharedEncodingAlias:
             "src/repro/cache/vector.py": ENCODING_MODULE + AUG_REPLAY,
         })
         assert len(findings) == 1
+
+    def test_bad_cross_lane_write_is_flagged(self):
+        # The lane-stacked tiling (_LaneEncoding) is shared exactly like
+        # the stream encoding it derives from: an in-place write through
+        # one lane's view corrupts every sibling lane of the batched
+        # replay.
+        findings = findings_of(SharedEncodingAliasRule(), {
+            "src/repro/cache/vector.py":
+                ENCODING_MODULE + LANE_MODULE + BAD_LANE_REPLAY,
+        })
+        assert len(findings) == 1
+        assert findings[0].rule == "shared-encoding-alias"
+        assert "subscript store" in findings[0].message
+
+    def test_good_lane_copy_idiom_passes(self):
+        findings = findings_of(SharedEncodingAliasRule(), {
+            "src/repro/cache/vector.py":
+                ENCODING_MODULE + LANE_MODULE + GOOD_LANE_REPLAY,
+        })
+        assert findings == []
 
     def test_silent_without_encoding_classes(self):
         findings = findings_of(SharedEncodingAliasRule(), {

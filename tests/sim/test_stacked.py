@@ -229,6 +229,80 @@ class TestSharedEncodings:
             assert stats.comparable_dict() == solo.comparable_dict()
 
 
+class TestLaneBatchedReplay:
+    """The lane-major replay kernel and the vectorized repartition drain.
+
+    The differential matrix above exercises mid-stream repartitions,
+    shared encodings and sectored lanes separately; this class stacks
+    all three into the *same* rounds and asserts the sweep never leaves
+    the vectorized path — ``lane_batched_rounds`` counts fused kernel
+    passes and ``set_replay_batches`` stays zero because the
+    occupancy-surplus drain absorbs the over-allotment that used to
+    demote whole rows to the ``_SetReplay`` interpreter.
+    """
+
+    def test_repartition_with_shared_and_sectored_lanes_in_one_round(self):
+        spec = tiny_spec(name="stacked-lane-batch", epochs=8, iterations=2)
+        base = baseline()
+        sectored = presets.with_sectored_llc(base)
+        config = scaled_config(base, SCALE)
+        sconfig = scaled_config(sectored, SCALE)
+        # The repartitioning dynamic lane shares its staged stream with
+        # the static lane (lane-batched rounds spanning the repartition
+        # epochs), the sm-side/sac pair shares grouped rounds, and two
+        # differently-partitioned static instances share the sectored
+        # bank's staged stream — all in the same driver rounds.
+        stacked_org = make_organization("dynamic", config)
+        orgs = ["memory-side", "sm-side", stacked_org, "static", "sac",
+                make_organization("static", sconfig,
+                                  remote_way_fraction=0.25),
+                make_organization("static", sconfig,
+                                  remote_way_fraction=0.5)]
+        configs = [base] * 5 + [sectored, sectored]
+        result = simulate_stacked(spec, orgs, configs=configs, scale=SCALE,
+                                  accesses_per_epoch=DENSITY)
+        tele = result.telemetry
+        assert tele.banks == 2
+        assert tele.stacked_lanes == 7
+        # The repartition genuinely happened mid-stream...
+        initial = config.chip.llc_slice.associativity // 2
+        assert stacked_org.remote_ways != initial
+        # ...and the whole sweep still resolved on fused kernel passes:
+        # lane-batched rounds fired in every lane (both banks), the
+        # stream-order interpreter never.
+        assert tele.lane_batched_rounds > 0
+        assert tele.set_replay_batches == 0
+        assert tele.shared_encodings > 0
+        for stats in result.stats:
+            assert stats.set_replay_batches == 0
+            assert stats.lane_batched_rounds > 0
+        solo_orgs = ["memory-side", "sm-side",
+                     make_organization("dynamic", config), "static", "sac",
+                     make_organization("static", sconfig,
+                                       remote_way_fraction=0.25),
+                     make_organization("static", sconfig,
+                                       remote_way_fraction=0.5)]
+        for i, (org, config_i) in enumerate(zip(solo_orgs, configs)):
+            solo = standalone(spec, org, config=config_i)
+            assert result.stats[i].comparable_dict() == \
+                solo.comparable_dict(), i
+
+    def test_standalone_repartition_avoids_the_interpreter(self):
+        # The drain is not a stacked-only path: a standalone dynamic
+        # run's post-repartition epochs must also stay vectorized.
+        spec = tiny_spec(name="solo-drain", epochs=8, iterations=2)
+        stats = standalone(spec, "dynamic")
+        assert stats.set_replay_batches == 0
+        assert stats.scalar_epochs == 0
+        assert stats.demotions == 0
+
+    def test_lane_kernel_fields_are_registered_telemetry(self):
+        assert "lane_batched_rounds" in TELEMETRY_FIELDS
+        assert "replay_seconds" in TELEMETRY_FIELDS
+        assert "set_replay_batches" in TELEMETRY_FIELDS
+        assert "other_seconds" in TELEMETRY_FIELDS
+
+
 class TestDuplicateLanes:
     def test_duplicate_lane_copies_stats_without_simulating(self):
         spec = tiny_spec(name="stacked-dup")
